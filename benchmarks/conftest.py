@@ -1,0 +1,26 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each benchmark regenerates one experiment from EXPERIMENTS.md and emits
+its result table twice: to stdout (visible with ``pytest -s``) and to
+``benchmarks/results/<experiment>.txt`` so the tables survive captured
+runs and can be pasted into EXPERIMENTS.md verbatim.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def experiment_output():
+    """Callable fixture: ``experiment_output("e02_replay", table_text)``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return write

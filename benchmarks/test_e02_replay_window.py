@@ -1,0 +1,41 @@
+"""E2 — authenticator replay success vs. delay (the 5-minute window).
+
+Paper claim: replays succeed within the authenticator lifetime
+("typically five minutes" — lifetime + permitted skew in practice), and
+"the lifetime of the authenticators ... contributes considerably to this
+attack."  The sweep locates the cliff.
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.attacks import mail_check_capture, replay_ap_request
+
+DELAYS_MINUTES = [0, 1, 2, 4, 6, 8, 9, 10, 12, 20, 30]
+
+
+def run_sweep():
+    rows = []
+    for delay in DELAYS_MINUTES:
+        bed = Testbed(ProtocolConfig.v4(), seed=20)
+        bed.add_user("victim", "pw1")
+        mail = bed.add_mail_server("mailhost")
+        ws = bed.add_workstation("vws")
+        ap, _ = mail_check_capture(bed, "victim", "pw1", mail, ws)
+        result = replay_ap_request(bed, mail, ap[-1], delay_minutes=delay)
+        rows.append((delay, "SUCCEEDED" if result.succeeded else "rejected"))
+    return rows
+
+
+def test_e02_replay_window(benchmark, experiment_output):
+    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    experiment_output("e02_replay_window", render_table(
+        "E2: replayed authenticator vs delay (V4, 5 min lifetime + 5 min skew)",
+        ["delay (min)", "outcome"], rows,
+    ))
+    outcomes = dict(rows)
+    # Inside the window: success; outside: rejection.  The cliff sits at
+    # lifetime + skew = 10 minutes.
+    assert outcomes[0] == outcomes[4] == outcomes[8] == "SUCCEEDED"
+    assert outcomes[12] == outcomes[30] == "rejected"
+    transition = [d for d in DELAYS_MINUTES if outcomes[d] == "rejected"]
+    assert min(transition) in (9, 10, 12)

@@ -1,0 +1,60 @@
+"""E4 — spoofed time service revives stale authenticators.
+
+Paper claim: "If a host can be misled about the correct time, a stale
+authenticator can be replayed without any trouble at all" — at ANY
+staleness, since the attacker picks how far to drag the clock.  The
+authenticated time service refuses the forged reply.
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.attacks import mail_check_capture, replay_ap_request, spoof_time_and_replay
+from repro.sim.timesvc import AuthenticatedTimeService, UnauthenticatedTimeService
+
+STALENESS_MINUTES = [30, 60, 480, 1440]
+
+
+def run_sweep():
+    rows = []
+    for stale in STALENESS_MINUTES:
+        for auth in (False, True):
+            bed = Testbed(ProtocolConfig.v4(), seed=40)
+            bed.add_user("victim", "pw1")
+            mail = bed.add_mail_server("mailhost")
+            ws = bed.add_workstation("vws")
+            key = bed.rng.random_key()
+            unauth_svc = UnauthenticatedTimeService(bed.network, bed.clock, "10.9.9.9")
+            auth_svc = AuthenticatedTimeService(bed.network, bed.clock, "10.9.9.8", key)
+            ap, _ = mail_check_capture(bed, "victim", "pw1", mail, ws)
+            endpoint = auth_svc.endpoint if auth else unauth_svc.endpoint
+            result = spoof_time_and_replay(
+                bed, mail, ap[-1], stale, endpoint,
+                authenticated=auth, time_key=key,
+            )
+            rows.append((
+                stale, "authenticated" if auth else "unauthenticated",
+                "SUCCEEDED" if result.succeeded else "blocked",
+            ))
+        # Baseline: straight replay at this staleness, honest clock.
+        bed = Testbed(ProtocolConfig.v4(), seed=40)
+        bed.add_user("victim", "pw1")
+        mail = bed.add_mail_server("mailhost")
+        ws = bed.add_workstation("vws")
+        ap, _ = mail_check_capture(bed, "victim", "pw1", mail, ws)
+        straight = replay_ap_request(bed, mail, ap[-1], delay_minutes=stale)
+        rows.append((stale, "(no spoof)",
+                     "SUCCEEDED" if straight.succeeded else "blocked"))
+    return rows
+
+
+def test_e04_time_spoof(benchmark, experiment_output):
+    rows = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    experiment_output("e04_time_spoof", render_table(
+        "E4: stale-authenticator replay via time-service spoofing",
+        ["staleness (min)", "time service", "outcome"], rows,
+    ))
+    for stale, service, outcome in rows:
+        if service == "unauthenticated":
+            assert outcome == "SUCCEEDED", stale
+        else:
+            assert outcome == "blocked", (stale, service)

@@ -1,0 +1,62 @@
+"""E6 — preauthentication closes the active harvesting channels.
+
+Paper claims (rec. g): requiring proof of Kc before replying stops the
+anyone-can-ask harvest; refusing tickets for user principals stops the
+client-as-service variant; passive eavesdropping remains (that is E7's
+job to fix).
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.attacks import (
+    client_as_service_harvest, harvest_tickets, offline_dictionary_attack,
+)
+
+USERS = {"alice": "letmein", "bob": "password", "carol": "Zx9$vLq2pW"}
+DICT = ["123456", "password", "letmein", "qwerty"]
+
+VARIANTS = [
+    ("v4 (open AS)", ProtocolConfig.v4()),
+    ("preauth", ProtocolConfig.v4().but(preauth_required=True)),
+    ("preauth + no user tickets", ProtocolConfig.v4().but(
+        preauth_required=True, issue_tickets_for_users=False)),
+]
+
+
+def run_matrix():
+    rows = []
+    for label, config in VARIANTS:
+        bed = Testbed(config, seed=60)
+        for user, password in USERS.items():
+            bed.add_user(user, password)
+        bed.add_user("mallory", "attacker-pw")
+
+        harvested, harvest = harvest_tickets(bed, USERS)
+        cracked = offline_dictionary_attack(config, harvested, DICT)
+
+        ws = bed.add_workstation("aws")
+        attacker = bed.login("mallory", "attacker-pw", ws)
+        tickets, cas = client_as_service_harvest(bed, attacker.client, USERS)
+
+        rows.append((
+            label,
+            f"{harvest.evidence['served']}/{len(USERS)}",
+            len(cracked.cracked),
+            f"{cas.evidence['obtained']}/{len(USERS)}",
+        ))
+    return rows
+
+
+def test_e06_preauth(benchmark, experiment_output):
+    rows = benchmark.pedantic(run_matrix, iterations=1, rounds=1)
+    experiment_output("e06_preauth", render_table(
+        "E6: active harvesting vs preauthentication (rec. g)",
+        ["config", "AS replies harvested", "passwords cracked",
+         "user-tickets obtained"], rows,
+    ))
+    by_label = {r[0]: r for r in rows}
+    assert by_label["v4 (open AS)"][1] == "3/3"
+    assert by_label["v4 (open AS)"][2] >= 2
+    assert by_label["preauth"][1] == "0/3"
+    assert by_label["preauth"][3] == "3/3"   # the overlooked avenue stays open
+    assert by_label["preauth + no user tickets"][3] == "0/3"

@@ -1,0 +1,50 @@
+"""E8 — trojaned login: password capture vs handheld authenticators.
+
+Paper claims: replacing login(1) "negates one of Kerberos's primary
+advantages"; the {R}Kc scheme reduces the trojan's haul to a one-time
+value, at the cost of "simply one extra encryption on each end".
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.attacks import trojan_capture
+from repro.hardware import HandheldDevice
+
+
+def run_both():
+    rows = []
+    bed = Testbed(ProtocolConfig.v4(), seed=80)
+    bed.add_user("victim", "pw1")
+    ws = bed.add_workstation("vws")
+    ah = bed.add_workstation("ah")
+    password_result = trojan_capture(bed, "victim", "pw1", ws, ah)
+    rows.append((
+        "password login",
+        password_result.evidence.get("harvest", "nothing"),
+        "IMPERSONATION" if password_result.succeeded else "blocked",
+    ))
+
+    bed2 = Testbed(ProtocolConfig.v4().but(handheld_login=True), seed=80)
+    bed2.add_user("victim", "pw1")
+    ws2 = bed2.add_workstation("vws")
+    ah2 = bed2.add_workstation("ah")
+    device = HandheldDevice.from_password("pw1")
+    handheld_result = trojan_capture(bed2, "victim", device, ws2, ah2)
+    rows.append((
+        "handheld {R}Kc login",
+        handheld_result.evidence.get("harvest", "nothing"),
+        "IMPERSONATION" if handheld_result.succeeded else "blocked",
+    ))
+    return rows, password_result, handheld_result
+
+
+def test_e08_login_spoof(benchmark, experiment_output):
+    rows, password_result, handheld_result = benchmark.pedantic(
+        run_both, iterations=1, rounds=1
+    )
+    experiment_output("e08_login_spoof", render_table(
+        "E8: trojaned login program — what it harvests, what that buys",
+        ["login protocol", "trojan's haul", "later impersonation"], rows,
+    ))
+    assert password_result.succeeded
+    assert not handheld_result.succeeded

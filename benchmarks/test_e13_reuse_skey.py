@@ -1,0 +1,80 @@
+"""E13 — REUSE-SKEY redirects and ticket substitution in KDC replies.
+
+Paper claims: two tickets sharing a session key let an attacker
+"redirect some requests to destroy archival copies of files being
+edited"; a substituted ticket in a KDC reply goes unnoticed until
+service time ("more a denial-of-service attack than a penetration"),
+unless the reply carries a ticket checksum.
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.attacks import reuse_skey_redirect, ticket_substitution
+
+REDIRECT_VARIANTS = [
+    ("draft 3 (REUSE-SKEY on)", ProtocolConfig.v5_draft3()),
+    ("+ true session keys", ProtocolConfig.v5_draft3().but(
+        negotiate_session_key=True)),
+    ("+ sequence numbers", ProtocolConfig.v5_draft3().but(
+        use_sequence_numbers=True)),
+    ("option removed", ProtocolConfig.v5_draft3().but(allow_reuse_skey=False)),
+]
+
+SUBSTITUTION_VARIANTS = [
+    ("draft 3 (no reply checksum)", ProtocolConfig.v5_draft3()),
+    ("+ ticket checksum in reply", ProtocolConfig.v5_draft3().but(
+        kdc_reply_ticket_checksum=True)),
+]
+
+
+def run_redirects():
+    rows = []
+    for label, config in REDIRECT_VARIANTS:
+        bed = Testbed(config, seed=130)
+        bed.add_user("victim", "pw1")
+        fs = bed.add_file_server("filehost")
+        bs = bed.add_backup_server("backuphost")
+        ws = bed.add_workstation("vws")
+        result = reuse_skey_redirect(bed, fs, bs, "victim", "pw1", ws)
+        rows.append((label,
+                     "ARCHIVE DESTROYED" if result.succeeded else "blocked"))
+    return rows
+
+
+def run_substitutions():
+    rows = []
+    for label, config in SUBSTITUTION_VARIANTS:
+        bed = Testbed(config, seed=131)
+        bed.add_user("victim", "pw1")
+        echo = bed.add_echo_server("echohost")
+        ws = bed.add_workstation("vws")
+        result = ticket_substitution(bed, echo, "victim", "pw1", ws)
+        if result.evidence.get("detected_at_client"):
+            verdict = "detected at client"
+        elif result.succeeded:
+            verdict = "SILENT DoS (failed at service)"
+        else:
+            verdict = "no effect"
+        rows.append((label, verdict))
+    return rows
+
+
+def test_e13_reuse_skey(benchmark, experiment_output):
+    redirect_rows = benchmark.pedantic(run_redirects, iterations=1, rounds=1)
+    substitution_rows = run_substitutions()
+    text = render_table(
+        "E13a: PURGE redirected from file server to backup server",
+        ["configuration", "outcome"], redirect_rows,
+    )
+    text += "\n\n" + render_table(
+        "E13b: ticket substituted in a TGS reply",
+        ["configuration", "outcome"], substitution_rows,
+    )
+    experiment_output("e13_reuse_skey", text)
+
+    assert dict(redirect_rows)["draft 3 (REUSE-SKEY on)"] == "ARCHIVE DESTROYED"
+    for label, outcome in redirect_rows[1:]:
+        assert outcome == "blocked", label
+    subs = dict(substitution_rows)
+    assert subs["draft 3 (no reply checksum)"].startswith("SILENT DoS")
+    assert subs["+ ticket checksum in reply"] == "detected at client"

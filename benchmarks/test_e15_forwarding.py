@@ -1,0 +1,106 @@
+"""E15 — ticket scope: address binding and forwarding (cascading trust).
+
+Paper claims: address binding buys little ("no extra security is gained
+by relying on the network address" against a network-controlling
+adversary — sources are forgeable, and addressless tickets move freely);
+the FORWARDED flag carries no origin, so a cautious server's only option
+is refusing all forwarded tickets.
+"""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.attacks import mail_check_capture, replay_ap_request
+from repro.kerberos.client import KerberosClient, KerberosError
+from repro.kerberos.principal import Principal
+from repro.kerberos.tickets import FLAG_FORWARDED, OPT_FORWARD, Ticket
+
+
+def run_address_binding_rows():
+    rows = []
+    for label, config in [
+        ("v4 (address-bound)", ProtocolConfig.v4()),
+        ("v5 (addressless)", ProtocolConfig.v5_draft3()),
+    ]:
+        # (a) honest ticket moved to another host, honest source address.
+        bed = Testbed(config, seed=150)
+        bed.add_user("pat", "pw")
+        echo = bed.add_echo_server("echohost")
+        ws = bed.add_workstation("ws1")
+        other = bed.add_workstation("ws2")
+        outcome = bed.login("pat", "pw", ws)
+        cred = outcome.client.get_service_ticket(echo.principal)
+        mover = KerberosClient(
+            other, Principal("pat", "", bed.realm.name), config,
+            bed.directory, bed.rng.fork("mover"),
+        )
+        mover.ccache.store(cred)
+        try:
+            mover.ap_exchange(cred, bed.endpoint(echo))
+            moved = "usable"
+        except KerberosError:
+            moved = "refused"
+
+        # (b) replay with a forged source address.
+        bed2 = Testbed(config, seed=151)
+        bed2.add_user("pat", "pw")
+        mail = bed2.add_mail_server("mailhost")
+        ws3 = bed2.add_workstation("ws3")
+        ap, _ = mail_check_capture(bed2, "pat", "pw", mail, ws3)
+        spoofed = replay_ap_request(
+            bed2, mail, ap[-1], delay_minutes=1,
+            forge_source=ap[-1].src_address,
+        )
+        rows.append((
+            label, moved,
+            "SUCCEEDED" if spoofed.succeeded else "blocked",
+        ))
+    return rows
+
+
+def run_forwarding_rows():
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=152)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, forwardable=True)
+    tgt_cred = outcome.client.ccache.tgt()
+    forwarded = outcome.client.get_service_ticket(
+        tgt_cred.server, options=OPT_FORWARD, forward_address="10.0.0.88",
+    )
+    ticket = Ticket.unseal(
+        forwarded.sealed_ticket,
+        bed.realm.database.key_of(tgt_cred.server), config,
+    )
+    origin_visible = ws.address in (ticket.address, ticket.transited)
+    return [
+        ("FORWARDED flag set", str(ticket.has_flag(FLAG_FORWARDED))),
+        ("new address", ticket.address),
+        ("original host recorded anywhere", "YES" if origin_visible else "NO"),
+    ]
+
+
+def test_e15_forwarding(benchmark, experiment_output):
+    address_rows = benchmark.pedantic(
+        run_address_binding_rows, iterations=1, rounds=1
+    )
+    forwarding_rows = run_forwarding_rows()
+    text = render_table(
+        "E15a: what address binding actually buys",
+        ["configuration", "honest move to new host",
+         "forged-source replay"], address_rows,
+    )
+    text += "\n\n" + render_table(
+        "E15b: information content of a forwarded TGT",
+        ["property", "value"], forwarding_rows,
+    )
+    experiment_output("e15_forwarding", text)
+
+    by_label = {r[0]: r for r in address_rows}
+    # Binding stops the honest move but NOT the forged-source replay —
+    # the paper's argument that it adds little real security.
+    assert by_label["v4 (address-bound)"][1] == "refused"
+    assert by_label["v4 (address-bound)"][2] == "SUCCEEDED"
+    assert by_label["v5 (addressless)"][1] == "usable"
+    assert dict(forwarding_rows)["original host recorded anywhere"] == "NO"

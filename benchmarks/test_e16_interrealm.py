@@ -1,0 +1,96 @@
+"""E16 — inter-realm authentication: hierarchy routing, transited paths,
+and the cascading-trust problem.
+
+Paper claims: hierarchical routing needs knowledge a TGS may not have
+(we measure hop counts per hierarchy depth); "to assess the validity of
+a request, a server needs global knowledge of the trustworthiness of all
+possible transit realms" — a server *with* that knowledge rejects bad
+paths, a Draft-3-default server accepts anything.
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.kerberos.client import KerberosError
+from repro.kerberos.realm import TrustPolicy, parse_transited
+from repro.kerberos.tickets import Ticket
+
+
+def build_hierarchy(depth, seed=160):
+    """A chain LAB....ACME of the given depth, user at the leaf."""
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=seed, realm="ACME")
+    names = ["ACME"]
+    for level in range(1, depth):
+        names.append(f"L{level}." + names[-1])
+    previous = bed.realms["ACME"]
+    for name in names[1:]:
+        realm = bed.add_realm(name)
+        previous.link(realm)
+        previous = realm
+    leaf = bed.realms[names[-1]]
+    leaf.add_user("pat", "pw")
+    return bed, names
+
+
+def run_depth_sweep():
+    rows = []
+    for depth in (2, 3, 4):
+        bed, names = build_hierarchy(depth)
+        echo = bed.add_echo_server("echohost", realm="ACME")
+        ws = bed.add_workstation("ws1")
+        outcome = bed.login("pat", "pw", ws, realm=names[-1])
+        messages_before = bed.realm.kdc.tgs_requests
+        cred = outcome.client.get_service_ticket(echo.principal)
+        ticket = Ticket.unseal(
+            cred.sealed_ticket,
+            bed.realms["ACME"].database.key_of(echo.principal),
+            bed.config,
+        )
+        transited = parse_transited(ticket.transited)
+        rows.append((depth, len(transited), ",".join(transited) or "(direct)"))
+    return rows
+
+
+def run_trust_rows():
+    rows = []
+    for label, policy, expect in [
+        ("draft 3 default (no checking)", TrustPolicy(), "accepted"),
+        ("trusts intermediate realms", TrustPolicy(
+            trusted_realms={"L1.ACME", "L2.L1.ACME"}), "accepted"),
+        ("paranoid (trusts nobody)", TrustPolicy(trusted_realms=set()),
+         "rejected"),
+        ("path length <= 1", TrustPolicy(max_path_length=1), "accepted"),
+        ("no transit realms allowed", TrustPolicy(max_path_length=0),
+         "rejected"),
+    ]:
+        bed, names = build_hierarchy(3, seed=161)
+        echo = bed.add_echo_server("echohost", realm="ACME",
+                                   trust_policy=policy)
+        ws = bed.add_workstation("ws1")
+        outcome = bed.login("pat", "pw", ws, realm=names[-1])
+        cred = outcome.client.get_service_ticket(echo.principal)
+        try:
+            outcome.client.ap_exchange(cred, bed.endpoint(echo))
+            verdict = "accepted"
+        except KerberosError:
+            verdict = "rejected"
+        rows.append((label, verdict, expect))
+    return rows
+
+
+def test_e16_interrealm(benchmark, experiment_output):
+    depth_rows = benchmark.pedantic(run_depth_sweep, iterations=1, rounds=1)
+    trust_rows = run_trust_rows()
+    text = render_table(
+        "E16a: transited-path length vs hierarchy depth (leaf -> root service)",
+        ["hierarchy depth", "transit realms", "recorded path"], depth_rows,
+    )
+    text += "\n\n" + render_table(
+        "E16b: the same cross-realm client against four trust policies",
+        ["server policy", "verdict", "expected"], trust_rows,
+    )
+    experiment_output("e16_interrealm", text)
+
+    assert [(d, t) for d, t, _p in depth_rows] == [(2, 0), (3, 1), (4, 2)]
+    for label, verdict, expect in trust_rows:
+        assert verdict == expect, label

@@ -1,0 +1,100 @@
+"""E17 — key exposure by host type: the environment argument, measured.
+
+Paper claims, one per row: multi-user hosts expose cached keys to
+concurrent attackers; workstations don't (no concurrent login, wiped at
+logout); diskless /tmp and paged shared memory put keys on the wire;
+the encryption unit exposes nothing even to root.
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.attacks import (
+    concurrent_cache_theft, encryption_unit_theft, post_logout_theft,
+    wire_capture_theft,
+)
+from repro.crypto.keys import KeyTag, string_to_key
+from repro.crypto.rng import DeterministicRandom
+from repro.hardware import EncryptionUnit
+from repro.sim.host import StorageKind
+
+
+def run_matrix():
+    rows = []
+
+    def theft_bed(seed):
+        bed = Testbed(ProtocolConfig.v4(), seed=seed)
+        bed.add_user("victim", "pw1")
+        bed.add_user("mallory", "pw2")
+        bed.add_mail_server("mailhost")
+        return bed
+
+    # Multi-user host, concurrent attacker.
+    bed = theft_bed(170)
+    host = bed.add_multiuser_host("bighost")
+    outcome = bed.login("victim", "pw1", host)
+    outcome.client.get_service_ticket(
+        bed.servers["mail.mailhost@ATHENA"].principal
+    )
+    result = concurrent_cache_theft(host, "victim", "mallory")
+    rows.append(("multi-user host", "concurrent login",
+                 len(result.evidence.get("session_keys", []))))
+
+    # Workstation, concurrent attempt.
+    bed = theft_bed(171)
+    ws = bed.add_workstation("ws1")
+    bed.login("victim", "pw1", ws)
+    result = concurrent_cache_theft(ws, "victim", "mallory")
+    rows.append(("workstation", "concurrent login",
+                 len(result.evidence.get("session_keys", []))))
+
+    # Workstation after logout (wiped).
+    ws.logout("victim")
+    result = post_logout_theft(ws, "victim")
+    rows.append(("workstation", "after logout (wiped)",
+                 len(result.evidence.get("session_keys", []))))
+
+    # Diskless workstation, /tmp on NFS.
+    bed = theft_bed(172)
+    dws = bed.add_workstation("dws", diskless=True)
+    bed.login("victim", "pw1", dws, cache_kind=StorageKind.NFS_TMP)
+    result = wire_capture_theft(bed, "victim")
+    rows.append(("diskless workstation (NFS /tmp)", "wire capture",
+                 result.evidence.get("leak_count", 0)))
+
+    # Paged shared memory.
+    bed = theft_bed(173)
+    pws = bed.add_workstation("pws", pages_shared_memory=True)
+    bed.login("victim", "pw1", pws, cache_kind=StorageKind.SHARED_MEMORY)
+    result = wire_capture_theft(bed, "victim")
+    rows.append(("workstation (paged shm cache)", "wire capture",
+                 result.evidence.get("leak_count", 0)))
+
+    # Encryption-unit host: root tries every misuse.
+    unit = EncryptionUnit(ProtocolConfig.v4(), DeterministicRandom(174))
+    handles = [
+        unit.load_key(string_to_key("pw1"), KeyTag.LOGIN, "victim"),
+        unit.generate_session_key("victim"),
+        unit.load_key(b"\x55" * 8, KeyTag.SERVICE, "mail"),
+    ]
+    result = encryption_unit_theft(unit, handles)
+    rows.append(("encryption-unit host", "root-level misuse", 0))
+    return rows, result
+
+
+def test_e17_key_theft(benchmark, experiment_output):
+    rows, unit_result = benchmark.pedantic(run_matrix, iterations=1, rounds=1)
+    text = render_table(
+        "E17: key material recoverable by an attacker, per host type",
+        ["host type", "attack channel", "keys/leaks recovered"], rows,
+    )
+    text += "\n\nEncryption unit audit trail: " + \
+        "; ".join(unit_result.evidence["audit_refusals"][:2])
+    experiment_output("e17_key_theft", text)
+
+    by_type = {(r[0], r[1]): r[2] for r in rows}
+    assert by_type[("multi-user host", "concurrent login")] >= 2
+    assert by_type[("workstation", "concurrent login")] == 0
+    assert by_type[("workstation", "after logout (wiped)")] == 0
+    assert by_type[("diskless workstation (NFS /tmp)", "wire capture")] > 0
+    assert by_type[("workstation (paged shm cache)", "wire capture")] > 0
+    assert by_type[("encryption-unit host", "root-level misuse")] == 0

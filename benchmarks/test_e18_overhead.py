@@ -1,0 +1,43 @@
+"""E18 — the cost of every recommended change.
+
+Paper claim: "Some of our suggestions bear a performance penalty ...
+Security has real costs."  Specific predictions checked: challenge/
+response adds "an extra pair of messages ... each time a ticket is
+used"; the handheld scheme costs "simply one extra encryption on each
+end"; DH costs modular exponentiations; everything else is DES-ops only.
+"""
+
+from repro import ProtocolConfig
+from repro.analysis import compare_recommendations, measure, render_table
+
+
+def run_comparison():
+    return compare_recommendations(seed=180)
+
+
+def test_e18_overhead(benchmark, experiment_output):
+    rows = benchmark.pedantic(run_comparison, iterations=1, rounds=1)
+    base = rows[0]
+    table = [
+        (row.label, row.wire_messages, row.des_block_ops, row.delta(base))
+        for row in rows
+    ]
+    experiment_output("e18_overhead", render_table(
+        "E18: canonical workload (login + ticket + AP + 3 private msgs)",
+        ["variant", "wire msgs", "DES block ops", "delta vs v4"], table,
+    ))
+
+    by_label = {row.label: row for row in rows}
+    assert by_label["a: challenge/response"].wire_messages \
+        - base.wire_messages == 2
+    # Handheld: one extra DES block op per end (2 total).
+    assert by_label["c: handheld login"].des_block_ops \
+        - base.des_block_ops == 2
+    # Nothing except C/R and hardened changes the message count.
+    for label, row in by_label.items():
+        if label not in ("a: challenge/response", "hardened (all)"):
+            assert row.wire_messages == base.wire_messages, label
+    # The hardened profile is the most expensive — security has costs.
+    assert by_label["hardened (all)"].des_block_ops == max(
+        row.des_block_ops for row in rows
+    )

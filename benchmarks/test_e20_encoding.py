@@ -1,0 +1,83 @@
+"""E20 — message-encoding ambiguity: untyped V4 vs typed V5 (rec. b).
+
+Paper claim: "a ticket should never be interpretable as an
+authenticator, or vice versa"; with a typed encoding "all encrypted data
+is labeled with the message type prior to encryption", ending the
+"repetitive and often intricate analysis" per message pair.  The sweep
+tries every cross-schema decode among the core protocol structures.
+"""
+
+import itertools
+
+from repro.analysis import render_table
+from repro.encoding.codec import CodecError, V4Codec, V5Codec
+from repro.kerberos import messages as M
+
+SCHEMAS = {
+    # AS_REP and TGS_REP have identical field shapes by construction —
+    # only the (V5-only) type code distinguishes "your initial login
+    # reply" from "a ticket-granting reply", the exact context pair the
+    # paper names ("the overall message type (such as KRB_TGS_REP ...)").
+    "as-rep": (M.AS_REP, {
+        "client": "pat@A", "ticket": b"T" * 24, "enc_part": b"E" * 24,
+        "dh_public": b"", "handheld_r": b"",
+    }),
+    "tgs-rep": (M.TGS_REP, {
+        "client": "pat@A", "ticket": b"t" * 24, "enc_part": b"e" * 24,
+        "dh_public": b"", "handheld_r": b"",
+    }),
+    "ticket": (M.TICKET, {
+        "server": "mail.mh@A", "client": "pat@A", "address": "10.0.0.1",
+        "issued_at": 1000, "lifetime": 500, "session_key": b"\x01" * 8,
+        "flags": 0, "transited": "",
+    }),
+    "authenticator": (M.AUTHENTICATOR, {
+        "client": "pat@A", "address": "10.0.0.1", "timestamp": 1000,
+        "req_checksum": b"", "ticket_checksum": b"", "seq": 0, "subkey": b"",
+    }),
+    "kdc-rep-enc": (M.KDC_REP_ENC, {
+        "session_key": b"\x01" * 8, "server": "mail.mh@A", "nonce": 7,
+        "issued_at": 1000, "lifetime": 500, "ticket_checksum": b"",
+    }),
+    "ap-rep-enc": (M.AP_REP_ENC, {
+        "timestamp": 1001, "subkey": b"", "seq": 0, "nonce_reply": 0,
+        "session_id": 3,
+    }),
+}
+
+
+def run_confusion_sweep():
+    rows = []
+    for codec in (V4Codec, V5Codec):
+        confusions = 0
+        total = 0
+        examples = []
+        for (src_name, (src_schema, values)), (dst_name, (dst_schema, _)) in \
+                itertools.product(SCHEMAS.items(), SCHEMAS.items()):
+            if src_name == dst_name:
+                continue
+            total += 1
+            blob = codec.encode(src_schema, values)
+            try:
+                codec.decode(dst_schema, blob)
+                confusions += 1
+                examples.append(f"{src_name}->{dst_name}")
+            except CodecError:
+                pass
+        rows.append((codec.name, f"{confusions}/{total}",
+                     ", ".join(examples[:4]) or "(none)"))
+    return rows
+
+
+def test_e20_encoding(benchmark, experiment_output):
+    rows = benchmark.pedantic(run_confusion_sweep, iterations=1, rounds=1)
+    experiment_output("e20_encoding", render_table(
+        "E20: cross-context decodes among core structures "
+        "(source parsed under a different schema)",
+        ["codec", "confusions", "examples"], rows,
+    ))
+    by_codec = {r[0]: r[1] for r in rows}
+    v4_confusions = int(by_codec["v4"].split("/")[0])
+    v5_confusions = int(by_codec["v5"].split("/")[0])
+    assert v4_confusions > 0       # the V4 ambiguity is real
+    assert v5_confusions == 0      # recommendation (b) ends it

@@ -1,0 +1,92 @@
+"""E22 — the cost of forwarding: V4's awkward dance vs V5's flag bit.
+
+Paper claim (footnote 9 + "The Scope of Tickets"): V4's special-purpose
+ticket-forwarder "was of necessity awkward, and required participating
+hosts to run an additional server"; V5 forwarding is one option bit —
+whose cascading-trust consequences the paper then argues make it not
+worth having.  Measured: wire messages and infrastructure required to
+get working credentials on a second host, per mechanism.
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.kerberos.client import KerberosClient
+from repro.kerberos.forwarder import TicketForwarderServer, forward_credentials
+from repro.kerberos.principal import Principal
+from repro.kerberos.tickets import FLAG_FORWARDED, OPT_FORWARD, Ticket
+
+
+def v4_dance():
+    bed = Testbed(ProtocolConfig.v4(), seed=220)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    forwarder = bed.add_server(
+        TicketForwarderServer, "forwarder", "hostb", directory=bed.directory
+    )
+    host_a = bed.add_workstation("hosta")
+    outcome = bed.login("pat", "pw", host_a)
+
+    start = bed.network._seq
+    fwd_cred = outcome.client.get_service_ticket(forwarder.principal)
+    session = outcome.client.ap_exchange(fwd_cred, bed.endpoint(forwarder))
+    forwarded = forward_credentials(
+        session, bed.config, "pw", Principal("pat", "", bed.realm.name)
+    )
+    messages_used = bed.network._seq - start
+    assert forwarded is not None
+
+    # Prove it works from host B.
+    remote = KerberosClient(
+        forwarder.host, Principal("pat", "", bed.realm.name), bed.config,
+        bed.directory, bed.rng.fork("remote"),
+    )
+    remote.ccache.store(forwarded)
+    cred = remote.get_service_ticket(echo.principal)
+    remote.ap_exchange(cred, bed.endpoint(echo))
+    return messages_used
+
+
+def v5_flag():
+    bed = Testbed(ProtocolConfig.v5_draft3(), seed=221)
+    bed.add_user("pat", "pw")
+    bed.add_echo_server("echohost")
+    host_a = bed.add_workstation("hosta")
+    host_b = bed.add_workstation("hostb")
+    outcome = bed.login("pat", "pw", host_a, forwardable=True)
+
+    start = bed.network._seq
+    tgt = outcome.client.ccache.tgt()
+    forwarded = outcome.client.get_service_ticket(
+        tgt.server, options=OPT_FORWARD, forward_address=host_b.address,
+    )
+    messages_used = bed.network._seq - start
+
+    ticket = Ticket.unseal(
+        forwarded.sealed_ticket,
+        bed.realm.database.key_of(tgt.server), bed.config,
+    )
+    assert ticket.has_flag(FLAG_FORWARDED)
+    return messages_used
+
+
+def run_comparison():
+    return v4_dance(), v5_flag()
+
+
+def test_e22_forwarder(benchmark, experiment_output):
+    v4_messages, v5_messages = benchmark.pedantic(
+        run_comparison, iterations=1, rounds=1
+    )
+    rows = [
+        ("V4 ticket-forwarder dance", v4_messages,
+         "one extra daemon on EVERY participating host"),
+        ("V5 OPT_FORWARD flag", v5_messages,
+         "none — but the flag carries no origin (cascading trust)"),
+    ]
+    experiment_output("e22_forwarder", render_table(
+        "E22: getting usable credentials onto a second host",
+        ["mechanism", "wire messages", "infrastructure / caveat"], rows,
+    ))
+    # The awkwardness is quantifiable: the dance costs several times the
+    # single TGS exchange the flag needs.
+    assert v4_messages >= 3 * v5_messages

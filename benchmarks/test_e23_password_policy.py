@@ -1,0 +1,64 @@
+"""E23 — "users do not pick good passwords unless forced to": the forcing.
+
+Paper claim: the password-guessing attacks work because of empirical
+password habits; the cited remedy is enforcement.  Measured: the same
+user population, with and without a quality policy applied at
+password-set time, against the same attacker dictionary.  The policy
+bounces every password the dictionary would have caught, collapsing the
+site's crack rate to the strong-password floor.
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import PasswordPopulation, attack_dictionary, render_table
+from repro.attacks import harvest_tickets, offline_dictionary_attack
+from repro.kerberos.kadmin import PasswordPolicy
+
+SITE = 30
+DICTIONARY = attack_dictionary(1030)
+
+
+def run_comparison():
+    population = PasswordPopulation.generate(
+        SITE, weak_fraction=0.4, medium_fraction=0.4, seed=230
+    )
+    rows = []
+    bounced_total = 0
+    for label, policy in [
+        ("no policy", PasswordPolicy.permissive()),
+        ("quality policy enforced", PasswordPolicy()),
+    ]:
+        bed = Testbed(ProtocolConfig.v4(), seed=230)
+        bounced = 0
+        for index, (user, wanted) in enumerate(population.users.items()):
+            ok, _reason = policy.check(user, wanted)
+            if ok:
+                password = wanted
+            else:
+                bounced += 1
+                # The user is forced to pick something the policy allows
+                # (modelled as a strong generated phrase).
+                password = f"forced-Strong-{index}-{user[::-1]}"
+            bed.add_user(user, password)
+        harvested, _ = harvest_tickets(bed, population.users)
+        stats = offline_dictionary_attack(bed.config, harvested, DICTIONARY)
+        rows.append((
+            label, bounced, len(stats.cracked),
+            f"{len(stats.cracked) / SITE:.0%}",
+        ))
+        bounced_total = max(bounced_total, bounced)
+    return rows, bounced_total
+
+
+def test_e23_password_policy(benchmark, experiment_output):
+    rows, bounced = benchmark.pedantic(run_comparison, iterations=1, rounds=1)
+    experiment_output("e23_password_policy", render_table(
+        f"E23: {SITE}-user site vs a {len(DICTIONARY)}-guess dictionary",
+        ["password regime", "passwords bounced at set time",
+         "users cracked", "crack rate"], rows,
+    ))
+    by_label = {r[0]: r for r in rows}
+    unforced = by_label["no policy"][2]
+    forced = by_label["quality policy enforced"][2]
+    assert unforced >= SITE * 0.3       # the empirical problem
+    assert forced == 0                  # the forcing works
+    assert bounced > 0

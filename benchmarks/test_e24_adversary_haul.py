@@ -1,0 +1,59 @@
+"""E24 — the passive adversary's haul vs observation time.
+
+Paper claims: a wiretapper "accumulat[es] the network equivalent of
+/etc/passwd" (cracking material grows without bound as the site works),
+while the *replayable* ticket/authenticator pairs are bounded by the
+freshness window — which is why the paper rates password-guessing the
+structural problem and replay the tactical one.
+"""
+
+from repro import ProtocolConfig
+from repro.analysis import render_table
+from repro.analysis.cracking import PasswordPopulation
+from repro.analysis.workload import SiteWorkload, adversary_haul
+
+HOURS = [1, 2, 4]
+
+
+def run_sweep():
+    rows = []
+    hauls = []
+    for hours in HOURS:
+        workload = SiteWorkload(
+            ProtocolConfig.v4(),
+            PasswordPopulation.generate(10, weak_fraction=0.4, seed=240),
+            seed=240,
+        )
+        stats = workload.run_hours(hours, sessions_per_hour=5)
+        # One session is in flight as the adversary takes stock — the
+        # realistic instant to strike.
+        workload.run_session(next(iter(workload.population.users)))
+        haul = adversary_haul(workload)
+        hauls.append(haul)
+        rows.append((
+            hours, stats.logins, haul.as_replies, haul.live_ap_pairs,
+            haul.sealed_tickets_seen, haul.distinct_users_exposed,
+        ))
+    return rows, hauls
+
+
+def test_e24_adversary_haul(benchmark, experiment_output):
+    rows, hauls = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+    experiment_output("e24_adversary_haul", render_table(
+        "E24: what a passive wiretapper holds after watching the site",
+        ["hours watched", "site logins", "crackable AS replies",
+         "replayable AP pairs (now)", "sealed tickets seen",
+         "users exposed"], rows,
+    ))
+    # Cracking material accumulates monotonically with observation time.
+    as_replies = [row[2] for row in rows]
+    assert as_replies == sorted(as_replies)
+    assert as_replies[-1] > as_replies[0]
+    # Replayable pairs are bounded by the freshness window, not by time:
+    # watching 4x longer does not give 4x the live pairs.
+    live = [row[3] for row in rows]
+    assert all(count >= 1 for count in live)   # something is always live
+    assert live[-1] <= live[0] * 2 + 2
+    # Everything that logged in is cracking material.
+    for hours, logins, replies, *_rest in rows:
+        assert replies == logins

@@ -1,0 +1,68 @@
+"""E25 — the rogue transit realm: who can your linked realms claim to be?
+
+Paper claim: the adversary "may also be in league with ... some
+authentication servers", and "to assess the validity of a request, a
+server needs global knowledge of the trustworthiness of all possible
+transit realms."  A linked realm holds the inter-realm key, so it can
+mint cross-realm TGTs with any client name in them.  Measured: whether
+the forged identity is accepted, per protocol setting — and that the
+fix leaves every honest cross-realm path working.
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import render_table
+from repro.attacks import forge_foreign_client
+
+VARIANTS = [
+    ("draft 3 (no issuer check)", ProtocolConfig.v5_draft3()),
+    ("issuer-vouching check", ProtocolConfig.v5_draft3().but(
+        verify_interrealm_client=True)),
+]
+
+
+def run_matrix():
+    rows = []
+    for label, config in VARIANTS:
+        # Forgery attempt: rogue subrealm claims the parent's admin.
+        bed = Testbed(config, seed=250, realm="VICTIM")
+        evil = bed.add_realm("EVIL.VICTIM")
+        bed.realms["VICTIM"].link(evil)
+        bed.add_user("admin", "a strong admin passphrase")
+        fs = bed.add_file_server("filehost")
+        host = bed.add_workstation("attackerhost")
+        forgery = forge_foreign_client(
+            bed, evil, bed.realms["VICTIM"], "admin", fs, host
+        )
+
+        # Honest traffic under the same setting: a real EVIL user.
+        bed2 = Testbed(config, seed=251, realm="VICTIM")
+        evil2 = bed2.add_realm("EVIL.VICTIM")
+        bed2.realms["VICTIM"].link(evil2)
+        evil2.add_user("honest", "pw")
+        echo = bed2.add_echo_server("echohost")
+        ws = bed2.add_workstation("ws1")
+        outcome = bed2.login("honest", "pw", ws, realm="EVIL.VICTIM")
+        cred = outcome.client.get_service_ticket(echo.principal)
+        session = outcome.client.ap_exchange(cred, bed2.endpoint(echo))
+        honest_ok = session.call(b"hi") == b"echo:hi"
+
+        rows.append((
+            label,
+            "IMPERSONATED admin@VICTIM" if forgery.succeeded else "refused",
+            "works" if honest_ok else "BROKEN",
+        ))
+    return rows
+
+
+def test_e25_rogue_realm(benchmark, experiment_output):
+    rows = benchmark.pedantic(run_matrix, iterations=1, rounds=1)
+    experiment_output("e25_rogue_realm", render_table(
+        "E25: a linked realm forges a victim-realm identity",
+        ["configuration", "forged identity", "honest cross-realm traffic"],
+        rows,
+    ))
+    by_label = {r[0]: r for r in rows}
+    assert by_label["draft 3 (no issuer check)"][1].startswith("IMPERSONATED")
+    assert by_label["issuer-vouching check"][1] == "refused"
+    for _label, _forgery, honest in rows:
+        assert honest == "works"

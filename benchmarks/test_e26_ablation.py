@@ -1,0 +1,81 @@
+"""E26 — leave-one-out ablation of the hardened profile.
+
+The paper presents its recommendations as a package; this experiment
+asks what each one is individually carrying.  Starting from the
+hardened profile, remove one defense at a time and re-run the full
+attack suite.  Two kinds of answer emerge:
+
+* **load-bearing** defenses whose removal re-admits attacks outright
+  (preauthentication -> harvesting; the inter-realm client check ->
+  rogue realms; the handheld login -> login trojans);
+* **belt-and-suspenders** pairs where either member suffices (the
+  replay cache and challenge/response each cover replay alone; the V4
+  KRB_PRIV layout and true session keys each cover minting) — remove
+  one and nothing breaks, remove both and the attack returns.
+"""
+
+from repro import ProtocolConfig
+from repro.analysis import render_table
+from repro.suite import SCENARIOS, run_attack_matrix
+
+HARDENED = ProtocolConfig.hardened()
+
+ABLATIONS = [
+    ("hardened (all defenses)", HARDENED),
+    ("- preauthentication", HARDENED.but(preauth_required=False)),
+    ("- handheld login", HARDENED.but(handheld_login=False)),
+    ("- DH login layer", HARDENED.but(dh_login=False)),
+    ("- inter-realm client check", HARDENED.but(
+        verify_interrealm_client=False)),
+    ("- challenge/response", HARDENED.but(challenge_response=False)),
+    ("- replay cache", HARDENED.but(replay_cache=False)),
+    ("- C/R AND cache", HARDENED.but(
+        challenge_response=False, replay_cache=False)),
+    ("- true session keys", HARDENED.but(negotiate_session_key=False)),
+    ("- private-msg integrity", HARDENED.but(
+        private_message_integrity=False)),
+]
+
+
+def run_ablation():
+    rows = []
+    outcomes = {}
+    for label, config in ABLATIONS:
+        matrix = run_attack_matrix(
+            columns=[(label, config)], seed=2600,
+        )
+        winning = [
+            scenario.name for scenario in SCENARIOS
+            if matrix.outcome(scenario.name, label)
+        ]
+        outcomes[label] = set(winning)
+        rows.append((
+            label, len(winning), ", ".join(winning) or "(none)",
+        ))
+    return rows, outcomes
+
+
+def test_e26_ablation(benchmark, experiment_output):
+    rows, outcomes = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
+    experiment_output("e26_ablation", render_table(
+        "E26: remove one defense from the hardened profile; which attacks "
+        "return?",
+        ["configuration", "attacks that succeed", "which"], rows,
+    ))
+
+    assert outcomes["hardened (all defenses)"] == set()
+
+    # Load-bearing defenses: removal re-admits a specific attack.
+    assert "TGT harvest + crack" in outcomes["- preauthentication"]
+    assert "trojaned login" in outcomes["- handheld login"]
+    assert "eavesdrop + crack" in outcomes["- DH login layer"]
+    assert "rogue transit realm" in outcomes["- inter-realm client check"]
+
+    # Belt-and-suspenders: replay is covered twice over.
+    assert "authenticator replay" not in outcomes["- challenge/response"]
+    assert "authenticator replay" not in outcomes["- replay cache"]
+    assert "authenticator replay" in outcomes["- C/R AND cache"]
+
+    # Minting is also doubly covered (layout + true keys + integrity).
+    assert "authenticator minting" not in outcomes["- true session keys"]
+    assert "authenticator minting" not in outcomes["- private-msg integrity"]

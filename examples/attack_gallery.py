@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""The attack gallery: every attack in the paper, against three protocols.
+
+Runs the packaged evaluation matrix (``repro.suite``) — replay, time
+spoofing, password guessing, login spoofing, chosen-plaintext minting,
+the Draft-3 cut-and-paste family, splicing, the rogue transit realm —
+against Kerberos V4, V5 Draft 3, and the paper's hardened profile.  The
+hardened column should read "blocked" all the way down.
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro.suite import SCENARIOS, run_attack_matrix
+
+
+def main() -> None:
+    print(f"running {len(SCENARIOS)} attack scenarios x 3 protocol "
+          "generations (deterministic, ~1 min)...\n")
+    matrix = run_attack_matrix()
+    print("Bellovin & Merritt 1991 — " + matrix.render())
+    print()
+    print("paper sections exercised:")
+    for scenario in SCENARIOS:
+        print(f"  {scenario.name:32s} <- {scenario.paper_section}")
+    print(f"\nhardened profile blocks everything: {matrix.hardened_clean()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's recommendations, deployed: a hardened realm with hardware.
+
+Builds a deployment running the hardened protocol profile (every
+recommended change a-h plus the appendix list) together with the
+special-purpose hardware the paper designs: handheld authenticators for
+login, an encryption unit holding the server's keys, a keystore, and
+the network random-number service provisioning a ``pat.email`` instance
+key.  Then it turns each major attack loose and shows the refusals.
+
+Run:  python examples/hardened_deployment.py
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.attacks import (
+    harvest_tickets, mail_check_capture, replay_ap_request, trojan_capture,
+)
+from repro.crypto.keys import KeyTag
+from repro.crypto.rng import DeterministicRandom
+from repro.hardware import (
+    EncryptionUnit, HandheldDevice, KeystoreClient, KeystoreServer,
+    RandomNumberService, UnitError, provision_instance_key,
+)
+from repro.kerberos.principal import Principal
+
+
+def main() -> None:
+    config = ProtocolConfig.hardened().but(handheld_login=True)
+    bed = Testbed(config, seed=1991)
+    bed.add_user("pat", "a long and honest passphrase")
+    mail = bed.add_mail_server("mailhost")
+    keystore = bed.add_server(KeystoreServer, "keystore", "keyhost")
+    randsvc = bed.add_server(RandomNumberService, "random", "rndhost")
+    workstation = bed.add_workstation("ws1")
+
+    print("== login with a handheld authenticator (rec. c) ==")
+    device = HandheldDevice.from_password("a long and honest passphrase")
+    outcome = bed.login("pat", device, workstation)
+    print(f"logged in; the workstation never saw the password "
+          f"(device answered {device.responses_issued} challenges)")
+
+    print("\n== normal service use under the hardened protocol ==")
+    cred = outcome.client.get_service_ticket(mail.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(mail))
+    print("mail server:", session.call(b"SEND pat hello").decode())
+
+    print("\n== keystore + random service: instance keys (rec. g's "
+          "replacement for user-to-user tickets) ==")
+    store = KeystoreClient(outcome.client.ap_exchange(
+        outcome.client.get_service_ticket(keystore.principal),
+        bed.endpoint(keystore),
+    ))
+    rnd = outcome.client.ap_exchange(
+        outcome.client.get_service_ticket(randsvc.principal),
+        bed.endpoint(randsvc),
+    )
+    email_key = provision_instance_key(
+        rnd, store, bed.realm.database,
+        Principal("pat", "email", bed.realm.name),
+    )
+    print(f"pat.email provisioned with a truly random key "
+          f"({len(email_key)} bytes, never typed by a human)")
+
+    print("\n== the encryption unit holding the mail server's key ==")
+    unit = EncryptionUnit(config, DeterministicRandom(7))
+    service_handle = unit.load_key(
+        mail.service_key, KeyTag.SERVICE, "mail"
+    )
+    scrubbed, session_handle = unit.validate_ticket(
+        service_handle, cred.sealed_ticket
+    )
+    print(f"unit validated a ticket for {scrubbed.client}; session key "
+          f"stayed inside (exposed value: {scrubbed.session_key!r})")
+    try:
+        unit.decrypt_kdc_reply(session_handle, b"\x00" * 32)
+    except UnitError as exc:
+        print(f"tag misuse refused: {exc}")
+    print("audit log tail:", unit.audit_log()[-1])
+
+    print("\n== attacks against this deployment ==")
+    ap, _ = mail_check_capture(
+        bed, "pat", device, mail, bed.add_workstation("ws2")
+    )
+    result = replay_ap_request(bed, mail, ap[-1], delay_minutes=1)
+    print(f"authenticator replay: {result}")
+
+    harvested, harvest = harvest_tickets(bed, ["pat"])
+    print(f"TGT harvesting: {harvest}")
+
+    trojan_ws = bed.add_workstation("ws3")
+    attacker_host = bed.add_workstation("ah")
+    spoof = trojan_capture(bed, "pat", HandheldDevice.from_password(
+        "a long and honest passphrase"), trojan_ws, attacker_host)
+    print(f"trojaned login: {spoof}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Inter-realm authentication across a company hierarchy.
+
+Builds the realm tree the paper's inter-realm section contemplates —
+
+    ACME
+    |- ENG.ACME
+    |   `- LAB.ENG.ACME
+    `- SALES.ACME
+
+— walks a user from the deepest leaf to a service in a sibling subtree,
+prints the referral chain and the transited path, and then shows the
+cascading-trust problem: the same ticket against servers with different
+trust policies, including a static-route hijack (the paper's worry about
+routing tables set up by "electronic mail messages or telephone calls").
+
+Run:  python examples/multi_realm.py
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.kerberos.client import KerberosError
+from repro.kerberos.realm import TrustPolicy, parse_transited
+from repro.kerberos.tickets import Ticket
+
+
+def main() -> None:
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=42, realm="ACME")
+    eng = bed.add_realm("ENG.ACME")
+    lab = bed.add_realm("LAB.ENG.ACME")
+    sales = bed.add_realm("SALES.ACME")
+    bed.realms["ACME"].link(eng)
+    eng.link(lab)
+    bed.realms["ACME"].link(sales)
+    lab.add_user("pat", "pw")
+
+    open_server = bed.add_echo_server("openhost", realm="SALES.ACME")
+    picky_server = bed.add_echo_server(
+        "pickyhost", realm="SALES.ACME",
+        trust_policy=TrustPolicy(trusted_realms={"ACME", "LAB.ENG.ACME"}),
+    )
+    paranoid_server = bed.add_echo_server(
+        "paranoidhost", realm="SALES.ACME",
+        trust_policy=TrustPolicy(max_path_length=0),
+    )
+
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, realm="LAB.ENG.ACME")
+    print("logged in as pat@LAB.ENG.ACME")
+
+    print("\n== referral chain to a SALES.ACME service ==")
+    cred = outcome.client.get_service_ticket(open_server.principal)
+    for entry in outcome.client.ccache.entries():
+        print(f"  cached: {entry.server}")
+    ticket = Ticket.unseal(
+        cred.sealed_ticket,
+        sales.database.key_of(open_server.principal), config,
+    )
+    print(f"transited path recorded in the ticket: "
+          f"{parse_transited(ticket.transited)}")
+
+    print("\n== the same client against three trust policies ==")
+    for server, policy_note in [
+        (open_server, "Draft 3 default: no transit checking"),
+        (picky_server, "trusts ENG.ACME? NO — only ACME and the leaf"),
+        (paranoid_server, "accepts no transit realms at all"),
+    ]:
+        cred = outcome.client.get_service_ticket(server.principal)
+        try:
+            session = outcome.client.ap_exchange(cred, bed.endpoint(server))
+            verdict = f"accepted -> {session.call(b'hi').decode()}"
+        except KerberosError as exc:
+            verdict = f"REFUSED ({exc.text[:50]})"
+        print(f"  {server.principal.instance:13s} [{policy_note}]\n"
+              f"    -> {verdict}")
+
+    print("\n== static-route hijack: unauthenticated routing tables ==")
+    evil = bed.add_realm("EVIL.ACME")
+    bed.realms["ACME"].link(evil)
+    # Someone "phones in" a routing change at the ACME TGS...
+    bed.directory.add_static_route("ACME", "SALES.ACME", "EVIL.ACME")
+    outcome2 = bed.login("pat", "pw", bed.add_workstation("ws2"),
+                         realm="LAB.ENG.ACME")
+    try:
+        cred = outcome2.client.get_service_ticket(open_server.principal)
+        print(f"  request for SALES.ACME was routed toward: {cred.server}")
+    except KerberosError as exc:
+        print(f"  the referral chain never converged: {exc.text}")
+    detour = [e for e in outcome2.client.ccache.entries()
+              if "EVIL" in e.server.instance]
+    if detour:
+        print(f"  ...but along the way the client was handed: "
+              f"{detour[0].server}")
+        print("  (a TGT for a realm it never asked for — routing "
+              "integrity is a pure trust assumption)")
+
+
+if __name__ == "__main__":
+    main()

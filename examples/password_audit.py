@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Password audit: reproduce the paper's guessing-attack arithmetic.
+
+Simulates a site of users with mixed password hygiene, harvests their
+TGT replies three different ways (open AS requests, client-as-service
+tickets, passive eavesdropping), cracks what it can, and shows how each
+of the paper's countermeasures — preauthentication, refusing user
+tickets, exponential key exchange — closes its channel.
+
+Run:  python examples/password_audit.py
+"""
+
+from repro import Testbed, ProtocolConfig
+from repro.analysis import PasswordPopulation, attack_dictionary, render_table
+from repro.attacks import (
+    client_as_service_harvest, crack_sealed_tickets, harvest_tickets,
+    offline_dictionary_attack,
+)
+
+SITE_SIZE = 25
+DICTIONARY = attack_dictionary(200)
+
+
+def build_site(config, population, seed=7):
+    bed = Testbed(config, seed=seed)
+    for user, password in population.users.items():
+        bed.add_user(user, password)
+    bed.add_user("mallory", "attacker-pw")
+    return bed
+
+
+def main() -> None:
+    population = PasswordPopulation.generate(
+        SITE_SIZE, weak_fraction=0.4, medium_fraction=0.3, seed=7
+    )
+    ground_truth = population.crackable_by(DICTIONARY)
+    print(f"site: {SITE_SIZE} users; {ground_truth} have passwords inside "
+          f"the attacker's {len(DICTIONARY)}-word dictionary\n")
+
+    rows = []
+
+    # Channel 1: open AS requests (no eavesdropping needed).
+    for label, config in [
+        ("open AS (V4)", ProtocolConfig.v4()),
+        ("preauth required", ProtocolConfig.v4().but(preauth_required=True)),
+    ]:
+        bed = build_site(config, population)
+        harvested, _ = harvest_tickets(bed, population.users)
+        stats = offline_dictionary_attack(config, harvested, DICTIONARY)
+        rows.append(("AS harvest", label, len(harvested), len(stats.cracked)))
+
+    # Channel 2: client-as-service tickets (authenticated attacker).
+    for label, config in [
+        ("user tickets allowed", ProtocolConfig.v4().but(preauth_required=True)),
+        ("user tickets refused", ProtocolConfig.v4().but(
+            preauth_required=True, issue_tickets_for_users=False)),
+    ]:
+        bed = build_site(config, population)
+        ws = bed.add_workstation("aws")
+        attacker = bed.login("mallory", "attacker-pw", ws)
+        victims = list(population.users)
+        tickets, _ = client_as_service_harvest(bed, attacker.client, victims)
+        stats = crack_sealed_tickets(config, tickets, victims, DICTIONARY)
+        rows.append(("client-as-service", label, len(tickets),
+                     len(stats.cracked)))
+
+    # Channel 3: passive eavesdropping on real logins.
+    for label, config in [
+        ("plain logins", ProtocolConfig.v4().but(preauth_required=True)),
+        ("DH-wrapped logins (rec. h)", ProtocolConfig.v4().but(
+            preauth_required=True, dh_login=True, dh_modulus_bits=256)),
+    ]:
+        bed = build_site(config, population)
+        for index, (user, password) in enumerate(population.users.items()):
+            if index >= 8:  # a morning's worth of logins
+                break
+            ws = bed.add_workstation(f"ws{index}")
+            bed.login(user, password, ws)
+        replies = bed.adversary.recorded(service="kerberos",
+                                         direction="response")
+        stats = offline_dictionary_attack(config, replies, DICTIONARY)
+        rows.append(("eavesdropping", label, len(replies), len(stats.cracked)))
+
+    print(render_table(
+        "password-guessing channels vs countermeasures",
+        ["channel", "configuration", "material obtained", "passwords cracked"],
+        rows,
+    ))
+    print("\nreading: each countermeasure zeroes its own channel; only the "
+          "combination\n(preauth + no user tickets + DH) starves the "
+          "attacker completely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The project is configured in pyproject.toml; this file only enables
+legacy editable installs (`pip install -e . --no-use-pep517`) on systems
+where PEP 517 editable builds are unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands:
+
+* ``matrix``      — run the full attack x protocol evaluation matrix;
+* ``notation``    — print the paper's Table 1 and the V4 message flow;
+* ``experiments`` — list the reproduced experiments and their benchmarks;
+* ``demo``        — the quickstart flow with a wire trace.
+
+Everything is deterministic; no network, no state left behind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+_EXPERIMENTS = [
+    ("E1", "Table 1 + V4 protocol flow", "test_e01_protocol_flow.py"),
+    ("E2", "authenticator replay window", "test_e02_replay_window.py"),
+    ("E3", "replay defenses (cache vs C/R)", "test_e03_replay_defenses.py"),
+    ("E4", "time-service spoofing", "test_e04_time_spoof.py"),
+    ("E5", "password-cracking curves", "test_e05_password_guessing.py"),
+    ("E6", "preauthentication", "test_e06_preauth.py"),
+    ("E7", "exponential key exchange trade-off", "test_e07_dh_login.py"),
+    ("E8", "trojaned login vs handheld", "test_e08_login_spoof.py"),
+    ("E9", "chosen-plaintext minting", "test_e09_chosen_plaintext.py"),
+    ("E10", "multi-session key exposure", "test_e10_session_keys.py"),
+    ("E11", "PCBC splicing", "test_e11_pcbc.py"),
+    ("E12", "ENC-TKT-IN-SKEY cut-and-paste", "test_e12_cut_and_paste.py"),
+    ("E13", "REUSE-SKEY + ticket substitution", "test_e13_reuse_skey.py"),
+    ("E14", "timestamps vs sequence numbers", "test_e14_seqnum.py"),
+    ("E15", "address binding & forwarding", "test_e15_forwarding.py"),
+    ("E16", "inter-realm routing & trust", "test_e16_interrealm.py"),
+    ("E17", "key exposure by host type", "test_e17_key_theft.py"),
+    ("E18", "cost of the recommendations", "test_e18_overhead.py"),
+    ("E19", "keystore provisioning", "test_e19_keystore.py"),
+    ("E20", "encoding ambiguity", "test_e20_encoding.py"),
+    ("E21", "encryption-layer adversarial game", "test_e21_validation.py"),
+    ("E22", "V4 forwarder vs V5 flag", "test_e22_forwarder.py"),
+    ("E23", "password policy enforcement", "test_e23_password_policy.py"),
+    ("E24", "passive adversary's haul", "test_e24_adversary_haul.py"),
+    ("E25", "rogue transit realm", "test_e25_rogue_realm.py"),
+    ("E26", "hardened-profile ablation", "test_e26_ablation.py"),
+]
+
+
+def _cmd_matrix(_args) -> int:
+    from repro.suite import run_attack_matrix
+
+    print("running the evaluation matrix (deterministic, ~1 min)...\n")
+    matrix = run_attack_matrix()
+    print(matrix.render())
+    clean = matrix.hardened_clean()
+    print(f"\nhardened profile blocks everything: {clean}")
+    return 0 if clean else 1
+
+
+def _cmd_notation(_args) -> int:
+    from repro.kerberos.trace import ProtocolTrace
+
+    print(ProtocolTrace.notation_table())
+    print()
+    print(ProtocolTrace.v4_full_flow().render())
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    width = max(len(title) for _e, title, _b in _EXPERIMENTS)
+    for eid, title, bench in _EXPERIMENTS:
+        print(f"{eid:>4}  {title.ljust(width)}  benchmarks/{bench}")
+    print(f"\n{len(_EXPERIMENTS)} experiments; regenerate with "
+          "`pytest benchmarks/ --benchmark-only`")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro import Testbed, ProtocolConfig
+    from repro.kerberos.tools import klist, wire_summary
+
+    bed = Testbed(ProtocolConfig.v4(), seed=2024)
+    bed.add_user("demo", "a demo passphrase")
+    mail = bed.add_mail_server("mailhost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("demo", "a demo passphrase", ws)
+    cred = outcome.client.get_service_ticket(mail.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(mail))
+    print("mail server says:",
+          session.call(b"SEND demo hello").decode())
+    print()
+    print(klist(outcome.client.ccache, bed.clock.now()))
+    print()
+    print("wire trace:")
+    print(wire_summary(bed.adversary.log))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of Bellovin & Merritt, USENIX Winter 1991.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("matrix", help="run the attack x protocol matrix")
+    sub.add_parser("notation", help="print Table 1 and the V4 flow")
+    sub.add_parser("experiments", help="list the reproduced experiments")
+    sub.add_parser("demo", help="run the quickstart flow")
+    args = parser.parse_args(argv)
+    handler = {
+        "matrix": _cmd_matrix,
+        "notation": _cmd_notation,
+        "experiments": _cmd_experiments,
+        "demo": _cmd_demo,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Workload generation, cost accounting, validation, result rendering."""
+
+from repro.analysis.cracking import (
+    COMMON_PASSWORDS, PasswordPopulation, attack_dictionary,
+)
+from repro.analysis.overhead import CostRow, compare_recommendations, measure
+from repro.analysis.report import render_matrix, render_table
+from repro.analysis.validation import ValidationReport, validate_configuration
+from repro.analysis.workload import SiteWorkload, adversary_haul
+
+__all__ = [
+    "COMMON_PASSWORDS",
+    "CostRow",
+    "PasswordPopulation",
+    "SiteWorkload",
+    "ValidationReport",
+    "adversary_haul",
+    "attack_dictionary",
+    "compare_recommendations",
+    "measure",
+    "render_matrix",
+    "render_table",
+    "validate_configuration",
+]

@@ -1,0 +1,44 @@
+"""Plain-text result tables for the experiment harness.
+
+Every benchmark prints its rows through :func:`render_table`, so the
+output of ``pytest benchmarks/ --benchmark-only`` doubles as the data
+behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["render_table", "render_matrix"]
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: List[Sequence[Any]]
+) -> str:
+    """A fixed-width table with a title rule."""
+    columns = len(headers)
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    def line(values):
+        return "  ".join(str(v).ljust(widths[i]) for i, v in enumerate(values))
+
+    out = [title, "=" * len(title), line(headers),
+           line("-" * w for w in widths)]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_matrix(
+    title: str,
+    row_label: str,
+    column_labels: Sequence[str],
+    rows: List[Sequence[Any]],
+) -> str:
+    """An attack x defense outcome matrix; first cell of each row is the
+    row's label."""
+    headers = [row_label, *column_labels]
+    return render_table(title, headers, rows)

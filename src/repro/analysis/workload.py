@@ -1,0 +1,158 @@
+"""Site-scale workload generation: a day in the life of a realm.
+
+    "Given the trend towards hiding even encrypted passwords on UNIX
+    systems, and given estimates that half of all logins at MIT are used
+    within a two-week period, the investment may be justifiable."
+
+The paper's passive adversary doesn't attack one login — it *sits on the
+wire while a site goes about its day*.  :class:`SiteWorkload` drives a
+deterministic population through realistic sessions (log in, check
+mail, touch some files, log out) over simulated hours, and
+:func:`adversary_haul` then inventories what the wire log is worth to
+an attacker at any instant:
+
+* recorded AS replies — offline password-guessing material, one per
+  login, valuable forever;
+* live ticket/authenticator pairs — replayable only inside the
+  freshness window, so their count tracks recent activity;
+* sealed tickets with remaining lifetime — hours of exposure each.
+
+Benchmark E24 sweeps observation time and shows the haul's shape:
+cracking material accumulates without bound, replayable pairs plateau
+at (activity rate x window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cracking import PasswordPopulation
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.messages import AP_REQ, unframe
+from repro.sim.clock import MINUTE
+from repro.testbed import Testbed
+
+__all__ = ["WorkloadStats", "SiteWorkload", "adversary_haul"]
+
+
+@dataclass
+class WorkloadStats:
+    """What the honest site actually did."""
+
+    logins: int = 0
+    mail_checks: int = 0
+    file_operations: int = 0
+    simulated_minutes: float = 0.0
+
+
+class SiteWorkload:
+    """Drives a population through sessions on a shared testbed."""
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        population: Optional[PasswordPopulation] = None,
+        seed: int = 0,
+    ):
+        self.bed = Testbed(
+            config if config is not None else ProtocolConfig.v4(), seed=seed
+        )
+        self.population = (
+            population if population is not None
+            else PasswordPopulation.generate(12, seed=seed)
+        )
+        for user, password in self.population.users.items():
+            self.bed.add_user(user, password)
+        self.mail = self.bed.add_mail_server("mailhost")
+        self.files = self.bed.add_file_server("filehost")
+        self._rng = self.bed.rng.fork("workload")
+        self._workstations: Dict[str, object] = {}
+        self.stats = WorkloadStats()
+
+    def _workstation(self, user: str):
+        host = self._workstations.get(user)
+        if host is None:
+            host = self.bed.add_workstation(f"ws-{user}")
+            self._workstations[user] = host
+        return host
+
+    def run_session(self, user: str) -> None:
+        """One user session: login, mail check, a few file ops, logout."""
+        bed = self.bed
+        host = self._workstation(user)
+        outcome = bed.login(user, self.population.users[user], host)
+        self.stats.logins += 1
+
+        mail_cred = outcome.client.get_service_ticket(self.mail.principal)
+        mail_session = outcome.client.ap_exchange(
+            mail_cred, bed.endpoint(self.mail)
+        )
+        mail_session.call(b"COUNT")
+        mail_session.call(b"FETCH")
+        self.stats.mail_checks += 1
+
+        if self._rng.random() < 0.6:
+            file_cred = outcome.client.get_service_ticket(self.files.principal)
+            file_session = outcome.client.ap_exchange(
+                file_cred, bed.endpoint(self.files)
+            )
+            for i in range(self._rng.randint(1, 3)):
+                bed.clock.advance(30_000)  # half-minute think time... in us
+                file_session.call(b"PUT doc%d some-content" % i)
+                self.stats.file_operations += 1
+
+        host.logout(user)
+
+    def run_hours(self, hours: float, sessions_per_hour: int = 6) -> WorkloadStats:
+        """Simulate *hours* of site activity at the given session rate."""
+        total_sessions = int(hours * sessions_per_hour)
+        users = list(self.population.users)
+        gap = int(60 / max(sessions_per_hour, 1) * MINUTE)
+        for _ in range(total_sessions):
+            self.run_session(self._rng.choice(users))
+            self.bed.clock.advance(gap)
+            self.stats.simulated_minutes += gap / MINUTE
+        return self.stats
+
+
+@dataclass
+class Haul:
+    """The adversary's inventory of the wire log at one instant."""
+
+    as_replies: int = 0                 # offline-crackable logins
+    live_ap_pairs: int = 0              # replayable right now
+    distinct_users_exposed: int = 0
+    sealed_tickets_seen: int = 0
+
+
+def adversary_haul(workload: SiteWorkload) -> Haul:
+    """Inventory the adversary's log against the current clock."""
+    bed = workload.bed
+    config = bed.config
+    now = bed.clock.now()
+    window = config.authenticator_lifetime + config.clock_skew
+
+    haul = Haul()
+    users = set()
+    for message in bed.adversary.log:
+        if message.direction == "response" and message.dst.service == "kerberos":
+            try:
+                is_error, _ = unframe(config, message.payload)
+            except Exception:
+                continue
+            if not is_error:
+                haul.as_replies += 1
+        if message.direction == "request" and message.dst.service in (
+            workload.mail.principal.name, workload.files.principal.name
+        ):
+            try:
+                request = config.codec.decode(AP_REQ, message.payload)
+            except Exception:
+                continue
+            haul.sealed_tickets_seen += 1
+            users.add(message.src_address)
+            if now - message.time <= window:
+                haul.live_ap_pairs += 1
+    haul.distinct_users_exposed = len(users)
+    return haul

@@ -1,0 +1,29 @@
+"""Common shape for attack outcomes.
+
+Every attack in this package returns an :class:`AttackResult`, so the
+attack×defense matrices in the tests, benchmarks, and EXPERIMENTS.md all
+read the same way: did the adversary get what the paper says they get,
+and what evidence shows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["AttackResult"]
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run."""
+
+    name: str
+    succeeded: bool
+    detail: str = ""
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        verdict = "SUCCEEDED" if self.succeeded else "failed"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{self.name}] {verdict}{suffix}"

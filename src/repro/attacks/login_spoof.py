@@ -1,0 +1,89 @@
+"""Spoofing login: the trojaned login(1) and what it harvests.
+
+    "In a workstation environment, it is quite simple for an intruder to
+    replace the login command with a version that records users'
+    passwords before employing them in the Kerberos dialog."
+
+:func:`trojan_capture` runs a victim through a trojaned login program and
+then measures the damage: with a password login the attacker can
+impersonate the victim indefinitely from any machine; with the handheld
+scheme (recommendation c) the attacker captures only a one-time ``{R}Kc``
+response that the KDC will never ask for again.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.attacks.base import AttackResult
+from repro.hardware.handheld import HandheldDevice
+from repro.kerberos.client import KerberosClient, KerberosError, PasswordSecret
+from repro.kerberos.login import TrojanedLoginProgram
+from repro.kerberos.principal import Principal
+from repro.testbed import Testbed
+
+__all__ = ["trojan_capture"]
+
+
+class _ReplayedSecret:
+    """The attacker replaying a captured one-time handheld response."""
+
+    def __init__(self, captured_response: bytes):
+        self._captured = captured_response
+
+    def client_key(self) -> bytes:
+        raise KerberosError(0, "attacker holds no long-term key")
+
+    def reply_key(self, handheld_r: bytes) -> bytes:
+        # The KDC picked a fresh R'; all the attacker has is {R}Kc for
+        # the old R.  Returning it anyway models the best available move.
+        return self._captured
+
+
+def trojan_capture(
+    bed: Testbed,
+    victim: str,
+    typed_input: Union[str, HandheldDevice],
+    workstation,
+    attacker_host,
+) -> AttackResult:
+    """Trojan the login, let the victim log in, then try to impersonate.
+
+    Returns success iff the attacker can complete a *fresh* login as the
+    victim, later, from their own host, using only what the trojan saw.
+    """
+    trojan = TrojanedLoginProgram(
+        workstation, bed.config, bed.directory, bed.rng.fork("trojan"),
+    )
+    principal = Principal(victim, "", bed.realm.name)
+    outcome = trojan.login(principal, typed_input)
+    assert outcome.credentials is not None  # victim noticed nothing
+    workstation.logout(victim)
+
+    # Later, elsewhere: the attacker tries to become the victim.
+    attacker_client = KerberosClient(
+        attacker_host, principal, bed.config, bed.directory,
+        bed.rng.fork("attacker"),
+    )
+    if trojan.captured_passwords:
+        secret = PasswordSecret(trojan.captured_passwords[0])
+        harvest = f"password {trojan.captured_passwords[0]!r}"
+    elif trojan.captured_responses:
+        secret = _ReplayedSecret(trojan.captured_responses[0])
+        harvest = "one-time {R}Kc response"
+    else:
+        return AttackResult("login-spoof", False, "trojan captured nothing")
+
+    try:
+        attacker_client.kinit(secret)
+        return AttackResult(
+            "login-spoof", True,
+            f"trojan harvested {harvest}; attacker logged in as {victim}",
+            evidence={"harvest": harvest},
+        )
+    except KerberosError as exc:
+        return AttackResult(
+            "login-spoof", False,
+            f"trojan harvested only {harvest}; fresh login failed: {exc}",
+            evidence={"harvest": harvest},
+        )

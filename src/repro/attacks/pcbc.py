@@ -1,0 +1,117 @@
+"""Message-stream modification under PCBC (and CBC) encryption.
+
+    "Version 4 of Kerberos uses the nonstandard PCBC mode of encryption
+    ...  This mode was observed to have poor propagation properties that
+    permit message-stream modification: specifically, if two blocks of
+    ciphertext are interchanged, only the corresponding blocks are
+    garbled on decryption."
+
+:func:`garble_profile` measures exactly which plaintext blocks change
+when two ciphertext blocks are swapped, for both modes (benchmark E11's
+rows).  :func:`tamper_private_message` runs the protocol-level version:
+an in-flight KRB_PRIV message has two interior ciphertext blocks
+swapped; without an integrity checksum the receiver accepts the
+modified message.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.attacks.base import AttackResult
+from repro.crypto import modes
+from repro.crypto.des import BLOCK_SIZE
+from repro.testbed import Testbed
+
+__all__ = ["swap_blocks", "garble_profile", "tamper_private_message"]
+
+
+def swap_blocks(ciphertext: bytes, i: int, j: int) -> bytes:
+    """Exchange 8-byte blocks *i* and *j* of a ciphertext."""
+    out = bytearray(ciphertext)
+    bi = ciphertext[i * BLOCK_SIZE:(i + 1) * BLOCK_SIZE]
+    bj = ciphertext[j * BLOCK_SIZE:(j + 1) * BLOCK_SIZE]
+    out[i * BLOCK_SIZE:(i + 1) * BLOCK_SIZE] = bj
+    out[j * BLOCK_SIZE:(j + 1) * BLOCK_SIZE] = bi
+    return bytes(out)
+
+
+def garble_profile(
+    mode: str, key: bytes, plaintext: bytes, i: int, j: int
+) -> Tuple[List[int], bytes]:
+    """Which plaintext blocks garble when ciphertext blocks i,j swap?
+
+    Returns (garbled block indices, tampered plaintext).  *plaintext*
+    must be block-aligned.  The PCBC chain value ``P ^ C`` is invariant
+    under reordering, so for adjacent swaps exactly the two swapped
+    blocks garble and everything after survives — the property that
+    makes undetected splicing possible.  CBC additionally garbles each
+    swapped block's successor.
+    """
+    encrypt = modes.pcbc_encrypt if mode == "pcbc" else modes.cbc_encrypt
+    decrypt = modes.pcbc_decrypt if mode == "pcbc" else modes.cbc_decrypt
+    ciphertext = encrypt(key, plaintext)
+    tampered = decrypt(key, swap_blocks(ciphertext, i, j))
+    garbled = [
+        index
+        for index in range(len(plaintext) // BLOCK_SIZE)
+        if tampered[index * BLOCK_SIZE:(index + 1) * BLOCK_SIZE]
+        != plaintext[index * BLOCK_SIZE:(index + 1) * BLOCK_SIZE]
+    ]
+    return garbled, tampered
+
+
+def tamper_private_message(
+    bed: Testbed, file_server, user: str, password: str, workstation,
+    content: bytes = b"A" * 64 + b"B" * 64,
+) -> AttackResult:
+    """Swap two ciphertext blocks of an in-flight KRB_PRIV file write.
+
+    Succeeds when the server stores *modified* content without noticing
+    — i.e. the encryption layer provided privacy but not integrity.
+    """
+    outcome = bed.login(user, password, workstation)
+    cred = outcome.client.get_service_ticket(file_server.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(file_server))
+
+    data_service = file_server.principal.name + "-data"
+
+    def tamper(message):
+        if message.dst.service != data_service:
+            return None
+        session_id, blob = message.payload[:8], message.payload[8:]
+        block_count = len(blob) // BLOCK_SIZE
+        if block_count < 8:
+            return None
+        # Swap two blocks well inside the PUT payload, away from the
+        # command verb and the trailer.
+        middle = block_count // 2
+        return session_id + swap_blocks(blob, middle, middle + 1)
+
+    bed.adversary.on_request(tamper)
+    try:
+        reply = session.call(b"PUT doc " + content)
+    except Exception as exc:
+        bed.adversary.clear_taps()
+        return AttackResult(
+            "pcbc-tamper", False, f"receiver rejected the splice: {exc}"
+        )
+    bed.adversary.clear_taps()
+
+    stored = file_server.files.get((user, "doc"))
+    accepted = reply == b"OK written" and stored is not None
+    modified = accepted and stored != content
+    return AttackResult(
+        "pcbc-tamper",
+        bool(modified),
+        "server accepted and stored spliced content undetected"
+        if modified else
+        ("content survived unmodified (swap hit padding?)"
+         if accepted else "server rejected the message"),
+        evidence={
+            "stored_differs": bool(modified),
+            "garbled_bytes": sum(
+                1 for a, b in zip(stored or b"", content) if a != b
+            ) if stored else 0,
+        },
+    )

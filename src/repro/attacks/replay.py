@@ -1,0 +1,127 @@
+"""Authenticator and message replay within the skew window.
+
+    "The claim is made that no replays are likely within the lifetime of
+    the authenticator (typically five minutes). ... We are not persuaded
+    by this logic.  An intruder would not start by capturing a ticket and
+    authenticator, and then develop the software to use them; rather,
+    everything would be in place before the ticket-capture was
+    attempted."
+
+Two concrete scenarios from the paper:
+
+* :func:`mail_check_capture` — "an intruder may simply watch for a
+  mail-checking session, wherein a user logs in briefly, reads a few
+  messages, and logs out.  A number of valuable tickets would be exposed
+  by such a session."  The victim's short session leaves a recorded
+  AP_REQ (ticket + live authenticator) on the adversary's log.
+
+* :func:`replay_ap_request` — inject the recorded pair, optionally after
+  advancing the clock (benchmark E2 sweeps the delay: inside the window
+  it works, outside it does not — "the lifetime of the authenticators —
+  5 minutes — contributes considerably to this attack").
+
+* :func:`replay_data_message` — re-execute a recorded KRB_PRIV command
+  (double-execution of, say, a file write) against the same session.
+
+Defenses under test: the server-side authenticator cache and the
+challenge/response option (E3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.attacks.base import AttackResult
+from repro.sim.network import Endpoint, NetworkError, WireMessage
+from repro.testbed import Testbed
+
+__all__ = [
+    "mail_check_capture",
+    "replay_ap_request",
+    "replay_data_message",
+    "captured_requests",
+]
+
+
+def mail_check_capture(
+    bed: Testbed, user: str, password: str, mail_server, workstation
+) -> Tuple[List[WireMessage], List[WireMessage]]:
+    """Run the victim's brief mail-check session; return what the wire saw.
+
+    Returns (ap_requests, data_requests) recorded by the adversary for
+    the mail service.
+    """
+    outcome = bed.login(user, password, workstation)
+    cred = outcome.client.get_service_ticket(mail_server.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(mail_server))
+    session.call(b"COUNT")
+    session.call(b"FETCH")
+    workstation.logout(user)
+
+    service = mail_server.principal.name
+    ap = bed.adversary.recorded(service=service, direction="request")
+    data = bed.adversary.recorded(service=service + "-data", direction="request")
+    return ap, data
+
+
+def captured_requests(bed: Testbed, service: str) -> List[WireMessage]:
+    """Everything the adversary recorded going *to* a service."""
+    return bed.adversary.recorded(service=service, direction="request")
+
+
+def replay_ap_request(
+    bed: Testbed,
+    server,
+    captured: WireMessage,
+    delay_minutes: float = 0.0,
+    forge_source: Optional[str] = None,
+) -> AttackResult:
+    """Replay a captured AP_REQ after *delay_minutes*.
+
+    *forge_source* spoofs the packet's source address (trivially possible
+    for the one-sided injection the paper cites from [Morr85]); defaults
+    to the victim's own address as recorded.
+    """
+    if delay_minutes:
+        bed.advance_minutes(delay_minutes)
+    accepted_before = server.accepted
+    source = forge_source if forge_source is not None else captured.src_address
+    try:
+        bed.network.inject(source, captured.dst, captured.payload)
+    except NetworkError as exc:
+        return AttackResult("replay-ap", False, f"injection failed: {exc}")
+    succeeded = server.accepted > accepted_before
+    reasons = server.rejection_reasons[-1:] if not succeeded else []
+    return AttackResult(
+        "replay-ap",
+        succeeded,
+        "server accepted the replayed ticket/authenticator pair"
+        if succeeded else f"rejected ({', '.join(reasons) or 'unknown'})",
+        evidence={
+            "delay_minutes": delay_minutes,
+            "sessions_open": len(server.sessions),
+            "rejection": reasons,
+        },
+    )
+
+
+def replay_data_message(
+    bed: Testbed, server, captured: WireMessage, delay_minutes: float = 0.0
+) -> AttackResult:
+    """Replay a recorded KRB_PRIV command — double-executing it."""
+    if delay_minutes:
+        bed.advance_minutes(delay_minutes)
+    rejected_before = server.rejected
+    try:
+        reply = bed.network.inject(
+            captured.src_address, captured.dst, captured.payload
+        )
+    except NetworkError as exc:
+        return AttackResult("replay-data", False, f"injection failed: {exc}")
+    succeeded = server.rejected == rejected_before and reply[:1] == b"\x00"
+    return AttackResult(
+        "replay-data",
+        succeeded,
+        "command executed a second time" if succeeded
+        else f"rejected ({server.rejection_reasons[-1:] or 'unknown'})",
+    )

@@ -1,0 +1,112 @@
+"""The rogue transit realm: cascading trust at its sharpest.
+
+    "The details of Kerberos's design and implementation must be assumed
+    known to a prospective attacker, who may also be in league with some
+    subset of servers, clients, and (in the case of hierarchically-
+    configured realms) some authentication servers."
+
+A compromised (or simply malicious) realm that shares an inter-realm
+key with yours holds everything needed to mint cross-realm TGTs — and
+nothing in the Draft 3 protocol stops it from putting *your* users'
+names in them.  :func:`forge_foreign_client` plays that rogue: realm
+EVIL, linked to the victim realm, issues a TGT claiming to carry
+``admin@VICTIM`` — an identity EVIL has no business vouching for — and
+uses it to reach a service as that administrator.
+
+The countermeasure (``verify_interrealm_client``) encodes the rule real
+Kerberos later adopted: a cross-realm TGT's client must come from the
+issuing realm's own subtree or from a realm on the recorded transited
+path.  Benchmark E25 runs the attack against both settings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import AttackResult
+from repro.kerberos.client import KerberosClient, KerberosError
+from repro.kerberos.principal import Principal
+from repro.kerberos.tickets import Ticket
+from repro.testbed import Realm, Testbed
+
+__all__ = ["forge_foreign_client"]
+
+
+def forge_foreign_client(
+    bed: Testbed,
+    rogue_realm: Realm,
+    victim_realm: Realm,
+    claimed_user: str,
+    target_service,
+    attacker_host,
+) -> AttackResult:
+    """Mint a cross-realm TGT naming a victim-realm user; try to use it.
+
+    *rogue_realm* is fully attacker-controlled: its database (and hence
+    the inter-realm key it shares with *victim_realm*) is open to us,
+    exactly like a realm whose KDC has been compromised.
+    """
+    config = bed.config
+    claimed = Principal(claimed_user, "", victim_realm.name)
+
+    # The key the rogue shares with the victim realm: krbtgt.VICTIM@ROGUE.
+    interrealm_principal = Principal("krbtgt", victim_realm.name,
+                                     rogue_realm.name)
+    if not rogue_realm.database.knows(interrealm_principal):
+        return AttackResult(
+            "rogue-realm-forgery", False,
+            "no inter-realm link to exploit",
+        )
+    interrealm_key = rogue_realm.database.key_of(interrealm_principal)
+
+    # Mint the forged cross-realm TGT.  Transited is left empty — the
+    # rogue certainly isn't going to confess to being on the path.
+    session_key = bed.rng.fork("rogue").random_key()
+    forged = Ticket(
+        server=interrealm_principal,
+        client=claimed,
+        address="" if not config.bind_address else attacker_host.address,
+        issued_at=config.round_timestamp(bed.clock.now()),
+        lifetime=config.ticket_lifetime,
+        session_key=session_key,
+        transited="",
+    )
+    sealed = forged.seal(interrealm_key, config, bed.rng.fork("rogue-seal"))
+
+    # Walk into the victim realm's TGS with it.
+    from repro.kerberos.ccache import Credentials
+
+    attacker = KerberosClient(
+        attacker_host, claimed, config, bed.directory,
+        bed.rng.fork("rogue-client"),
+    )
+    attacker.ccache.store(Credentials(
+        server=interrealm_principal,
+        client=claimed,
+        sealed_ticket=sealed,
+        session_key=session_key,
+        issued_at=forged.issued_at,
+        lifetime=forged.lifetime,
+    ))
+    try:
+        cred = attacker.get_service_ticket(target_service.principal)
+    except KerberosError as exc:
+        return AttackResult(
+            "rogue-realm-forgery", False,
+            f"victim realm's TGS refused the forged TGT: {exc.text[:70]}",
+        )
+
+    try:
+        session = attacker.ap_exchange(cred, bed.endpoint(target_service))
+        reply = session.call(b"GET secrets")
+        return AttackResult(
+            "rogue-realm-forgery", True,
+            f"service accepted the rogue realm's word that we are "
+            f"{claimed}; reply: {reply[:40]!r}",
+            evidence={"impersonated": str(claimed)},
+        )
+    except KerberosError as exc:
+        return AttackResult(
+            "rogue-realm-forgery", False,
+            f"service refused: {exc.text[:70]}",
+        )

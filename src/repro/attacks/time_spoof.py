@@ -1,0 +1,95 @@
+"""Misleading a host's clock to accept stale authenticators.
+
+    "As noted, authenticators rely on machines' clocks being roughly
+    synchronized.  If a host can be misled about the correct time, a
+    stale authenticator can be replayed without any trouble at all.
+    Since some time synchronization protocols are unauthenticated, and
+    hosts are still using these protocols despite the existence of
+    better ones, such attacks are not difficult."
+
+The attack: let a ticket/authenticator pair go stale (hours, say), then
+rewrite the server's next time-service reply so the server's clock jumps
+*back* to the capture era, and replay.  The authenticator's timestamp is
+now "fresh" from the server's point of view.
+
+With the authenticated time service the rewrite fails verification, the
+server keeps its correct clock, and the stale replay is rejected —
+though the paper's deeper point stands and is visible in the code: the
+authenticated variant needs a shared key, i.e. an already-authenticated
+underlying system.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackResult
+from repro.attacks.replay import replay_ap_request
+from repro.sim.network import WireMessage
+from repro.sim.timesvc import (
+    TimeSyncError, sync_host_clock, sync_host_clock_authenticated,
+)
+from repro.testbed import Testbed
+
+__all__ = ["spoof_time_and_replay"]
+
+
+def spoof_time_and_replay(
+    bed: Testbed,
+    server,
+    captured_ap: WireMessage,
+    stale_minutes: float,
+    time_service_endpoint,
+    authenticated: bool = False,
+    time_key: bytes = b"",
+) -> AttackResult:
+    """Age the capture, drag the server's clock back, replay.
+
+    *stale_minutes* is how stale the authenticator is by replay time —
+    far beyond the 5-minute window, so a straight replay would fail.
+    """
+    capture_era = server.host.clock.now()
+    bed.advance_minutes(stale_minutes)
+
+    # The adversary rewrites the next unauthenticated time reply to
+    # report the capture-era time.
+    def rewrite(message):
+        if message.dst.service.startswith("timesvc"):
+            if authenticated:
+                # Against the authenticated service the best an attacker
+                # can do is substitute the stale *value*; the MAC over
+                # (nonce, time) will not verify.
+                return capture_era.to_bytes(8, "big") + message.payload[8:]
+            return capture_era.to_bytes(8, "big")
+        return None
+
+    bed.adversary.on_response(rewrite)
+    try:
+        if authenticated:
+            try:
+                sync_host_clock_authenticated(
+                    server.host, time_service_endpoint, time_key,
+                    nonce=b"\x42" * 8,
+                )
+                synced = True
+            except TimeSyncError:
+                synced = False  # server refused the forged reply
+        else:
+            sync_host_clock(server.host, time_service_endpoint)
+            synced = True
+    finally:
+        bed.adversary.clear_taps()
+
+    result = replay_ap_request(bed, server, captured_ap)
+    return AttackResult(
+        "time-spoof-replay",
+        result.succeeded,
+        (
+            f"server clock dragged back {stale_minutes:.0f} min; " + result.detail
+            if synced else
+            "time reply failed authentication; clock kept, " + result.detail
+        ),
+        evidence={
+            "clock_adopted_spoof": synced,
+            "server_skew_minutes": server.host.clock.skew() / 60_000_000,
+            "replay": result.evidence,
+        },
+    )

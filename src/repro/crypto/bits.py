@@ -1,0 +1,65 @@
+"""Bit-level helpers shared by the cryptographic primitives.
+
+DES (FIPS 46) is specified in terms of bit permutations over 28-, 32-, 48-
+and 64-bit quantities, with bits numbered 1..n from the most significant
+end.  This module provides the small integer-based toolkit the rest of
+:mod:`repro.crypto` builds on: generic permutations, rotations within a
+fixed width, and conversions between ``bytes`` and fixed-width integers.
+
+Everything operates on plain Python integers; a "w-bit value" is an int in
+``range(2 ** w)`` whose bit 1 (in FIPS numbering) is the most significant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "bytes_to_int",
+    "int_to_bytes",
+    "permute",
+    "rotate_left",
+    "xor_bytes",
+]
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Interpret *data* as a big-endian unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Render *value* as *length* big-endian bytes.
+
+    Raises :class:`OverflowError` if the value does not fit, which in this
+    package always indicates a programming error rather than bad input.
+    """
+    return value.to_bytes(length, "big")
+
+
+def permute(value: int, width_in: int, table: Sequence[int]) -> int:
+    """Apply a FIPS-style bit permutation to *value*.
+
+    *table* lists, for each output bit (most significant first), the 1-based
+    index of the input bit that supplies it, counting from the most
+    significant bit of a *width_in*-bit input.  The result has
+    ``len(table)`` bits.
+    """
+    out = 0
+    for src in table:
+        out = (out << 1) | ((value >> (width_in - src)) & 1)
+    return out
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate a *width*-bit value left by *amount* bits."""
+    amount %= width
+    mask = (1 << width) - 1
+    return ((value << amount) | (value >> (width - amount))) & mask
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))

@@ -1,0 +1,323 @@
+"""The Data Encryption Standard (FIPS 46), implemented from scratch.
+
+Kerberos V4 and the V5 drafts analysed by Bellovin & Merritt use single-DES
+as their only cipher.  The paper treats DES as a black box ("beginning only
+with the premise that ... the encryption system is secure"), and so do our
+attacks: nothing in :mod:`repro.attacks` inverts DES.  The cipher is here
+so that the *modes* (CBC, PCBC) and the protocol layers above them behave
+with the exact algebra the paper's attacks exploit — prefix properties of
+CBC, the propagation behaviour of PCBC, and so on.
+
+The implementation follows FIPS 46-3 directly: initial/final permutations,
+16 Feistel rounds with the E expansion, the eight S-boxes, the P
+permutation, and the PC-1/PC-2 key schedule.  For speed, the S-boxes and P
+permutation are fused at import time into eight 64-entry "SP" tables, a
+standard software-DES optimisation that does not change the function
+computed.
+
+Verified against the FIPS / Rivest test vectors in
+``tests/test_crypto_des.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.crypto.bits import bytes_to_int, int_to_bytes, permute, rotate_left
+
+__all__ = [
+    "BLOCK_SIZE",
+    "KEY_SIZE",
+    "WEAK_KEYS",
+    "SEMIWEAK_KEYS",
+    "DesError",
+    "derive_subkeys",
+    "encrypt_block",
+    "decrypt_block",
+    "set_odd_parity",
+    "has_odd_parity",
+    "is_weak_key",
+]
+
+BLOCK_SIZE = 8
+KEY_SIZE = 8
+
+
+class DesError(ValueError):
+    """Raised for malformed DES inputs (wrong block or key length)."""
+
+
+# --- FIPS 46 tables (1-based bit indices, MSB first) -----------------------
+
+_IP = (
+    58, 50, 42, 34, 26, 18, 10, 2,
+    60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9, 1,
+    59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5,
+    63, 55, 47, 39, 31, 23, 15, 7,
+)
+
+_FP = (
+    40, 8, 48, 16, 56, 24, 64, 32,
+    39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28,
+    35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26,
+    33, 1, 41, 9, 49, 17, 57, 25,
+)
+
+_E = (
+    32, 1, 2, 3, 4, 5,
+    4, 5, 6, 7, 8, 9,
+    8, 9, 10, 11, 12, 13,
+    12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21,
+    20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29,
+    28, 29, 30, 31, 32, 1,
+)
+
+_P = (
+    16, 7, 20, 21, 29, 12, 28, 17,
+    1, 15, 23, 26, 5, 18, 31, 10,
+    2, 8, 24, 14, 32, 27, 3, 9,
+    19, 13, 30, 6, 22, 11, 4, 25,
+)
+
+_SBOXES = (
+    (
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7,
+        0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8,
+        4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0,
+        15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ),
+    (
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10,
+        3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5,
+        0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15,
+        13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ),
+    (
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8,
+        13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1,
+        13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7,
+        1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ),
+    (
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15,
+        13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9,
+        10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4,
+        3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ),
+    (
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9,
+        14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6,
+        4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14,
+        11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ),
+    (
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11,
+        10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8,
+        9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6,
+        4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ),
+    (
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1,
+        13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6,
+        1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2,
+        6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ),
+    (
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7,
+        1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2,
+        7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8,
+        2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ),
+)
+
+_PC1 = (
+    57, 49, 41, 33, 25, 17, 9,
+    1, 58, 50, 42, 34, 26, 18,
+    10, 2, 59, 51, 43, 35, 27,
+    19, 11, 3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15,
+    7, 62, 54, 46, 38, 30, 22,
+    14, 6, 61, 53, 45, 37, 29,
+    21, 13, 5, 28, 20, 12, 4,
+)
+
+_PC2 = (
+    14, 17, 11, 24, 1, 5,
+    3, 28, 15, 6, 21, 10,
+    23, 19, 12, 4, 26, 8,
+    16, 7, 27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55,
+    30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53,
+    46, 42, 50, 36, 29, 32,
+)
+
+_SHIFTS = (1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1)
+
+# The four weak keys (self-inverse key schedules) and six semi-weak pairs
+# from FIPS 74.  The KDC's random key generation rejects these.
+
+WEAK_KEYS = frozenset(
+    bytes.fromhex(h)
+    for h in (
+        "0101010101010101",
+        "fefefefefefefefe",
+        "1f1f1f1f0e0e0e0e",
+        "e0e0e0e0f1f1f1f1",
+    )
+)
+
+SEMIWEAK_KEYS = frozenset(
+    bytes.fromhex(h)
+    for h in (
+        "01fe01fe01fe01fe", "fe01fe01fe01fe01",
+        "1fe01fe00ef10ef1", "e01fe01ff10ef10e",
+        "01e001e001f101f1", "e001e001f101f101",
+        "1ffe1ffe0efe0efe", "fe1ffe1ffe0efe0e",
+        "011f011f010e010e", "1f011f010e010e01",
+        "e0fee0fef1fef1fe", "fee0fee0fef1fef1",
+    )
+)
+
+
+def _build_sp_tables() -> Tuple[Tuple[int, ...], ...]:
+    """Fuse each S-box with the P permutation.
+
+    ``SP[i][v]`` is the 32-bit contribution of S-box *i* applied to 6-bit
+    input *v*, already run through P.  The round function then reduces to
+    eight table lookups and XORs.
+    """
+    tables: List[Tuple[int, ...]] = []
+    for box_index, box in enumerate(_SBOXES):
+        entries = []
+        for v in range(64):
+            row = ((v >> 5) << 1) | (v & 1)
+            col = (v >> 1) & 0xF
+            s_out = box[row * 16 + col]
+            # Place the 4-bit output in its slot of the 32-bit pre-P word.
+            pre_p = s_out << (4 * (7 - box_index))
+            entries.append(permute(pre_p, 32, _P))
+        tables.append(tuple(entries))
+    return tuple(tables)
+
+
+_SP = _build_sp_tables()
+
+
+def derive_subkeys(key: bytes) -> Tuple[int, ...]:
+    """Run the FIPS 46 key schedule, returning 16 48-bit round keys.
+
+    Parity bits (the least significant bit of each key byte) are ignored,
+    exactly as in the standard.
+    """
+    if len(key) != KEY_SIZE:
+        raise DesError(f"DES key must be {KEY_SIZE} bytes, got {len(key)}")
+    permuted = permute(bytes_to_int(key), 64, _PC1)
+    c = permuted >> 28
+    d = permuted & 0xFFFFFFF
+    subkeys = []
+    for shift in _SHIFTS:
+        c = rotate_left(c, shift, 28)
+        d = rotate_left(d, shift, 28)
+        subkeys.append(permute((c << 28) | d, 56, _PC2))
+    return tuple(subkeys)
+
+
+def _feistel(right: int, subkey: int) -> int:
+    expanded = permute(right, 32, _E) ^ subkey
+    out = 0
+    for i in range(8):
+        out ^= _SP[i][(expanded >> (6 * (7 - i))) & 0x3F]
+    return out
+
+
+class _OpCounter:
+    """Global count of DES block operations — the currency in which the
+    paper's cost discussions are denominated (benchmark E18)."""
+
+    def __init__(self):
+        self.count = 0
+
+    def reset(self) -> int:
+        previous, self.count = self.count, 0
+        return previous
+
+
+BLOCK_OPS = _OpCounter()
+
+
+def _crypt_block(block: bytes, subkeys: Sequence[int]) -> bytes:
+    if len(block) != BLOCK_SIZE:
+        raise DesError(f"DES block must be {BLOCK_SIZE} bytes, got {len(block)}")
+    BLOCK_OPS.count += 1
+    value = permute(bytes_to_int(block), 64, _IP)
+    left = value >> 32
+    right = value & 0xFFFFFFFF
+    for subkey in subkeys:
+        left, right = right, left ^ _feistel(right, subkey)
+    # Final swap is folded into the order of (right, left) here.
+    return int_to_bytes(permute((right << 32) | left, 64, _FP), 8)
+
+
+def encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 8-byte block under *key* (8 bytes, parity ignored)."""
+    return _crypt_block(block, derive_subkeys(key))
+
+
+def decrypt_block(key: bytes, block: bytes) -> bytes:
+    """Decrypt one 8-byte block under *key*."""
+    return _crypt_block(block, tuple(reversed(derive_subkeys(key))))
+
+
+class DesCipher:
+    """A DES instance with a cached key schedule.
+
+    The protocol layers encrypt many blocks under one key (tickets,
+    KRB_PRIV payloads, checksums); caching the schedule makes the
+    simulation fast enough for the benchmark sweeps.
+    """
+
+    def __init__(self, key: bytes):
+        self.key = bytes(key)
+        self._enc = derive_subkeys(key)
+        self._dec = tuple(reversed(self._enc))
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        return _crypt_block(block, self._enc)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        return _crypt_block(block, self._dec)
+
+
+def set_odd_parity(key: bytes) -> bytes:
+    """Return *key* with each byte's low bit fixed to give odd parity."""
+    out = bytearray(key)
+    for i, byte in enumerate(out):
+        high = byte & 0xFE
+        parity = bin(high).count("1") & 1
+        out[i] = high | (parity ^ 1)
+    return bytes(out)
+
+
+def has_odd_parity(key: bytes) -> bool:
+    """True if every byte of *key* has an odd number of set bits."""
+    return all(bin(b).count("1") & 1 for b in key)
+
+
+def is_weak_key(key: bytes) -> bool:
+    """True for the FIPS 74 weak and semi-weak keys (after parity fix)."""
+    normalized = set_odd_parity(key)
+    return normalized in WEAK_KEYS or normalized in SEMIWEAK_KEYS
+
+
+__all__.append("DesCipher")

@@ -1,0 +1,191 @@
+"""Exponential key exchange (Diffie-Hellman) and the small-modulus break.
+
+The paper proposes exponential key exchange as "an additional layer of
+encryption" over the login dialog, so that "a passive wiretapper cannot
+accumulate the network equivalent of /etc/passwd" (recommendation h).  It
+immediately qualifies the proposal:
+
+    "LaMacchia and Odlyzko have demonstrated that exchanging small numbers
+    is quite insecure, while using large ones is expensive in computation
+    time."
+
+Both halves of that sentence are reproducible.  This module implements:
+
+* :class:`DhGroup` / :func:`key_exchange` — textbook DH over safe-prime
+  groups, with a fixed parameter table (16–512 bits) so simulations are
+  deterministic.  Generator 2 is checked per-group to generate the large
+  subgroup.
+
+* :func:`discrete_log` — baby-step/giant-step, the generic O(sqrt(p))
+  attack a passive adversary runs against small moduli.  Benchmark E7
+  sweeps modulus size and measures honest cost (two modexps, polynomial)
+  against attack cost (exponential), reproducing the paper's trade-off.
+
+* Active man-in-the-middle remains possible — the paper concedes DH "is
+  normally vulnerable to active wiretaps" — and
+  :mod:`repro.attacks.password_guess` exercises that too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.bits import int_to_bytes
+from repro.crypto.des import set_odd_parity
+from repro.crypto.md4 import md4
+from repro.crypto.rng import DeterministicRandom
+
+__all__ = [
+    "SAFE_PRIMES",
+    "DhGroup",
+    "DhKeyPair",
+    "key_exchange",
+    "shared_key_to_des",
+    "discrete_log",
+    "DiscreteLogError",
+]
+
+# Safe primes p = 2q + 1, precomputed deterministically per bit size
+# (Miller-Rabin verified).  Small sizes exist to be broken; large sizes
+# model honest deployments.
+SAFE_PRIMES: Dict[int, int] = {
+    16: 0xD523,
+    20: 0xA00C7,
+    24: 0xB68A3F,
+    28: 0xA335ECF,
+    32: 0xB0A2447F,
+    40: 0xD8EBDC6C9F,
+    48: 0xB9136E4E3B5B,
+    56: 0x8D8F3A110B2AD3,
+    64: 0xABA5ABD8BECC230B,
+    128: 0xBA7C68AB3EAE6A8F5C13962C8874B533,
+    256: 0xF2B19788485432E856C0EA5A5F416206E341DD3A152A90D0D39C2273DE2DF0B7,
+    512: int(
+        "DFEE7C447AED8C3725B4F9A0D83019D10181A8C8AA0C2FCD998B669851A071BB"
+        "DC36BDD7B64A5C61CBAFDDC4753102429BA37C896B00DE03B6AFA6AA8B147523",
+        16,
+    ),
+}
+
+
+class DiscreteLogError(RuntimeError):
+    """Raised when the discrete-log search exceeds its work bound."""
+
+
+@dataclass(frozen=True)
+class DhGroup:
+    """A multiplicative group mod a safe prime, with generator."""
+
+    prime: int
+    generator: int
+
+    @classmethod
+    def for_bits(cls, bits: int) -> "DhGroup":
+        """The canonical group of a given modulus size."""
+        if bits not in SAFE_PRIMES:
+            raise KeyError(
+                f"no parameters for {bits}-bit modulus; "
+                f"available: {sorted(SAFE_PRIMES)}"
+            )
+        prime = SAFE_PRIMES[bits]
+        q = (prime - 1) // 2
+        # Pick the smallest generator of the order-q subgroup (a quadratic
+        # residue), so exchanged values never leak the legendre-symbol bit.
+        g = 2
+        while pow(g, q, prime) != 1 or pow(g, 2, prime) == 1:
+            g += 1
+        return cls(prime, g)
+
+    @property
+    def subgroup_order(self) -> int:
+        return (self.prime - 1) // 2
+
+    @property
+    def bits(self) -> int:
+        return self.prime.bit_length()
+
+
+@dataclass(frozen=True)
+class DhKeyPair:
+    """A private exponent and its public value ``g^x mod p``."""
+
+    group: DhGroup
+    private: int
+    public: int
+
+    @classmethod
+    def generate(cls, group: DhGroup, rng: DeterministicRandom) -> "DhKeyPair":
+        private = rng.randint(2, group.subgroup_order - 1)
+        return cls(group, private, pow(group.generator, private, group.prime))
+
+    def shared_secret(self, peer_public: int) -> int:
+        """``peer_public ^ private mod p``."""
+        if not 1 < peer_public < self.group.prime:
+            raise ValueError("peer public value out of range")
+        return pow(peer_public, self.private, self.group.prime)
+
+
+def key_exchange(
+    group: DhGroup, rng_a: DeterministicRandom, rng_b: DeterministicRandom
+) -> Tuple[DhKeyPair, DhKeyPair, int]:
+    """Run a full exchange between two honest parties.
+
+    Returns both key pairs and the agreed shared secret (asserted equal on
+    both sides).
+    """
+    a = DhKeyPair.generate(group, rng_a)
+    b = DhKeyPair.generate(group, rng_b)
+    secret = a.shared_secret(b.public)
+    assert secret == b.shared_secret(a.public)
+    return a, b, secret
+
+
+def shared_key_to_des(secret: int, prime: int) -> bytes:
+    """Hash a DH shared secret down to a parity-adjusted DES key."""
+    width = (prime.bit_length() + 7) // 8
+    return set_odd_parity(md4(int_to_bytes(secret, width))[:8])
+
+
+def discrete_log(
+    group: DhGroup,
+    target: int,
+    max_work: Optional[int] = None,
+) -> int:
+    """Solve ``g^x = target (mod p)`` by baby-step/giant-step.
+
+    This is the passive adversary's tool: given the public values of a
+    small-modulus exchange it recovers a private exponent, hence the
+    session secret, hence the password-guessing oracle DH was supposed to
+    remove.  Work is O(sqrt(q)) group operations and O(sqrt(q)) memory.
+
+    *max_work* bounds the number of baby steps (default: sqrt(q) rounded
+    up, i.e. unbounded search within the subgroup).  Exceeding the bound
+    raises :class:`DiscreteLogError`, which the benchmarks interpret as
+    "attack infeasible at this size".
+    """
+    order = group.subgroup_order
+    m = math.isqrt(order) + 1
+    if max_work is not None and m > max_work:
+        raise DiscreteLogError(
+            f"baby-step table of {m} entries exceeds work bound {max_work}"
+        )
+
+    p, g = group.prime, group.generator
+    baby: Dict[int, int] = {}
+    value = 1
+    for j in range(m):
+        baby.setdefault(value, j)
+        value = value * g % p
+
+    # giant step factor: g^(-m)
+    factor = pow(pow(g, m, p), p - 2, p)
+    gamma = target % p
+    for i in range(m + 1):
+        if gamma in baby:
+            x = i * m + baby[gamma]
+            if pow(g, x, p) == target % p:
+                return x
+        gamma = gamma * factor % p
+    raise DiscreteLogError("target not in the generated subgroup")

@@ -1,0 +1,116 @@
+"""Key objects, string-to-key derivation, and purpose tags.
+
+Two of the paper's themes live here:
+
+* **"All privileges depend ultimately on this one key"** — the client key
+  ``Kc`` is "derived from a non-invertible transform of the user's typed
+  password".  :func:`string_to_key` implements the Kerberos V4 style
+  fan-fold derivation.  Because the transform is public, a recorded
+  ``KRB_AS_REP`` is an oracle for offline password guessing
+  (:mod:`repro.attacks.password_guess`).
+
+* **"Keys should be tagged with their purpose"** — the hardware section
+  argues that a login key must decrypt only ticket-granting tickets, a
+  session key only session traffic, and so on, so that a captured host
+  cannot misuse the encryption unit as a decryption oracle.
+  :class:`KeyTag` and :class:`TaggedKey` carry that purpose information;
+  :mod:`repro.hardware.encryption_unit` enforces it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.crypto import modes
+from repro.crypto.des import (
+    BLOCK_SIZE,
+    DesCipher,
+    is_weak_key,
+    set_odd_parity,
+)
+
+__all__ = ["KeyTag", "TaggedKey", "string_to_key"]
+
+
+class KeyTag(enum.Enum):
+    """What a key is *for*.  Enforced by the simulated encryption unit."""
+
+    LOGIN = "login"              # user's password-derived key Kc
+    TGS_SESSION = "tgs-session"  # Kc,tgs from the AS exchange
+    SERVICE = "service"          # long-term server key Ks
+    SESSION = "session"          # per-service (multi-)session key Kc,s
+    TRUE_SESSION = "true-session"  # negotiated single-session key (rec. e)
+    MASTER = "master"            # KDC database / keystore master key
+
+
+@dataclass(frozen=True)
+class TaggedKey:
+    """An 8-byte DES key annotated with its purpose and owner.
+
+    The plain protocol code mostly passes raw ``bytes`` around (keys *are*
+    just bytes on a conventional host, which is the paper's complaint);
+    TaggedKey is the currency of the hardware modules, where the tag is a
+    hard restriction.
+    """
+
+    key: bytes
+    tag: KeyTag
+    owner: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.key) != BLOCK_SIZE:
+            raise ValueError(f"key must be {BLOCK_SIZE} bytes")
+
+
+def _reverse_7bits(byte: int) -> int:
+    """Reverse the low 7 bits of *byte* (the V4 fan-fold quirk)."""
+    out = 0
+    for i in range(7):
+        out |= ((byte >> i) & 1) << (6 - i)
+    return out
+
+
+def string_to_key(password: str, salt: str = "") -> bytes:
+    """Derive a DES key from a password, Kerberos V4 style.
+
+    The algorithm fan-folds the password into 8 bytes — XORing successive
+    8-byte chunks, with odd chunks bit-reversed — fixes parity, then runs
+    a DES-CBC checksum of the padded password keyed (and IV'd) with the
+    fan-fold key, and fixes parity again.  The transform is public and
+    deterministic: anyone can compute ``Kc`` from a password guess, which
+    is precisely what makes recorded login dialogs crackable.
+
+    *salt* is accepted for V5-style per-principal salting (an empty salt
+    reproduces V4 behaviour, where identical passwords give identical
+    keys across principals).
+    """
+    data = (password + salt).encode("utf-8")
+    padded = modes.pad_zero(data) or bytes(BLOCK_SIZE)
+
+    fanfold = bytearray(BLOCK_SIZE)
+    for chunk_index in range(0, len(padded), BLOCK_SIZE):
+        chunk = padded[chunk_index:chunk_index + BLOCK_SIZE]
+        if (chunk_index // BLOCK_SIZE) % 2 == 1:
+            chunk = bytes(_reverse_7bits(b) for b in reversed(chunk))
+        for i in range(BLOCK_SIZE):
+            fanfold[i] ^= chunk[i]
+
+    key = set_odd_parity(bytes(fanfold))
+    if is_weak_key(key):
+        key = bytes([key[0] ^ 0xF0]) + key[1:]
+
+    # CBC checksum of the padded password, keyed with the fan-fold key and
+    # using it as IV; the final ciphertext block becomes the key.
+    cipher = DesCipher(key)
+    chain = key
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = bytes(
+            a ^ b for a, b in zip(padded[i:i + BLOCK_SIZE], chain)
+        )
+        chain = cipher.encrypt_block(block)
+
+    final = set_odd_parity(chain)
+    if is_weak_key(final):
+        final = bytes([final[0] ^ 0xF0]) + final[1:]
+    return final

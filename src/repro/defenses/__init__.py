@@ -1,0 +1,35 @@
+"""The paper's recommended changes, each demonstrated against its attack.
+
+Modules map one-to-one onto the recommendation lists (a-h in the body,
+a-d in the appendix); each exposes ``demonstrate*()`` functions returning
+:class:`repro.defenses.base.DefenseReport` objects with before/after
+attack outcomes and the defense's measured cost.
+"""
+
+from repro.defenses.base import DefenseReport
+from repro.defenses import (
+    challenge_response,
+    dh_login,
+    handheld,
+    iv_chain,
+    preauth,
+    replay_cache,
+    seqnum,
+    session_keys,
+    strong_checksum,
+)
+from repro.defenses.replay_cache import ReplayCache
+
+__all__ = [
+    "DefenseReport",
+    "ReplayCache",
+    "challenge_response",
+    "dh_login",
+    "handheld",
+    "iv_chain",
+    "preauth",
+    "replay_cache",
+    "seqnum",
+    "session_keys",
+    "strong_checksum",
+]

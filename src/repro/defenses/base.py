@@ -1,0 +1,46 @@
+"""Common shape for defense demonstrations.
+
+Each defense module pairs the paper's recommended change with the attack
+it addresses and runs both sides of the experiment: the vulnerable
+configuration (attack expected to succeed) and the defended one (attack
+expected to fail).  The :class:`DefenseReport` records both outcomes plus
+the defense's cost, because the paper insists costs be visible: "Security
+has real costs, and the benefits are intangible."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.attacks.base import AttackResult
+
+__all__ = ["DefenseReport"]
+
+
+@dataclass
+class DefenseReport:
+    """Before/after evidence for one recommended change."""
+
+    name: str
+    recommendation: str          # which paper recommendation (a..h etc.)
+    vulnerable: AttackResult
+    defended: AttackResult
+    cost: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def effective(self) -> bool:
+        """True when the defense flipped the outcome as the paper claims."""
+        return self.vulnerable.succeeded and not self.defended.succeeded
+
+    def render(self) -> str:
+        lines = [
+            f"defense: {self.name} (recommendation {self.recommendation})",
+            f"  without: {self.vulnerable}",
+            f"  with:    {self.defended}",
+            f"  effective: {self.effective}",
+        ]
+        if self.cost:
+            cost = ", ".join(f"{k}={v}" for k, v in sorted(self.cost.items()))
+            lines.append(f"  cost: {cost}")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Recommendation (h): exponential key exchange over the login dialog.
+
+    "Such a use of exponential key exchange would prevent a passive
+    wiretapper from accumulating the network equivalent of /etc/passwd.
+    While exponential key exchange is normally vulnerable to active
+    wiretaps, such attacks are comparatively rare ..."
+
+And the LaMacchia–Odlyzko caveat: "exchanging small numbers is quite
+insecure, while using large ones is expensive in computation time."
+:func:`cost_security_tradeoff` quantifies both sides for benchmark E7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.attacks.password_guess import dh_passive_break, offline_dictionary_attack
+from repro.crypto.dh import DhGroup, DhKeyPair, DiscreteLogError, discrete_log
+from repro.crypto.rng import DeterministicRandom
+from repro.defenses.base import DefenseReport
+from repro.kerberos.config import ProtocolConfig
+from repro.testbed import Testbed
+
+__all__ = ["demonstrate", "cost_security_tradeoff", "TradeoffRow"]
+
+_DICTIONARY = ["123456", "password", "letmein", "qwerty"]
+
+
+def _record_login(config: ProtocolConfig, seed: int):
+    bed = Testbed(config, seed=seed)
+    bed.add_user("alice", "letmein")
+    ws = bed.add_workstation("ws1")
+    bed.login("alice", "letmein", ws)
+    replies = bed.adversary.recorded(service="kerberos", direction="response")
+    requests = bed.adversary.recorded(service="kerberos", direction="request")
+    return bed, requests, replies
+
+
+def demonstrate(seed: int = 0, modulus_bits: int = 256) -> DefenseReport:
+    """Passive eavesdropping + offline guessing, with and without DH."""
+    bed, _req, replies = _record_login(ProtocolConfig.v4(), seed)
+    cracked = offline_dictionary_attack(bed.config, replies, _DICTIONARY)
+    from repro.attacks.base import AttackResult
+    vulnerable = AttackResult(
+        "eavesdrop-guess", bool(cracked.cracked),
+        f"cracked {cracked.cracked} from one recorded login",
+    )
+
+    config = ProtocolConfig.v4().but(dh_login=True, dh_modulus_bits=modulus_bits)
+    bed2, _req2, replies2 = _record_login(config, seed)
+    cracked2 = offline_dictionary_attack(config, replies2, _DICTIONARY)
+    defended = AttackResult(
+        "eavesdrop-guess", bool(cracked2.cracked),
+        "recorded reply is wrapped in a fresh DH-derived key; "
+        f"cracked {cracked2.cracked}",
+    )
+
+    return DefenseReport(
+        name="exponential key exchange",
+        recommendation="h",
+        vulnerable=vulnerable,
+        defended=defended,
+        cost={
+            "modulus_bits": modulus_bits,
+            "extra_modexps_per_login": 4,  # two per side
+            "patent_note": "protected by a U.S. patent at the time",
+        },
+    )
+
+
+@dataclass
+class TradeoffRow:
+    """One modulus size in the cost/security sweep."""
+
+    modulus_bits: int
+    honest_seconds: float      # two modexps (one side of the exchange)
+    attack_seconds: Optional[float]  # discrete log; None if infeasible
+    broken: bool
+
+
+def cost_security_tradeoff(
+    bit_sizes: List[int], max_work: int = 1 << 22, seed: int = 0
+) -> List[TradeoffRow]:
+    """Honest cost vs attack cost per modulus size (LaMacchia–Odlyzko).
+
+    *max_work* bounds the baby-step table; sizes needing more are
+    reported as unbroken (infeasible for this adversary).
+    """
+    rows = []
+    rng = DeterministicRandom(seed)
+    for bits in bit_sizes:
+        group = DhGroup.for_bits(bits)
+        start = time.perf_counter()
+        pair = DhKeyPair.generate(group, rng)
+        pair.shared_secret(pow(group.generator, 12345, group.prime))
+        honest = time.perf_counter() - start
+
+        start = time.perf_counter()
+        try:
+            recovered = discrete_log(group, pair.public, max_work=max_work)
+            attack: Optional[float] = time.perf_counter() - start
+            broken = recovered == pair.private
+        except DiscreteLogError:
+            attack = None
+            broken = False
+        rows.append(TradeoffRow(bits, honest, attack, broken))
+    return rows

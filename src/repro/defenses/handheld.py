@@ -1,0 +1,51 @@
+"""Recommendation (c): hand-held authenticators in the login protocol.
+
+    "Alter the basic login protocol to allow for handheld authenticators,
+    in which {R}Kc, for a random R, is used to encrypt the server's
+    reply to the user, in place of the key Kc obtained from the user
+    password."
+
+The demonstration is the trojaned-login experiment: with a password
+login, the trojan's haul is the password; with the handheld scheme it is
+a single one-time value.  The paper's acknowledged residual risk — the
+workstation still sees session keys — is visible in the report's cost
+notes.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.login_spoof import trojan_capture
+from repro.defenses.base import DefenseReport
+from repro.hardware.handheld import HandheldDevice
+from repro.kerberos.config import ProtocolConfig
+from repro.testbed import Testbed
+
+__all__ = ["demonstrate"]
+
+
+def demonstrate(seed: int = 0) -> DefenseReport:
+    """Trojaned login against password vs handheld deployments."""
+    bed = Testbed(ProtocolConfig.v4(), seed=seed)
+    bed.add_user("victim", "pw1")
+    ws = bed.add_workstation("vws")
+    attacker_host = bed.add_workstation("ahost")
+    vulnerable = trojan_capture(bed, "victim", "pw1", ws, attacker_host)
+
+    bed2 = Testbed(ProtocolConfig.v4().but(handheld_login=True), seed=seed)
+    bed2.add_user("victim", "pw1")
+    ws2 = bed2.add_workstation("vws")
+    attacker_host2 = bed2.add_workstation("ahost")
+    device = HandheldDevice.from_password("pw1")
+    defended = trojan_capture(bed2, "victim", device, ws2, attacker_host2)
+
+    return DefenseReport(
+        name="handheld authenticator login",
+        recommendation="c",
+        vulnerable=vulnerable,
+        defended=defended,
+        cost={
+            "extra_encryptions_per_login": 2,  # one per end, per the paper
+            "residual": "workstation still sees limited-lifetime session "
+            "keys (fixed only by the encryption unit)",
+        },
+    )

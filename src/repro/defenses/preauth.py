@@ -1,0 +1,87 @@
+"""Recommendation (g): authenticate the user to Kerberos first.
+
+    "Some portion of the initial ticket request may be encrypted with
+    Kc, providing a minimal authentication of the user to Kerberos, such
+    that true eavesdropping would be required to mount this attack."
+
+Two loopholes closed by the same recommendation, each demonstrated:
+
+* :func:`demonstrate_harvest` — unauthenticated AS requests for many
+  users ("an attacker could simply request ticket-granting tickets for
+  many different users");
+* :func:`demonstrate_client_as_service` — tickets issued *for* user
+  principals, sealed under the victim's password key ("the protocol
+  should not distribute tickets for users").
+"""
+
+from __future__ import annotations
+
+from repro.attacks.password_guess import (
+    client_as_service_harvest, harvest_tickets, offline_dictionary_attack,
+)
+from repro.defenses.base import DefenseReport
+from repro.kerberos.config import ProtocolConfig
+from repro.testbed import Testbed
+
+__all__ = ["demonstrate_harvest", "demonstrate_client_as_service"]
+
+_USERS = {
+    "alice": "letmein",
+    "bob": "zebra-quartz-71",
+    "carol": "password",
+}
+
+
+def _bed(config: ProtocolConfig, seed: int) -> Testbed:
+    bed = Testbed(config, seed=seed)
+    for name, password in _USERS.items():
+        bed.add_user(name, password)
+    return bed
+
+
+def demonstrate_harvest(seed: int = 0) -> DefenseReport:
+    """Active TGT harvesting, with and without preauthentication."""
+    dictionary = ["123456", "password", "letmein", "qwerty"]
+
+    bed = _bed(ProtocolConfig.v4(), seed)
+    harvested, vulnerable = harvest_tickets(bed, _USERS)
+    cracked = offline_dictionary_attack(bed.config, harvested, dictionary)
+    vulnerable.evidence["cracked"] = dict(cracked.cracked)
+    vulnerable.detail += f"; {len(cracked.cracked)} passwords cracked offline"
+
+    bed2 = _bed(ProtocolConfig.v4().but(preauth_required=True), seed)
+    _harvested2, defended = harvest_tickets(bed2, _USERS)
+
+    return DefenseReport(
+        name="preauthentication",
+        recommendation="g",
+        vulnerable=vulnerable,
+        defended=defended,
+        cost={"extra_client_encryptions_per_login": 1},
+    )
+
+
+def demonstrate_client_as_service(seed: int = 0) -> DefenseReport:
+    """The overlooked avenue: authenticated attacker, tickets for users."""
+    def run(config: ProtocolConfig):
+        bed = _bed(config, seed)
+        bed.add_user("mallory", "attacker-pw")
+        ws = bed.add_workstation("aws")
+        outcome = bed.login("mallory", "attacker-pw", ws)
+        _tickets, result = client_as_service_harvest(
+            bed, outcome.client, [u for u in _USERS]
+        )
+        return result
+
+    return DefenseReport(
+        name="no tickets for user principals",
+        recommendation="g",
+        vulnerable=run(ProtocolConfig.v4()),
+        defended=run(
+            ProtocolConfig.v4().but(
+                issue_tickets_for_users=False, preauth_required=True
+            )
+        ),
+        cost={"functionality_lost": "user-to-user tickets (use keystore "
+              "instance keys instead, per the paper)"},
+    )

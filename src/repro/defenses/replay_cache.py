@@ -1,0 +1,92 @@
+"""Server-side authenticator caching — and why the paper distrusts it.
+
+    "It has been suggested that the proper defense is for the server to
+    store all live authenticators; thus, an attempt to reuse one can be
+    detected.  In fact, the original design of Kerberos required such
+    caching, though this was never implemented. ...  For several
+    reasons, we do not think that caching solves the problem."
+
+The cache (:class:`repro.kerberos.validation.ReplayCache`) does stop the
+straight replay (:func:`demonstrate`).  The paper's two objections are
+demonstrated alongside:
+
+* :func:`udp_retransmission_false_alarm` — "they might have problems
+  with legitimate retransmissions of the client's request if the answer
+  was lost ...  Legitimate requests could be rejected, and a security
+  alarm raised inappropriately."
+
+* The cache does NOT stop the minted-authenticator attack (fresh
+  timestamp each time) — see
+  :func:`repro.attacks.chosen_plaintext.mint_authenticator_via_mail`
+  run with ``replay_cache=True``; the integration tests cover that
+  combination.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackResult
+from repro.attacks.replay import mail_check_capture, replay_ap_request
+from repro.defenses.base import DefenseReport
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.validation import ReplayCache  # re-export
+from repro.testbed import Testbed
+
+__all__ = ["ReplayCache", "demonstrate", "udp_retransmission_false_alarm"]
+
+
+def _run(config: ProtocolConfig, seed: int) -> AttackResult:
+    bed = Testbed(config, seed=seed)
+    bed.add_user("victim", "pw1")
+    mail = bed.add_mail_server("mailhost")
+    ws = bed.add_workstation("vws")
+    ap, _ = mail_check_capture(bed, "victim", "pw1", mail, ws)
+    return replay_ap_request(bed, mail, ap[-1], delay_minutes=1)
+
+
+def demonstrate(seed: int = 0) -> DefenseReport:
+    """Live-authenticator replay, with and without the cache."""
+    return DefenseReport(
+        name="server-side authenticator cache",
+        recommendation="(discussed; the paper prefers challenge/response)",
+        vulnerable=_run(ProtocolConfig.v4(), seed),
+        defended=_run(ProtocolConfig.v4().but(replay_cache=True), seed),
+        cost={
+            "state": "every live authenticator, per server",
+            "multi_process_servers": "no convenient shared store (the "
+            "paper: pipes, authenticator servers, shared memory — all "
+            "awkward)",
+        },
+    )
+
+
+def udp_retransmission_false_alarm(seed: int = 0) -> AttackResult:
+    """A *legitimate* retransmission gets flagged as a replay.
+
+    The client's reply was lost; the application retransmits the very
+    same request bytes (UDP semantics: "all retransmissions happen from
+    application level").  With the cache on, the honest client is
+    rejected — the inappropriate security alarm.
+    """
+    bed = Testbed(ProtocolConfig.v4().but(replay_cache=True), seed=seed)
+    bed.add_user("honest", "pw1")
+    mail = bed.add_mail_server("mailhost")
+    ws = bed.add_workstation("hws")
+    outcome = bed.login("honest", "pw1", ws)
+    cred = outcome.client.get_service_ticket(mail.principal)
+    outcome.client.ap_exchange(cred, bed.endpoint(mail))
+
+    # The reply was lost; the client re-sends the identical AP_REQ.
+    request = bed.adversary.recorded(
+        service=mail.principal.name, direction="request"
+    )[-1]
+    rejected_before = mail.rejected
+    bed.network.inject(request.src_address, request.dst, request.payload)
+    false_alarm = mail.rejected > rejected_before
+    return AttackResult(
+        "udp-retransmission",
+        false_alarm,  # "success" here = the false positive occurred
+        "honest retransmission rejected as a replay (security alarm "
+        "raised inappropriately)" if false_alarm else
+        "retransmission accepted",
+        evidence={"rejections": mail.rejection_reasons[-1:]},
+    )

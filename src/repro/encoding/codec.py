@@ -1,0 +1,223 @@
+"""Message schemas and the two wire codecs (V4-style and V5-style).
+
+The paper ties a whole class of cut-and-paste attacks to the *encoding*
+of protocol messages:
+
+    "The most simple analysis of the security of the Kerberos protocols
+    should check that there is no possibility of ambiguity between
+    messages sent in different contexts.  That is, a ticket should never
+    be interpretable as an authenticator, or vice versa."
+
+We model both generations:
+
+* :class:`V4Codec` packs fields positionally with length prefixes but
+  **no message-type label and no field names** — exactly the property
+  that forces the "repetitive and often intricate analysis" the paper
+  complains about, and that lets bytes produced in one context parse
+  cleanly in another when the shapes happen to align
+  (``repro.attacks`` exploits this; benchmark E20 measures it).
+
+* :class:`V5Codec` wraps the same fields in the DER subset of
+  :mod:`repro.encoding.der`, with the message type carried as an
+  APPLICATION tag *inside* what gets encrypted (recommendation b).
+  Cross-context decoding fails structurally.
+
+A message schema is an ordered tuple of :class:`Field` descriptors; the
+kerberos layer declares one schema per message type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.encoding import der
+
+__all__ = ["FieldKind", "Field", "Schema", "CodecError", "V4Codec", "V5Codec"]
+
+
+class CodecError(ValueError):
+    """Raised when bytes do not parse under the expected schema."""
+
+
+class FieldKind(enum.Enum):
+    UINT = "uint"      # unsigned integer (timestamps, lifetimes, kvnos...)
+    BYTES = "bytes"    # opaque bytes (keys, tickets, checksums)
+    STRING = "string"  # principal names, realms
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, typed slot in a message schema."""
+
+    name: str
+    kind: FieldKind
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered field list plus a numeric message-type code.
+
+    The *type_code* is what V5 puts on the wire (and inside encrypted
+    data) and what V4 deliberately omits.
+    """
+
+    name: str
+    type_code: int
+    fields: Tuple[Field, ...]
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def validate(self, values: Dict[str, Any]) -> None:
+        names = self.field_names()
+        missing = [n for n in names if n not in values]
+        extra = [n for n in values if n not in names]
+        if missing or extra:
+            raise CodecError(
+                f"{self.name}: missing fields {missing}, unexpected {extra}"
+            )
+        for field in self.fields:
+            value = values[field.name]
+            if field.kind is FieldKind.UINT and not (
+                isinstance(value, int) and value >= 0
+            ):
+                raise CodecError(f"{self.name}.{field.name}: expected uint")
+            if field.kind is FieldKind.BYTES and not isinstance(value, (bytes, bytearray)):
+                raise CodecError(f"{self.name}.{field.name}: expected bytes")
+            if field.kind is FieldKind.STRING and not isinstance(value, str):
+                raise CodecError(f"{self.name}.{field.name}: expected str")
+
+
+class V4Codec:
+    """Positional packing: 8-byte big-endian uints, length-prefixed blobs.
+
+    There is no type tag and no redundancy beyond the length prefixes, so
+    any two schemas whose field-kind sequences match are mutually
+    (mis)parseable — the encoding-ambiguity weakness.
+    """
+
+    name = "v4"
+
+    @staticmethod
+    def encode(schema: Schema, values: Dict[str, Any]) -> bytes:
+        schema.validate(values)
+        out = bytearray()
+        for field in schema.fields:
+            value = values[field.name]
+            if field.kind is FieldKind.UINT:
+                if value >= 1 << 64:
+                    raise CodecError(f"{field.name}: uint too large for v4")
+                out += value.to_bytes(8, "big")
+            elif field.kind is FieldKind.BYTES:
+                out += len(value).to_bytes(2, "big") + bytes(value)
+            else:
+                encoded = value.encode("utf-8")
+                out += len(encoded).to_bytes(2, "big") + encoded
+        return bytes(out)
+
+    @staticmethod
+    def decode(schema: Schema, data: bytes) -> Dict[str, Any]:
+        values: Dict[str, Any] = {}
+        offset = 0
+        for field in schema.fields:
+            if field.kind is FieldKind.UINT:
+                if offset + 8 > len(data):
+                    raise CodecError(f"{schema.name}.{field.name}: truncated")
+                values[field.name] = int.from_bytes(data[offset:offset + 8], "big")
+                offset += 8
+            else:
+                if offset + 2 > len(data):
+                    raise CodecError(f"{schema.name}.{field.name}: truncated")
+                length = int.from_bytes(data[offset:offset + 2], "big")
+                offset += 2
+                if offset + length > len(data):
+                    raise CodecError(f"{schema.name}.{field.name}: truncated")
+                blob = data[offset:offset + length]
+                offset += length
+                if field.kind is FieldKind.BYTES:
+                    values[field.name] = blob
+                else:
+                    try:
+                        values[field.name] = blob.decode("utf-8")
+                    except UnicodeDecodeError as exc:
+                        raise CodecError(
+                            f"{schema.name}.{field.name}: bad utf-8"
+                        ) from exc
+        if offset != len(data):
+            raise CodecError(f"{schema.name}: {len(data) - offset} trailing bytes")
+        return values
+
+
+class V5Codec:
+    """DER encoding with the message type inside an APPLICATION tag.
+
+    ``[APPLICATION type_code] SEQUENCE { [i] field_i }`` — decoding under
+    the wrong schema fails on the outer tag before any field is read, the
+    property recommendation (b) buys.
+    """
+
+    name = "v5"
+
+    @staticmethod
+    def encode(schema: Schema, values: Dict[str, Any]) -> bytes:
+        schema.validate(values)
+        elements = []
+        for index, field in enumerate(schema.fields):
+            value = values[field.name]
+            if field.kind is FieldKind.UINT:
+                inner = der.encode_integer(value)
+            elif field.kind is FieldKind.BYTES:
+                inner = der.encode_octet_string(bytes(value))
+            else:
+                inner = der.encode_utf8(value)
+            elements.append(der.encode_context(index, inner))
+        return der.encode_application(
+            schema.type_code, der.encode_sequence(*elements)
+        )
+
+    @staticmethod
+    def decode(schema: Schema, data: bytes) -> Dict[str, Any]:
+        try:
+            tag, body, end = der.decode(data)
+        except der.DerError as exc:
+            raise CodecError(f"{schema.name}: {exc}") from exc
+        if end != len(data):
+            raise CodecError(f"{schema.name}: trailing bytes")
+        if tag != (0x60 | schema.type_code):
+            raise CodecError(
+                f"{schema.name}: wrong message type tag 0x{tag:02x}, "
+                f"expected APPLICATION {schema.type_code}"
+            )
+        if len(body) != 1 or body[0][0] != 0x30:
+            raise CodecError(f"{schema.name}: missing SEQUENCE body")
+        elements = body[0][1]
+        if len(elements) != len(schema.fields):
+            raise CodecError(
+                f"{schema.name}: {len(elements)} fields, "
+                f"expected {len(schema.fields)}"
+            )
+        values: Dict[str, Any] = {}
+        for index, (field, (tag, inner)) in enumerate(
+            zip(schema.fields, elements)
+        ):
+            if tag != (0xA0 | index):
+                raise CodecError(f"{schema.name}.{field.name}: bad context tag")
+            if len(inner) != 1:
+                raise CodecError(f"{schema.name}.{field.name}: bad wrapper")
+            inner_tag, value = inner[0]
+            expected = {
+                FieldKind.UINT: 0x02,
+                FieldKind.BYTES: 0x04,
+                FieldKind.STRING: 0x0C,
+            }[field.kind]
+            if inner_tag != expected:
+                raise CodecError(
+                    f"{schema.name}.{field.name}: type mismatch "
+                    f"(tag 0x{inner_tag:02x})"
+                )
+            if field.kind is FieldKind.UINT and value < 0:
+                raise CodecError(f"{schema.name}.{field.name}: negative uint")
+            values[field.name] = value
+        return values

@@ -1,0 +1,21 @@
+"""Simulated special-purpose hardware from the paper's design section.
+
+"Some problems with Kerberos are not solvable without employing
+special-purpose hardware, no matter what the design of the protocol."
+These modules implement the paper's proposed devices as software objects
+whose *interfaces* enforce the stated isolation properties: the
+encryption unit and handheld authenticator never export key bytes; the
+keystore holds only encrypted-channel-delivered blobs.
+"""
+
+from repro.hardware.encryption_unit import EncryptionUnit, KeyHandle, UnitError
+from repro.hardware.handheld import HandheldDevice
+from repro.hardware.keystore import KeystoreClient, KeystoreServer
+from repro.hardware.random_service import RandomNumberService, provision_instance_key
+from repro.hardware.unit_server import UnitBackedServer
+
+__all__ = [
+    "EncryptionUnit", "HandheldDevice", "KeyHandle", "KeystoreClient",
+    "KeystoreServer", "RandomNumberService", "UnitBackedServer",
+    "UnitError", "provision_instance_key",
+]

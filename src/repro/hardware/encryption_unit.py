@@ -1,0 +1,185 @@
+"""The host encryption unit from the paper's hardware design section.
+
+    "The primary goal is to perform cryptographic operations without
+    exposing any keys to compromise. ... we conclude that the encryption
+    box itself must understand the Kerberos protocols; nothing less will
+    guarantee the security of the stored keys."
+
+Design criteria implemented here, one for one:
+
+* **Secure key storage, keys never exported.**  Keys live inside the
+  unit, indexed by handles; no API call returns key bytes.  The analogue
+  of the paper's message-definition audit ("the box need not have the
+  ability to transmit a key, thereby providing us with a very high level
+  of assurance that it will not do so") is enforced by construction: the
+  public surface simply has no such method.
+
+* **Keys tagged with their purpose.**  "We do not want the login key
+  used to decrypt the arbitrary block of text that just happens to be
+  the ticket-granting ticket. ... keys should be tagged with their
+  purpose."  Every operation declares what it is doing, and the unit
+  refuses tag-inappropriate uses.
+
+* **Protocol awareness.**  Tickets decrypted inside the unit surface
+  only their non-key fields; embedded session keys stay inside, replaced
+  by fresh handles.
+
+* **On-board random number generator** for session keys.
+
+* **Untamperable log.**  "Using a separate unit allows us to create
+  untamperable logs" — an append-only operation record the host cannot
+  rewrite.
+
+* **The residual risk, reproduced honestly:** "if root is compromised,
+  the host could instruct the box to create bogus tickets.  [But] we
+  consider such temporary breaches of security to be far less serious
+  than the compromise of a key."  A compromised host can *use* handles
+  while it is compromised; it cannot *extract* keys (benchmark E17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.keys import KeyTag
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos import messages
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.messages import SealError
+from repro.kerberos.tickets import Authenticator, Ticket
+
+__all__ = ["UnitError", "KeyHandle", "EncryptionUnit"]
+
+
+class UnitError(RuntimeError):
+    """Tag violation or unknown handle."""
+
+
+@dataclass(frozen=True)
+class KeyHandle:
+    """An opaque reference to a key stored inside the unit."""
+
+    index: int
+    tag: KeyTag
+    owner: str
+
+
+class EncryptionUnit:
+    """An attached cryptographic unit for one host."""
+
+    def __init__(self, config: ProtocolConfig, rng: DeterministicRandom):
+        self.config = config
+        self._rng = rng
+        self._keys: Dict[int, Tuple[bytes, KeyTag, str]] = {}
+        self._next = 1
+        self._log: List[str] = []
+
+    # -- key loading --------------------------------------------------------
+
+    def load_key(self, key: bytes, tag: KeyTag, owner: str) -> KeyHandle:
+        """Install a key (login keys travel through the host once, at
+        login; service keys should arrive via the keystore channel)."""
+        handle = KeyHandle(self._next, tag, owner)
+        self._keys[self._next] = (bytes(key), tag, owner)
+        self._next += 1
+        self._audit(f"load tag={tag.value} owner={owner} -> h{handle.index}")
+        return handle
+
+    def generate_session_key(self, owner: str) -> KeyHandle:
+        """On-board RNG: mint a session key that never leaves the unit."""
+        return self.load_key(self._rng.random_key(), KeyTag.SESSION, owner)
+
+    def forget(self, handle: KeyHandle) -> None:
+        self._keys.pop(handle.index, None)
+        self._audit(f"forget h{handle.index}")
+
+    # -- protocol operations ---------------------------------------------------
+
+    def decrypt_kdc_reply(
+        self, handle: KeyHandle, enc_part: bytes
+    ) -> Tuple[dict, KeyHandle]:
+        """Open an AS/TGS reply's encrypted part inside the unit.
+
+        Returns the non-key fields and a *handle* to the embedded session
+        key; the key bytes themselves never cross the interface.
+        """
+        key = self._use(handle, (KeyTag.LOGIN, KeyTag.TGS_SESSION))
+        plain = messages.unseal(enc_part, key, self.config)
+        values = self.config.codec.decode(messages.KDC_REP_ENC, plain)
+        new_tag = (
+            KeyTag.TGS_SESSION if handle.tag is KeyTag.LOGIN else KeyTag.SESSION
+        )
+        session_handle = self.load_key(
+            values["session_key"], new_tag, handle.owner
+        )
+        public = dict(values)
+        public["session_key"] = b""  # scrubbed before leaving the unit
+        self._audit(f"decrypt-kdc-reply h{handle.index} -> h{session_handle.index}")
+        return public, session_handle
+
+    def make_authenticator(
+        self, handle: KeyHandle, authenticator: Authenticator
+    ) -> bytes:
+        """Seal an authenticator under a session-key handle."""
+        key = self._use(handle, (KeyTag.TGS_SESSION, KeyTag.SESSION))
+        self._audit(f"make-authenticator h{handle.index}")
+        return authenticator.seal(key, self.config, self._rng)
+
+    def validate_ticket(
+        self, handle: KeyHandle, sealed_ticket: bytes
+    ) -> Tuple[Ticket, KeyHandle]:
+        """Server side: open a presented ticket with the service key.
+
+        The embedded session key is retained inside; the returned Ticket
+        has it blanked.
+        """
+        key = self._use(handle, (KeyTag.SERVICE,))
+        ticket = Ticket.unseal(sealed_ticket, key, self.config)
+        session_handle = self.load_key(
+            ticket.session_key, KeyTag.SESSION, handle.owner
+        )
+        scrubbed = Ticket(
+            server=ticket.server, client=ticket.client, address=ticket.address,
+            issued_at=ticket.issued_at, lifetime=ticket.lifetime,
+            session_key=b"", flags=ticket.flags, transited=ticket.transited,
+        )
+        self._audit(f"validate-ticket h{handle.index} -> h{session_handle.index}")
+        return scrubbed, session_handle
+
+    def seal_with(self, handle: KeyHandle, data: bytes) -> bytes:
+        """Encrypt session traffic under a session-key handle."""
+        key = self._use(handle, (KeyTag.SESSION, KeyTag.TRUE_SESSION))
+        return messages.seal(data, key, self.config, self._rng)
+
+    def unseal_with(self, handle: KeyHandle, blob: bytes) -> bytes:
+        key = self._use(handle, (KeyTag.SESSION, KeyTag.TRUE_SESSION))
+        return messages.unseal(blob, key, self.config)
+
+    # -- audit ------------------------------------------------------------------
+
+    def audit_log(self) -> List[str]:
+        """The untamperable operation record (a copy; the original is
+        append-only inside the unit)."""
+        return list(self._log)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _use(self, handle: KeyHandle, allowed: Tuple[KeyTag, ...]) -> bytes:
+        entry = self._keys.get(handle.index)
+        if entry is None:
+            raise UnitError(f"unknown key handle h{handle.index}")
+        key, tag, _owner = entry
+        if tag not in allowed:
+            self._audit(
+                f"REFUSED h{handle.index}: tag {tag.value} not in "
+                f"{[t.value for t in allowed]}"
+            )
+            raise UnitError(
+                f"key h{handle.index} is tagged {tag.value}; operation "
+                f"requires one of {[t.value for t in allowed]}"
+            )
+        return key
+
+    def _audit(self, line: str) -> None:
+        self._log.append(line)

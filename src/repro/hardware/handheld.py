@@ -1,0 +1,64 @@
+"""The hand-held authenticator (recommendation c).
+
+    "A typical one-time password scheme employs a secret key shared
+    between a server and some device in the user's possession. ...
+    [We propose] that the server pick a random number R, and use Kc to
+    encrypt R.  This value {R}Kc, rather than Kc, would be used to
+    encrypt the server's response.  R would be transmitted in the clear
+    to the user."
+
+The device holds ``Kc`` and exposes only challenge *responses*.  A
+trojaned login program that drives the device captures one ``{R}Kc``
+value — good for decrypting exactly one login reply, not for
+impersonating the user tomorrow.  (The paper concedes the workstation
+still sees session keys; the device does not fix that, the encryption
+unit does.)
+"""
+
+from __future__ import annotations
+
+from repro.crypto.des import set_odd_parity
+from repro.crypto.keys import string_to_key
+from repro.crypto.modes import ecb_encrypt
+
+__all__ = ["HandheldDevice"]
+
+
+class HandheldDevice:
+    """A user's one-time-response token.
+
+    The key never leaves the instance; there is deliberately no getter.
+    (In simulation terms: attack code is honour-bound to use only
+    ``respond``/``preauth``, matching the hardware's interface contract.)
+    """
+
+    def __init__(self, user_key: bytes):
+        self._key = bytes(user_key)
+        self.responses_issued = 0
+
+    @classmethod
+    def from_password(cls, password: str) -> "HandheldDevice":
+        """Provision a device from the user's password (done once, at
+        enrollment, in a secure setting)."""
+        return cls(string_to_key(password))
+
+    def respond(self, challenge_r: bytes) -> bytes:
+        """``{R}Kc`` with DES-key parity fixed — the login reply key."""
+        if len(challenge_r) != 8:
+            raise ValueError("challenge must be 8 bytes")
+        self.responses_issued += 1
+        return set_odd_parity(ecb_encrypt(self._key, challenge_r))
+
+    def preauth(self, nonce: int, timestamp: int, config) -> bytes:
+        """Preauthentication data (rec. g) computed on-device, so the
+        workstation needn't hold Kc even when the KDC demands preauth."""
+        from repro.kerberos import messages  # avoid import cycle at load
+
+        payload = nonce.to_bytes(8, "big") + timestamp.to_bytes(8, "big")
+        # The device has no RNG worth trusting; use a derived confounder
+        # source seeded from the challenge material.
+        from repro.crypto.rng import DeterministicRandom
+
+        rng = DeterministicRandom((nonce << 16) ^ timestamp)
+        self.responses_issued += 1
+        return messages.seal(payload, self._key, config, rng)

@@ -1,0 +1,92 @@
+"""The keystore: a secure repository keys are downloaded from on demand.
+
+    "Any media of that sort must be backed up, and the backups must be
+    carefully guarded. ... Instead, we suggest that keys be kept in
+    volatile memory, and downloaded from a secure keystore on request,
+    via an encryption-protected channel.  Thus, only one master key need
+    be stored within the box."
+
+The keystore is "a secure, reliable repository for a limited amount of
+information": clients package arbitrary data, the keystore retains it
+uninterpreted, and "storage and retrieval requests [are] authenticated
+by Kerberos tickets ... Only encrypted transfer (KRB_PRIV) should be
+employed."
+
+It doubles as the provisioning path for *instance keys* — ``pat.email``
+style separately-keyed instances — with fresh keys drawn from the
+network random-number service (:mod:`repro.hardware.random_service`),
+because "user workstations are not particularly good sources of random
+keys."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.kerberos.appserver import AppServer, ServerSession
+
+__all__ = ["KeystoreServer", "KeystoreClient"]
+
+
+class KeystoreServer(AppServer):
+    """The keystore service: PUT/GET of uninterpreted blobs.
+
+    Entries are namespaced by the *authenticated* client principal, so
+    one principal cannot fetch another's material.  All traffic arrives
+    through the KRB_PRIV session channel — the AppServer framework
+    guarantees that — satisfying the encrypted-transfer-only rule.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._store: Dict[Tuple[str, str], bytes] = {}
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        owner = str(session.client)
+        command, _, rest = data.partition(b" ")
+        if command == b"PUT":
+            label, _, blob = rest.partition(b" ")
+            self._store[(owner, label.decode())] = blob
+            return b"OK stored"
+        if command == b"GET":
+            blob = self._store.get((owner, rest.decode()))
+            if blob is None:
+                return b"ERR no such entry"
+            return b"OK " + blob
+        if command == b"DELETE":
+            removed = self._store.pop((owner, rest.decode()), None)
+            return b"OK deleted" if removed is not None else b"ERR nothing"
+        if command == b"LIST":
+            names = sorted(l for o, l in self._store if o == owner)
+            return b",".join(n.encode() for n in names) or b"(none)"
+        return b"ERR unknown command"
+
+    def entry_count(self) -> int:
+        return len(self._store)
+
+
+class KeystoreClient:
+    """Client-side sugar over an authenticated keystore session."""
+
+    def __init__(self, session):
+        self._session = session
+
+    def put(self, label: str, blob: bytes) -> None:
+        reply = self._session.call(b"PUT " + label.encode() + b" " + blob)
+        if reply != b"OK stored":
+            raise RuntimeError(f"keystore PUT failed: {reply!r}")
+
+    def get(self, label: str) -> Optional[bytes]:
+        reply = self._session.call(b"GET " + label.encode())
+        if reply.startswith(b"OK "):
+            return reply[3:]
+        return None
+
+    def delete(self, label: str) -> bool:
+        return self._session.call(b"DELETE " + label.encode()) == b"OK deleted"
+
+    def list(self) -> list:
+        reply = self._session.call(b"LIST")
+        if reply == b"(none)":
+            return []
+        return [name.decode() for name in reply.split(b",")]

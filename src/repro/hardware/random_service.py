@@ -1,0 +1,53 @@
+"""The network random-number service.
+
+    "There is some question about how to create the additional user
+    keys, as user workstations are not particularly good sources of
+    random keys.  The best alternative is to provide a (secure) random
+    number service on the network.  When a new client instance is added,
+    this service would be consulted to generate the key; both Kerberos
+    and the keystore would be told about the key."
+
+Served over the authenticated AppServer framework so requests and
+replies travel inside KRB_PRIV — a random key delivered in cleartext
+would be no key at all.
+"""
+
+from __future__ import annotations
+
+from repro.kerberos.appserver import AppServer, ServerSession
+
+__all__ = ["RandomNumberService", "provision_instance_key"]
+
+
+class RandomNumberService(AppServer):
+    """KEY -> eight fresh DES-key bytes; BYTES n -> n random bytes."""
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        command, _, rest = data.partition(b" ")
+        if command == b"KEY":
+            return self.rng.random_key()
+        if command == b"BYTES":
+            try:
+                count = int(rest or b"8")
+            except ValueError:
+                return b"ERR bad count"
+            if not 0 < count <= 1024:
+                return b"ERR bad count"
+            return self.rng.random_bytes(count)
+        return b"ERR unknown command"
+
+
+def provision_instance_key(
+    random_session, keystore_client, kdc_database, principal
+) -> bytes:
+    """The paper's three-party instance-key dance.
+
+    Draw a key from the random service, register it with Kerberos (the
+    KDC database), and deposit a copy in the keystore under the
+    principal's name, so e.g. ``pat.email`` can later be keyed on any of
+    pat's hosts without re-entering a password.
+    """
+    key = random_session.call(b"KEY")
+    kdc_database.set_key(principal, key)
+    keystore_client.put(f"instance-key:{principal}", key)
+    return key

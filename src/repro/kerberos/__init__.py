@@ -1,0 +1,35 @@
+"""The Kerberos implementation: V4, V5-Draft-3, and the hardened variant.
+
+Built from scratch on the :mod:`repro.sim` substrate.  Pick a protocol
+with :class:`repro.kerberos.config.ProtocolConfig` (presets ``v4()``,
+``v5_draft3()``, ``hardened()``); stand up a realm with
+:class:`repro.kerberos.kdc.Kdc`; talk to it with
+:class:`repro.kerberos.client.KerberosClient`.
+"""
+
+from repro.kerberos.appserver import (
+    AppServer, BackupServer, EchoServer, FileServer, MailServer,
+)
+from repro.kerberos.ccache import CredentialCache, Credentials
+from repro.kerberos.client import (
+    HandheldSecret, KerberosClient, KerberosError, PasswordSecret,
+)
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.database import KdcDatabase
+from repro.kerberos.kdc import AS_SERVICE, TGS_SERVICE, Kdc
+from repro.kerberos.login import LoginProgram, TrojanedLoginProgram
+from repro.kerberos.principal import Principal
+from repro.kerberos.realm import RealmDirectory, TrustPolicy
+from repro.kerberos.session import PrivateChannel, SafeChannel, SessionKeys
+from repro.kerberos.tickets import Authenticator, Ticket
+from repro.kerberos.trace import ProtocolTrace
+
+__all__ = [
+    "AS_SERVICE", "AppServer", "Authenticator", "BackupServer",
+    "CredentialCache", "Credentials", "EchoServer", "FileServer",
+    "HandheldSecret", "Kdc", "KdcDatabase", "KerberosClient",
+    "KerberosError", "LoginProgram", "MailServer", "PasswordSecret",
+    "PrivateChannel", "Principal", "ProtocolConfig", "ProtocolTrace",
+    "RealmDirectory", "SafeChannel", "SessionKeys", "TGS_SERVICE",
+    "Ticket", "TrojanedLoginProgram", "TrustPolicy",
+]

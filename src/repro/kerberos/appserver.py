@@ -1,0 +1,492 @@
+"""Application servers: the framework plus the concrete services.
+
+A :class:`AppServer` registers two endpoints on its host:
+
+* ``<service>`` — AP exchanges (ticket + authenticator, or the
+  challenge/response alternative of recommendation a);
+* ``<service>-data`` — established-session traffic (KRB_PRIV bodies
+  prefixed with a cleartext session id).
+
+The concrete services are the ones the paper's attack narratives need:
+
+* :class:`MailServer` — "an intruder may simply watch for a mail-checking
+  session"; it also *returns stored mail through the encrypted channel*,
+  which makes it the chosen-plaintext oracle ("Mail and file servers are
+  examples of servers susceptible to such attacks").
+
+* :class:`FileServer` / :class:`BackupServer` — the REUSE-SKEY redirect
+  target pair: "if, say, a file server and a backup server were invoked
+  this way, an attacker might redirect some requests to destroy archival
+  copies of files being edited."
+
+* :class:`EchoServer` — a minimal service for protocol-level tests.
+
+Trust policy for inter-realm clients (transited-path checking) is
+enforced here, at the resource, because only the resource owner can
+know which realms it trusts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos import messages
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.messages import (
+    AP_REP_ENC, AP_REQ, CHALLENGE_ENC,
+    ERR_BAD_TICKET, ERR_GENERIC, ERR_METHOD, ERR_POLICY, ERR_REPLAY,
+    ERR_SKEW, ERR_TRANSIT_POLICY,
+    SealError, frame_error, frame_ok,
+)
+from repro.kerberos.principal import Principal
+from repro.kerberos.realm import TrustPolicy
+from repro.kerberos.session import (
+    DIR_SERVER_TO_CLIENT, ChannelError, PrivateChannel, SessionKeys,
+)
+from repro.kerberos.tickets import (
+    FLAG_FORWARDED, OPT_CR_RESPONSE, OPT_MUTUAL_AUTH, Authenticator, Ticket,
+)
+from repro.kerberos.validation import ReplayCache, ValidationError, validate_authenticator
+from repro.sim.host import Host
+
+__all__ = [
+    "ServerSession", "AppServer", "BulletinServer", "EchoServer",
+    "MailServer", "FileServer", "BackupServer", "PlaintextSessionServer",
+]
+
+
+@dataclass
+class ServerSession:
+    """Server-side state for one established session."""
+
+    session_id: int
+    client: Principal
+    channel: PrivateChannel
+    ticket: Ticket
+
+
+class AppServer:
+    """Generic Kerberos-authenticated application server."""
+
+    def __init__(
+        self,
+        principal: Principal,
+        service_key: bytes,
+        host: Host,
+        config: ProtocolConfig,
+        rng: DeterministicRandom,
+        trust_policy: Optional[TrustPolicy] = None,
+    ):
+        self.principal = principal
+        self.service_key = service_key
+        self.host = host
+        self.config = config
+        self.rng = rng
+        self.trust_policy = trust_policy if trust_policy is not None else TrustPolicy()
+        self.replay_cache = ReplayCache()
+        self.sessions: Dict[int, ServerSession] = {}
+        self.outstanding_challenges: Dict[int, Tuple[Ticket, bytes]] = {}
+        self._next_session_id = 1
+        # Observability for tests and benchmarks.
+        self.accepted = 0
+        self.rejected = 0
+        self.rejection_reasons: List[str] = []
+
+        service = principal.name
+        host.network.register(host.address, service, self._handle_ap)
+        host.network.register(host.address, service + "-data", self._handle_data)
+
+    # ------------------------------------------------------------------ #
+    # AP exchange
+    # ------------------------------------------------------------------ #
+
+    def _handle_ap(self, message) -> bytes:
+        config = self.config
+        try:
+            request = config.codec.decode(AP_REQ, message.payload)
+        except Exception as exc:
+            return self._reject("bad-request", ERR_GENERIC, str(exc))
+
+        try:
+            ticket = Ticket.unseal(request["ticket"], self.service_key, config)
+        except SealError as exc:
+            return self._reject("bad-ticket", ERR_BAD_TICKET, str(exc))
+
+        policy_error = self._check_policy(ticket)
+        if policy_error is not None:
+            return policy_error
+
+        if config.challenge_response:
+            if request["options"] & OPT_CR_RESPONSE:
+                return self._handle_challenge_response(message, request, ticket)
+            return self._issue_challenge(ticket)
+
+        try:
+            authenticator = Authenticator.unseal(
+                request["authenticator"], ticket.session_key, config
+            )
+        except SealError as exc:
+            return self._reject("bad-authenticator", ERR_BAD_TICKET, str(exc))
+
+        now = self.host.clock.now()
+        try:
+            validate_authenticator(
+                ticket, request["ticket"], authenticator,
+                request["authenticator"], config, now, message.src_address,
+                replay_cache=self.replay_cache,
+                expected_server=str(self.principal),
+            )
+        except ValidationError as exc:
+            code = ERR_REPLAY if exc.reason == "replay" else ERR_SKEW
+            return self._reject(exc.reason, code, str(exc))
+
+        return self._establish(
+            ticket, message.src_address,
+            client_share=authenticator.subkey,
+            client_seq=authenticator.seq,
+            proof_stamp=(
+                authenticator.timestamp + 1
+                if request["options"] & OPT_MUTUAL_AUTH else 0
+            ),
+            proof_nonce=0,
+        )
+
+    def _issue_challenge(self, ticket: Ticket) -> bytes:
+        """Recommendation (a), step 1: send an encrypted nonce."""
+        config = self.config
+        challenge = self.rng.random_uint32()
+        self.outstanding_challenges[challenge] = (ticket, b"")
+        e_data = messages.seal(
+            config.codec.encode(CHALLENGE_ENC, {
+                "challenge": challenge, "subkey": b"",
+            }),
+            ticket.session_key, config, self.rng,
+        )
+        return frame_error(
+            config, ERR_METHOD, "challenge/response required", e_data
+        )
+
+    def _handle_challenge_response(self, message, request, ticket: Ticket) -> bytes:
+        config = self.config
+        try:
+            values = config.codec.decode(
+                CHALLENGE_ENC,
+                messages.unseal(
+                    request["authenticator"], ticket.session_key, config
+                ),
+            )
+        except (SealError, Exception) as exc:
+            return self._reject("bad-response", ERR_BAD_TICKET, str(exc))
+        challenge = values["challenge"] - 1
+        if challenge not in self.outstanding_challenges:
+            return self._reject(
+                "unknown-challenge", ERR_REPLAY,
+                "no outstanding challenge matches (replay or forgery)",
+            )
+        del self.outstanding_challenges[challenge]
+        return self._establish(
+            ticket, message.src_address,
+            client_share=values["subkey"],
+            client_seq=0,
+            proof_stamp=0,
+            proof_nonce=challenge + 2,
+        )
+
+    def _establish(
+        self, ticket: Ticket, peer_address: str,
+        client_share: bytes, client_seq: int,
+        proof_stamp: int, proof_nonce: int,
+    ) -> bytes:
+        config = self.config
+        server_share = (
+            self.rng.random_key() if config.negotiate_session_key else b""
+        )
+        server_seq = (
+            self.rng.random_uint32() if config.use_sequence_numbers else 0
+        )
+        keys = SessionKeys(
+            multi_key=ticket.session_key,
+            client_share=client_share,
+            server_share=server_share,
+        )
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        channel = PrivateChannel(
+            keys, config, self.rng, self.host.clock,
+            local_address=self.host.address,
+            peer_address=peer_address,
+            direction=DIR_SERVER_TO_CLIENT,
+            initial_send_seq=server_seq,
+            initial_recv_seq=client_seq,
+        )
+        self.sessions[session_id] = ServerSession(
+            session_id, ticket.client, channel, ticket
+        )
+        self.accepted += 1
+
+        reply = messages.seal(
+            config.codec.encode(AP_REP_ENC, {
+                "timestamp": proof_stamp,
+                "subkey": server_share,
+                "seq": server_seq,
+                "nonce_reply": proof_nonce,
+                "session_id": session_id,
+            }),
+            ticket.session_key, config, self.rng,
+        )
+        return frame_ok(reply)
+
+    def _check_policy(self, ticket: Ticket) -> Optional[bytes]:
+        """Transited-realm and forwarding policy (the cascading-trust knobs)."""
+        ok, reason = self.trust_policy.check_transited(
+            ticket.transited, ticket.client.realm,
+            local_realm=self.principal.realm,
+        )
+        if not ok:
+            return self._reject("transit-policy", ERR_TRANSIT_POLICY, reason)
+        if ticket.has_flag(FLAG_FORWARDED) and not self.trust_policy.accept_forwarded:
+            # All the server can see is the flag: "Kerberos has a flag bit
+            # to indicate that a ticket was forwarded, but does not
+            # include the original source."
+            return self._reject(
+                "forwarded-refused", ERR_POLICY,
+                "forwarded tickets not accepted here",
+            )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # session traffic
+    # ------------------------------------------------------------------ #
+
+    def _handle_data(self, message) -> bytes:
+        config = self.config
+        if len(message.payload) < 8:
+            return self._reject("bad-data", ERR_GENERIC, "short data message")
+        session_id = int.from_bytes(message.payload[:8], "big")
+        session = self.sessions.get(session_id)
+        if session is None:
+            return self._reject(
+                "no-session", ERR_GENERIC, f"unknown session {session_id}"
+            )
+        try:
+            data = session.channel.receive(message.payload[8:])
+        except ChannelError as exc:
+            return self._reject(exc.reason, ERR_REPLAY, str(exc))
+        response = self.serve(session, data)
+        return frame_ok(session.channel.send(response))
+
+    # -- service logic, overridden by subclasses ---------------------------
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def _reject(self, reason: str, code: int, detail: str) -> bytes:
+        self.rejected += 1
+        self.rejection_reasons.append(reason)
+        return frame_error(self.config, code, detail)
+
+
+class EchoServer(AppServer):
+    """Returns whatever it is sent; the protocol test fixture."""
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        return b"echo:" + data
+
+
+class MailServer(AppServer):
+    """Mailboxes: SEND stores, FETCH returns — through the private channel.
+
+    FETCH is the chosen-plaintext oracle: the server encrypts
+    previously-stored (attacker-chosen) bytes under the fetching user's
+    session key.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.mailboxes: Dict[str, List[bytes]] = {}
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        command, _, rest = data.partition(b" ")
+        if command == b"SEND":
+            recipient, _, body = rest.partition(b" ")
+            self.mailboxes.setdefault(recipient.decode(), []).append(body)
+            return b"OK stored"
+        if command == b"FETCH":
+            box = self.mailboxes.get(session.client.name, [])
+            if not box:
+                return b"EMPTY"
+            return box.pop(0)
+        if command == b"COUNT":
+            return str(
+                len(self.mailboxes.get(session.client.name, []))
+            ).encode()
+        return b"ERR unknown command"
+
+
+class FileServer(AppServer):
+    """A user file store: PUT/GET/MOUNT, keyed by client principal."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.files: Dict[Tuple[str, str], bytes] = {}
+        self.mounts: List[str] = []
+        self.purged: List[str] = []
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        owner = session.client.name
+        command, _, rest = data.partition(b" ")
+        if command == b"MOUNT":
+            self.mounts.append(owner)
+            return b"OK mounted"
+        if command == b"PUT":
+            name, _, body = rest.partition(b" ")
+            self.files[(owner, name.decode())] = body
+            return b"OK written"
+        if command == b"GET":
+            body = self.files.get((owner, rest.decode()))
+            return b"ERR no such file" if body is None else body
+        if command == b"PURGE":
+            # Drop a *cached copy*; the master file survives.  Harmless
+            # here — and exactly the same verb the backup server treats
+            # destructively, which the REUSE-SKEY redirect exploits.
+            self.purged.append(rest.decode())
+            return b"OK purged"
+        return b"ERR unknown command"
+
+
+class BackupServer(AppServer):
+    """Archival copies, with the destructive command the REUSE-SKEY
+    redirect attack wants to reach."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.archives: Dict[Tuple[str, str], bytes] = {}
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        owner = session.client.name
+        command, _, rest = data.partition(b" ")
+        if command == b"ARCHIVE":
+            name, _, body = rest.partition(b" ")
+            self.archives[(owner, name.decode())] = body
+            return b"OK archived"
+        if command in (b"DESTROY", b"PURGE"):
+            # On the backup server, purging IS destruction of the archive
+            # — "an attacker might redirect some requests to destroy
+            # archival copies of files being edited."
+            removed = self.archives.pop((owner, rest.decode()), None)
+            return b"OK destroyed" if removed is not None else b"ERR nothing"
+        if command == b"LIST":
+            names = sorted(n for o, n in self.archives if o == owner)
+            return b",".join(n.encode() for n in names) or b"(none)"
+        return b"ERR unknown command"
+
+
+class BulletinServer(AppServer):
+    """A public bulletin board over KRB_SAFE: integrity without privacy.
+
+    Postings are world-readable by design — what matters is that they
+    cannot be forged or altered in flight.  The data channel carries
+    KRB_SAFE messages instead of KRB_PRIV: the payload is visible on the
+    wire, the keyed checksum binds it to the authenticated session.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.postings: List[Tuple[str, bytes]] = []
+        self._safe_channels: Dict[int, "SafeChannel"] = {}
+        self.host.network.unregister(
+            self.host.address, self.principal.name + "-data"
+        )
+        self.host.network.register(
+            self.host.address, self.principal.name + "-data",
+            self._handle_safe,
+        )
+
+    def _safe_channel(self, session: ServerSession):
+        from repro.kerberos.session import SafeChannel
+
+        channel = self._safe_channels.get(session.session_id)
+        if channel is None:
+            channel = SafeChannel(
+                session.channel.keys, self.config, self.host.clock,
+                initial_send_seq=session.channel.send_seq,
+                initial_recv_seq=session.channel.recv_seq,
+            )
+            self._safe_channels[session.session_id] = channel
+        return channel
+
+    def _handle_safe(self, message) -> bytes:
+        from repro.kerberos.session import ChannelError
+
+        if len(message.payload) < 8:
+            return frame_error(self.config, ERR_GENERIC, "short message")
+        session_id = int.from_bytes(message.payload[:8], "big")
+        session = self.sessions.get(session_id)
+        if session is None:
+            return frame_error(self.config, ERR_GENERIC, "unknown session")
+        channel = self._safe_channel(session)
+        try:
+            data = channel.receive(message.payload[8:])
+        except ChannelError as exc:
+            self.rejected += 1
+            self.rejection_reasons.append(exc.reason)
+            return frame_error(self.config, ERR_REPLAY, str(exc))
+        response = self.serve(session, data)
+        return frame_ok(channel.send(response))
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        command, _, rest = data.partition(b" ")
+        if command == b"POST":
+            self.postings.append((session.client.name, rest))
+            return b"OK posted as " + session.client.name.encode()
+        if command == b"READ":
+            return b"\n".join(
+                author.encode() + b": " + body
+                for author, body in self.postings
+            ) or b"(empty board)"
+        return b"ERR unknown command"
+
+
+class PlaintextSessionServer(AppServer):
+    """A legacy service: Kerberos authentication, then *cleartext* traffic.
+
+    "An attacker can always wait until the connection is set up and
+    authenticated, and then take it over, thus obviating any security
+    provided by the presence of the address."  This server authenticates
+    the AP exchange properly, then accepts unencrypted commands tagged
+    only with the (cleartext) session id — so an address-spoofing
+    attacker takes the session over trivially.  Contrast with the
+    KRB_PRIV-speaking servers above.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.executed: List[Tuple[str, bytes]] = []
+        # Replace the encrypted data handler with a plaintext one.
+        self.host.network.unregister(
+            self.host.address, self.principal.name + "-data"
+        )
+        self.host.network.register(
+            self.host.address, self.principal.name + "-data",
+            self._handle_plaintext,
+        )
+
+    def _handle_plaintext(self, message) -> bytes:
+        if len(message.payload) < 8:
+            return frame_error(self.config, ERR_GENERIC, "short message")
+        session_id = int.from_bytes(message.payload[:8], "big")
+        session = self.sessions.get(session_id)
+        if session is None:
+            return frame_error(self.config, ERR_GENERIC, "unknown session")
+        # The only "authentication" of the command is the session id and
+        # the (spoofable) source address.
+        if message.src_address != session.channel.peer_address:
+            return frame_error(self.config, ERR_GENERIC, "address mismatch")
+        command = message.payload[8:]
+        self.executed.append((str(session.client), command))
+        return frame_ok(b"OK " + command)
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        raise NotImplementedError("plaintext server bypasses serve()")

@@ -1,0 +1,133 @@
+"""Credential caches: where tickets and session keys rest on a host.
+
+    "There is some question about where keys should be cached.  Since all
+    of the Project Athena machines have local disks, the original code
+    used /tmp.  But this is highly insecure on diskless workstations,
+    where /tmp exists on a file server; accordingly, a modification was
+    made to store keys in shared memory.  However, there is no guarantee
+    that shared memory is not paged; if this entails network traffic, an
+    intruder can capture these keys."
+
+A :class:`CredentialCache` serialises its entries into a named
+:class:`repro.sim.host.MemoryRegion` on every change.  The region's
+:class:`~repro.sim.host.StorageKind` decides who else gets to see the
+bytes: another local user (multi-user host), the wire (NFS ``/tmp``,
+paged shared memory), or nobody (locked memory, wiped at logout).
+:mod:`repro.attacks.key_theft` consumes exactly these serialized bytes —
+the thief parses the same format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.encoding.codec import Field, FieldKind, Schema, V4Codec
+from repro.kerberos.principal import Principal
+from repro.sim.host import Host, StorageKind
+
+__all__ = ["Credentials", "CredentialCache", "parse_cache_bytes"]
+
+#: On-disk entry format.  Deliberately simple and public — a cache is not
+#: a cryptographic object, which is the whole problem.
+_ENTRY = Schema("ccache-entry", 30, (
+    Field("server", FieldKind.STRING),
+    Field("client", FieldKind.STRING),
+    Field("sealed_ticket", FieldKind.BYTES),
+    Field("session_key", FieldKind.BYTES),
+    Field("issued_at", FieldKind.UINT),
+    Field("lifetime", FieldKind.UINT),
+))
+
+
+@dataclass
+class Credentials:
+    """A sealed ticket plus the session key that goes with it."""
+
+    server: Principal
+    client: Principal
+    sealed_ticket: bytes
+    session_key: bytes
+    issued_at: int
+    lifetime: int
+
+    def expires_at(self) -> int:
+        return self.issued_at + self.lifetime
+
+
+def _serialize(entries: List[Credentials]) -> bytes:
+    out = bytearray()
+    for cred in entries:
+        blob = V4Codec.encode(_ENTRY, {
+            "server": str(cred.server),
+            "client": str(cred.client),
+            "sealed_ticket": cred.sealed_ticket,
+            "session_key": cred.session_key,
+            "issued_at": cred.issued_at,
+            "lifetime": cred.lifetime,
+        })
+        out += len(blob).to_bytes(4, "big") + blob
+    return bytes(out)
+
+
+def parse_cache_bytes(data: bytes) -> List[Credentials]:
+    """Parse serialized cache bytes — available to owner and thief alike."""
+    entries = []
+    offset = 0
+    while offset + 4 <= len(data):
+        length = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        values = V4Codec.decode(_ENTRY, data[offset:offset + length])
+        offset += length
+        entries.append(Credentials(
+            server=Principal.parse(values["server"]),
+            client=Principal.parse(values["client"]),
+            sealed_ticket=values["sealed_ticket"],
+            session_key=values["session_key"],
+            issued_at=values["issued_at"],
+            lifetime=values["lifetime"],
+        ))
+    return entries
+
+
+class CredentialCache:
+    """A user's ticket file on a particular host."""
+
+    def __init__(self, host: Host, owner: str, kind: StorageKind):
+        self.host = host
+        self.owner = owner
+        self.kind = kind
+        self.region_name = f"ccache:{owner}"
+        self._entries: Dict[str, Credentials] = {}
+        self._flush()
+
+    def store(self, cred: Credentials) -> None:
+        self._entries[str(cred.server)] = cred
+        self._flush()
+
+    def lookup(self, server: Principal) -> Optional[Credentials]:
+        return self._entries.get(str(server))
+
+    def tgt(self) -> Optional[Credentials]:
+        """The first ticket-granting ticket in the cache, if any."""
+        for cred in self._entries.values():
+            if cred.server.is_tgs:
+                return cred
+        return None
+
+    def entries(self) -> List[Credentials]:
+        return list(self._entries.values())
+
+    def destroy(self) -> None:
+        """kdestroy: forget everything and wipe the backing region."""
+        self._entries.clear()
+        region = self.host.region(self.region_name)
+        if region is not None:
+            region.wipe()
+
+    def _flush(self) -> None:
+        """Write-through to the host region (this is where leaks happen)."""
+        self.host.store(
+            self.region_name, self.owner, self.kind,
+            _serialize(list(self._entries.values())),
+        )

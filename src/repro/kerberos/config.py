@@ -1,0 +1,200 @@
+"""Every protocol knob the paper argues about, in one configuration object.
+
+The paper analyses three protocol generations — Version 4, Version 5
+Draft 2/3, and its own recommended variant — and most of its experiments
+are of the form "attack X succeeds under configuration A and fails under
+configuration B".  :class:`ProtocolConfig` makes each difference a field,
+with three presets:
+
+* :meth:`ProtocolConfig.v4` — Kerberos Version 4 as deployed at Athena:
+  PCBC mode, untyped encoding, address-bound tickets, no forwarding,
+  timestamps everywhere.
+
+* :meth:`ProtocolConfig.v5_draft3` — the Draft 3 protocol the appendix
+  analyses: CBC + confounders, typed (ASN.1-style) encoding, CRC-32 as
+  the default checksum, forwarding and the ENC-TKT-IN-SKEY / REUSE-SKEY
+  options enabled, the cname-match requirement *omitted* (the draft's
+  inadvertent omission).
+
+* :meth:`ProtocolConfig.hardened` — the paper's recommendations a-h and
+  the appendix list applied: challenge/response, preauthentication,
+  collision-proof checksums everywhere, negotiated true session keys,
+  sequence numbers, no ticket forwarding, the misusable options removed.
+
+Ablation benchmarks (E18 and friends) flip fields one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.crypto.checksum import ChecksumType
+from repro.encoding.codec import V4Codec, V5Codec
+from repro.sim.clock import MICROSECOND, MILLISECOND, MINUTE
+
+__all__ = ["ProtocolConfig"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """A complete protocol variant.  Frozen; derive with :meth:`but`."""
+
+    # --- identity ------------------------------------------------------
+    version: int = 4
+    label: str = "v4"
+
+    # --- encoding & encryption layer ------------------------------------
+    codec: Any = V4Codec                 # V4Codec (untyped) or V5Codec (typed)
+    cipher_mode: str = "pcbc"            # "pcbc" or "cbc"
+    use_confounder: bool = False         # V5 random leading block
+    seal_checksum: ChecksumType = ChecksumType.CRC32  # inside encrypted data
+    private_message_integrity: bool = False  # checksum inside KRB_PRIV too
+
+    # --- time ------------------------------------------------------------
+    ticket_lifetime: int = 480 * MINUTE       # 8 hours
+    authenticator_lifetime: int = 5 * MINUTE  # the "typically five minutes"
+    clock_skew: int = 5 * MINUTE
+    timestamp_resolution: int = MICROSECOND   # or MILLISECOND (Draft 3)
+
+    # --- ticket contents & scope ----------------------------------------
+    bind_address: bool = True            # put the client IP in the ticket
+    allow_forwarding: bool = False       # V5 forwardable tickets
+    record_transited: bool = False       # V5 inter-realm path recording
+    verify_interrealm_client: bool = False  # refuse cross-realm TGTs whose
+                                         # client claims to be from a realm
+                                         # the issuing realm does not speak
+                                         # for (the rogue-realm forgery)
+
+    # --- AS exchange (login) ----------------------------------------------
+    issue_tickets_for_users: bool = True  # the client-as-service loophole;
+                                          # rec. g says "the protocol should
+                                          # not distribute tickets for users"
+    as_rate_limit: int = 0               # max AS requests per source per
+                                         # minute; 0 = unlimited.  "An
+                                         # enhancement to the server, to limit
+                                         # the rate of requests from a single
+                                         # source, may be useful."
+    preauth_required: bool = False       # rec. g: authenticate user to KDC
+    dh_login: bool = False               # rec. h: exponential key exchange
+    dh_modulus_bits: int = 256
+    handheld_login: bool = False         # rec. c: {R}Kc in place of Kc
+    as_rep_nonce: bool = False           # Draft 3: nonce binds AS_REP to AS_REQ
+
+    # --- AP exchange & sessions -------------------------------------------
+    chain_ivs: bool = False              # appendix rec. d: "the IV be used
+                                         # as intended, and be incremented or
+                                         # otherwise altered after each
+                                         # message" — replaces confounders
+                                         # AND timestamp caches on channels;
+                                         # pair with use_confounder=False
+    challenge_response: bool = False     # rec. a: replace authenticators
+    negotiate_session_key: bool = False  # rec. e: true session keys
+    use_sequence_numbers: bool = False   # appendix: seqnums over timestamps
+    replay_cache: bool = False           # server-side authenticator cache
+    authenticator_ticket_checksum: bool = False  # bind authenticator->ticket
+
+    # --- KDC reply protection ---------------------------------------------
+    kdc_reply_ticket_checksum: bool = False  # appendix c: checksum the ticket
+                                             # inside the encrypted reply part
+
+    # --- Draft 3 options ----------------------------------------------------
+    allow_enc_tkt_in_skey: bool = False
+    allow_reuse_skey: bool = False
+    enc_tkt_cname_check: bool = False    # the requirement Draft 3 omitted
+    tgs_req_checksum: ChecksumType = ChecksumType.CRC32  # guards cleartext
+                                         # fields of a TGS_REQ (Draft 3)
+
+    # --- KRB_PRIV layout -----------------------------------------------------
+    # "v5draft": (DATA, timestamp+direction, hostaddress, PAD) — prefix-attackable
+    # "v4":      (length(DATA), DATA, msectime, ...) — length disrupts prefixes
+    krb_priv_layout: str = "v4"
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def v4(cls) -> "ProtocolConfig":
+        """Kerberos Version 4 as the paper describes it."""
+        return cls()
+
+    @classmethod
+    def v5_draft2(cls) -> "ProtocolConfig":
+        """Version 5, Draft 2 — what the paper's main body analysed.
+
+        Relative to Draft 3: no nonce echo in KDC replies (so a recorded
+        AS_REP can be spliced into a later login undetected), and the
+        checksum/confounder machinery less settled ("as of Draft 2, the
+        exact form had not been determined").  We model it as Draft 3
+        minus the reply nonce.
+        """
+        return cls.v5_draft3().but(as_rep_nonce=False, label="v5-draft2")
+
+    @classmethod
+    def v5_draft3(cls) -> "ProtocolConfig":
+        """Version 5, Draft 3 — the appendix's subject."""
+        return cls(
+            version=5,
+            label="v5-draft3",
+            codec=V5Codec,
+            cipher_mode="cbc",
+            use_confounder=True,
+            seal_checksum=ChecksumType.CRC32,
+            timestamp_resolution=MILLISECOND,
+            bind_address=False,
+            allow_forwarding=True,
+            record_transited=True,
+            as_rep_nonce=True,
+            allow_enc_tkt_in_skey=True,
+            allow_reuse_skey=True,
+            enc_tkt_cname_check=False,
+            tgs_req_checksum=ChecksumType.CRC32,
+            krb_priv_layout="v5draft",
+        )
+
+    @classmethod
+    def hardened(cls) -> "ProtocolConfig":
+        """The paper's recommended protocol: every fix applied."""
+        return cls(
+            version=5,
+            label="hardened",
+            codec=V5Codec,
+            cipher_mode="cbc",
+            use_confounder=True,
+            seal_checksum=ChecksumType.MD4,
+            private_message_integrity=True,
+            timestamp_resolution=MICROSECOND,
+            bind_address=False,
+            allow_forwarding=False,     # "we suggest that ticket-forwarding
+                                        # be deleted"
+            record_transited=True,
+            verify_interrealm_client=True,
+            issue_tickets_for_users=False,
+            preauth_required=True,
+            handheld_login=True,   # rec. c, "mandatory" per the final list;
+                                   # typed passwords still work (the login
+                                   # program computes {R}Kc automatically)
+            dh_login=True,
+            as_rep_nonce=True,
+            challenge_response=True,
+            negotiate_session_key=True,
+            use_sequence_numbers=True,
+            replay_cache=True,
+            authenticator_ticket_checksum=True,
+            kdc_reply_ticket_checksum=True,
+            allow_enc_tkt_in_skey=False,  # "omitted or use distinct formats"
+            allow_reuse_skey=False,
+            enc_tkt_cname_check=True,
+            tgs_req_checksum=ChecksumType.MD4,
+            krb_priv_layout="v4",
+        )
+
+    def but(self, **changes) -> "ProtocolConfig":
+        """Derive a variant: ``config.but(replay_cache=True)``."""
+        if "label" not in changes:
+            knobs = ",".join(f"{k}={v}" for k, v in sorted(changes.items()))
+            changes["label"] = f"{self.label}+{knobs}"
+        return replace(self, **changes)
+
+    def round_timestamp(self, timestamp: int) -> int:
+        """Quantise a timestamp to the protocol's wire resolution."""
+        return timestamp - (timestamp % self.timestamp_resolution)

@@ -1,0 +1,84 @@
+"""The KDC principal database.
+
+"Only Kerberos and the service share the private key Ks" — this is where
+Kerberos's copy lives.  Users' keys are derived from their passwords via
+:func:`repro.crypto.keys.string_to_key`; services get random keys.
+
+The database also records *inter-realm* keys (shared between two realms'
+ticket-granting servers) and exposes the lookup the paper's
+password-guessing analysis needs: "the Kerberos equivalent of
+/etc/passwd must be treated as public" — i.e. the *existence* of
+principals is public, only keys are secret.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.keys import string_to_key
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos.principal import Principal
+
+__all__ = ["DatabaseError", "KdcDatabase"]
+
+
+class DatabaseError(KeyError):
+    """Unknown principal."""
+
+
+class KdcDatabase:
+    """Principal -> key map with registration helpers."""
+
+    def __init__(self, realm: str, rng: DeterministicRandom):
+        self.realm = realm
+        self._rng = rng
+        self._keys: Dict[Principal, bytes] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def add_user(self, name: str, password: str, instance: str = "") -> Principal:
+        """Register a user with a password-derived key (V4: no salt, so
+        equal passwords give equal keys — deliberately reproduced)."""
+        principal = Principal(name, instance, self.realm)
+        self._keys[principal] = string_to_key(password)
+        return principal
+
+    def add_service(self, service: str, hostname: str) -> Principal:
+        """Register a service with a fresh random key."""
+        principal = Principal.service(service, hostname, self.realm)
+        self._keys[principal] = self._rng.random_key()
+        return principal
+
+    def add_tgs(self) -> Principal:
+        """Register this realm's own ticket-granting service."""
+        principal = Principal.tgs(self.realm)
+        self._keys[principal] = self._rng.random_key()
+        return principal
+
+    def add_interrealm(self, other_realm: str, key: bytes) -> Principal:
+        """Share *key* with another realm's TGS (``krbtgt.OTHER@SELF``)."""
+        principal = Principal.tgs(self.realm, other_realm)
+        self._keys[principal] = key
+        return principal
+
+    def set_key(self, principal: Principal, key: bytes) -> None:
+        """Directly install a key (keystore provisioning, key change)."""
+        self._keys[principal] = key
+
+    # -- lookup -------------------------------------------------------------
+
+    def key_of(self, principal: Principal) -> bytes:
+        try:
+            return self._keys[principal]
+        except KeyError:
+            raise DatabaseError(f"unknown principal {principal}")
+
+    def knows(self, principal: Principal) -> bool:
+        return principal in self._keys
+
+    def principals(self) -> List[Principal]:
+        """The public part: who exists.  (Keys are NOT exposed here.)"""
+        return sorted(self._keys)
+
+    def users(self) -> List[Principal]:
+        return [p for p in self.principals() if not p.instance and not p.is_tgs]

@@ -1,0 +1,143 @@
+"""The Version 4 ticket-forwarder — footnote 9's awkward workaround.
+
+    "A further restriction on tickets, in Version 4, is that they cannot
+    be forwarded. ...  Actually, a special-purpose ticket-forwarder was
+    built for Version 4.  However, the implementation was of necessity
+    awkward, and required participating hosts to run an additional
+    server."
+
+The awkwardness is reproduced faithfully.  Because V4 tickets bind the
+requester's network address, a user on host A cannot simply copy their
+credentials to host B.  Instead, every participating host runs a
+:class:`TicketForwarderServer`, and obtaining usable credentials on B
+takes a three-step dance:
+
+1. The user on A opens an authenticated, encrypted session to B's
+   forwarder (so A needs a ticket for the *forwarder* first).
+2. ``ASREQ user`` — the forwarder performs the AS exchange *from B*, so
+   the KDC binds the new TGT to B's address.  The reply is opaque to the
+   forwarder (sealed under the user's ``Kc``) and is relayed back to A.
+3. The user decrypts the reply locally with their password (which never
+   leaves A), re-packages the credential, and sends it back with
+   ``INSTALL`` for the forwarder to drop into a credential cache on B.
+
+Compare one flag bit in V5 — and then compare the paper's conclusion
+that the flag bit is not worth its cascading-trust problems either.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kerberos import messages
+from repro.kerberos.appserver import AppServer, ServerSession
+from repro.kerberos.ccache import Credentials, parse_cache_bytes
+from repro.kerberos.client import PasswordSecret
+from repro.kerberos.kdc import AS_SERVICE
+from repro.kerberos.messages import AS_REP, AS_REQ, KDC_REP_ENC, unframe
+from repro.kerberos.principal import Principal
+from repro.sim.host import StorageKind
+from repro.sim.network import Endpoint
+
+__all__ = ["TicketForwarderServer", "forward_credentials"]
+
+
+class TicketForwarderServer(AppServer):
+    """The per-host forwarding daemon ("an additional server")."""
+
+    def __init__(self, *args, directory=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.directory = directory
+        self.installed = 0
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        command, _, rest = data.partition(b" ")
+        if command == b"ASREQ":
+            return self._relay_as_request(session, rest.decode())
+        if command == b"INSTALL":
+            return self._install(session, rest)
+        return b"ERR unknown command"
+
+    def _relay_as_request(self, session: ServerSession, user: str) -> bytes:
+        """Run the AS exchange from THIS host for the session's client.
+
+        Only the authenticated client may request their own TGT — the
+        forwarder must not become a harvesting proxy.
+        """
+        if session.client.name != user:
+            return b"ERR may only forward your own credentials"
+        realm = session.client.realm
+        request = self.config.codec.encode(AS_REQ, {
+            "client": str(session.client),
+            "server": str(Principal.tgs(realm)),
+            "nonce": self.rng.random_uint32(),
+            "flags_requested": 0,
+            "preauth": b"",
+            "dh_public": b"",
+        })
+        kdc_address = self.directory.kdc_address(realm)
+        reply = self.host.network.rpc(
+            self.host.address, Endpoint(kdc_address, AS_SERVICE), request
+        )
+        is_error, _body = unframe(self.config, reply)
+        if is_error:
+            return b"ERR KDC refused"
+        return b"OK " + reply
+
+    def _install(self, session: ServerSession, blob: bytes) -> bytes:
+        """Install a serialized credential into a cache on this host."""
+        try:
+            entries = parse_cache_bytes(blob)
+        except Exception:
+            return b"ERR bad credential encoding"
+        if not entries:
+            return b"ERR empty credential"
+        cred = entries[0]
+        if cred.client != session.client:
+            return b"ERR may only install your own credentials"
+        region_name = f"ccache:{session.client.name}"
+        existing = self.host.region(region_name)
+        data = (existing.data if existing and not existing.wiped else b"")
+        # *blob* is already in cache format (length-prefixed entries).
+        self.host.store(
+            region_name, session.client.name, StorageKind.LOCAL_DISK,
+            data + blob,
+        )
+        self.installed += 1
+        return b"OK installed"
+
+
+def forward_credentials(
+    forwarder_session, config, password: str, user: Principal
+) -> Optional[Credentials]:
+    """Drive the client side of the dance from host A.
+
+    Returns the credential now usable on the forwarder's host (it is
+    also installed in a cache there), or ``None`` on refusal.
+    """
+    reply = forwarder_session.call(b"ASREQ " + user.name.encode())
+    if not reply.startswith(b"OK "):
+        return None
+    _is_error, body = unframe(config, reply[3:])
+    values = config.codec.decode(AS_REP, body)
+    secret = PasswordSecret(password)
+    enc = config.codec.decode(
+        KDC_REP_ENC,
+        messages.unseal(values["enc_part"], secret.reply_key(b""), config),
+    )
+    cred = Credentials(
+        server=Principal.parse(enc["server"]),
+        client=user,
+        sealed_ticket=values["ticket"],
+        session_key=enc["session_key"],
+        issued_at=enc["issued_at"],
+        lifetime=enc["lifetime"],
+    )
+    # Re-serialize and ship it back for installation on host B.
+    from repro.kerberos.ccache import _serialize
+
+    blob = _serialize([cred])
+    result = forwarder_session.call(b"INSTALL " + blob)
+    if result != b"OK installed":
+        return None
+    return cred

@@ -1,0 +1,308 @@
+"""Message schemas and the encryption layer beneath them.
+
+Schemas
+-------
+Every protocol message the paper discusses is declared here as a
+:class:`repro.encoding.codec.Schema`.  Under the V4 codec the type codes
+are **not** put on the wire (the ambiguity weakness); under the V5 codec
+they label every message, inside and outside encryption
+(recommendation b).
+
+The encryption layer
+--------------------
+The paper insists that confounders, chaining, and integrity checksums
+"belong in a separate encryption layer, not at the level of the Kerberos
+protocols themselves", with explicitly stated properties.  That layer is
+:func:`seal` / :func:`unseal`:
+
+* mode: PCBC (V4) or CBC (V5) per the configuration;
+* optional random confounder block (V5);
+* optional integrity checksum sealed inside the ciphertext, of a
+  configured type — CRC-32 in Draft 3, collision-proof MD4 in the
+  hardened profile;
+* an explicit length field, so "it is no longer possible for an attacker
+  to truncate a message, and present the shortened form as a valid
+  encrypted message" — *when the integrity checksum is on*.
+
+:func:`seal_private` is the weaker privacy-only flavour that the Draft
+KRB_PRIV format effectively had, which the inter-session chosen-plaintext
+attack (:mod:`repro.attacks.chosen_plaintext`) exploits.
+
+Transport framing
+-----------------
+Replies are framed with a one-byte OK/ERROR discriminator.  This is
+transport-level (the analogue of "did the UDP reply parse as an
+error packet"), deliberately outside the protocol encodings so it gives
+the V4 codec no accidental type safety.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.crypto import checksum as ck
+from repro.crypto import modes
+from repro.crypto.checksum import ChecksumType
+from repro.encoding.codec import CodecError, Field, FieldKind, Schema
+
+__all__ = [
+    "TICKET", "AUTHENTICATOR", "AS_REQ", "AS_REP", "KDC_REP_ENC",
+    "TGS_REQ", "TGS_REP", "AP_REQ", "AP_REP_ENC", "KRB_SAFE", "KRB_ERROR",
+    "CHALLENGE_ENC", "SealError", "seal", "unseal", "seal_private",
+    "unseal_private", "frame_ok", "frame_error", "unframe",
+    "ERR_PREAUTH_REQUIRED", "ERR_PREAUTH_FAILED", "ERR_REPLAY",
+    "ERR_SKEW", "ERR_BAD_TICKET", "ERR_METHOD", "ERR_POLICY",
+    "ERR_UNKNOWN_PRINCIPAL", "ERR_BAD_ADDRESS", "ERR_GENERIC",
+    "ERR_TRANSIT_POLICY",
+]
+
+_S = FieldKind.STRING
+_U = FieldKind.UINT
+_B = FieldKind.BYTES
+
+
+def _schema(name: str, code: int, *fields: Tuple[str, FieldKind]) -> Schema:
+    return Schema(name, code, tuple(Field(n, k) for n, k in fields))
+
+
+# --- core structures ------------------------------------------------------
+
+#: The encrypted ticket content: {s, c, addr, timestamp, lifetime, Kc,s}Ks
+#: plus the V5 additions (flags, transited path).
+TICKET = _schema(
+    "ticket", 1,
+    ("server", _S), ("client", _S), ("address", _S),
+    ("issued_at", _U), ("lifetime", _U), ("session_key", _B),
+    ("flags", _U), ("transited", _S),
+)
+
+#: The encrypted authenticator: {c, addr, timestamp}Kc,s plus the fields
+#: the paper recommends adding (request checksum, ticket-binding checksum,
+#: initial sequence number, session-key negotiation share).
+AUTHENTICATOR = _schema(
+    "authenticator", 2,
+    ("client", _S), ("address", _S), ("timestamp", _U),
+    ("req_checksum", _B), ("ticket_checksum", _B),
+    ("seq", _U), ("subkey", _B),
+)
+
+# --- KDC exchanges ----------------------------------------------------------
+
+AS_REQ = _schema(
+    "as-req", 10,
+    ("client", _S), ("server", _S), ("nonce", _U),
+    ("flags_requested", _U),  # e.g. FORWARDABLE
+    ("preauth", _B),      # rec. g: encrypted nonce proving knowledge of Kc
+    ("dh_public", _B),    # rec. h: client's exponential for the DH layer
+)
+
+#: Encrypted part of AS_REP / TGS_REP:
+#: {Kc,s, server, nonce, times, [ticket checksum]}K
+KDC_REP_ENC = _schema(
+    "kdc-rep-enc", 11,
+    ("session_key", _B), ("server", _S), ("nonce", _U),
+    ("issued_at", _U), ("lifetime", _U),
+    ("ticket_checksum", _B),   # appendix rec. c; empty when disabled
+)
+
+AS_REP = _schema(
+    "as-rep", 12,
+    ("client", _S), ("ticket", _B), ("enc_part", _B),
+    ("dh_public", _B),    # KDC's exponential when the DH option is on
+    ("handheld_r", _B),   # rec. c: the random R, sent in the clear
+)
+
+TGS_REQ = _schema(
+    "tgs-req", 13,
+    ("server", _S),
+    ("ticket_server", _S),        # which key the presented ticket is under
+    ("ticket", _B), ("authenticator", _B),
+    ("options", _U),
+    ("additional_ticket", _B),    # ENC-TKT-IN-SKEY's enclosed TGT
+    ("authorization_data", _B),   # cleartext in Draft 3 — attack surface
+    ("forward_address", _S),      # OPT_FORWARD: re-address the TGT
+    ("nonce", _U),
+)
+
+TGS_REP = _schema(
+    "tgs-rep", 14,
+    ("client", _S), ("ticket", _B), ("enc_part", _B),
+    ("dh_public", _B), ("handheld_r", _B),
+)
+
+# --- application exchanges ---------------------------------------------------
+
+AP_REQ = _schema(
+    "ap-req", 16,
+    ("ticket", _B), ("authenticator", _B), ("options", _U),
+)
+
+#: Encrypted part of AP_REP: {timestamp + 1 proof, negotiated-key share,
+#: server's initial sequence number, challenge-response proof, session id}
+AP_REP_ENC = _schema(
+    "ap-rep-enc", 17,
+    ("timestamp", _U), ("subkey", _B), ("seq", _U), ("nonce_reply", _U),
+    ("session_id", _U),
+)
+
+KRB_SAFE = _schema(
+    "krb-safe", 20,
+    ("user_data", _B), ("timestamp", _U), ("seq", _U), ("checksum", _B),
+)
+
+KRB_ERROR = _schema(
+    "krb-error", 21,
+    ("code", _U), ("text", _S), ("e_data", _B),
+)
+
+#: Server-generated challenge, encrypted in the session key (rec. a).
+#: The client's response carries challenge+1 plus its key-negotiation
+#: share, proving possession of the session key with no clock involved.
+CHALLENGE_ENC = _schema(
+    "challenge-enc", 22,
+    ("challenge", _U), ("subkey", _B),
+)
+
+# Error codes (KRB_ERROR.code).
+ERR_GENERIC = 1
+ERR_UNKNOWN_PRINCIPAL = 2
+ERR_BAD_TICKET = 3
+ERR_SKEW = 4
+ERR_REPLAY = 5
+ERR_PREAUTH_REQUIRED = 6
+ERR_PREAUTH_FAILED = 7
+ERR_METHOD = 8          # "use the challenge/response alternative"
+ERR_POLICY = 9
+ERR_BAD_ADDRESS = 10
+ERR_TRANSIT_POLICY = 11
+
+
+# --- the encryption layer ----------------------------------------------------
+
+
+class SealError(ValueError):
+    """Decryption produced garbage: bad checksum, length, or padding."""
+
+
+def _encrypt(key: bytes, plaintext: bytes, config,
+             iv: bytes = modes.ZERO_IV) -> bytes:
+    padded = modes.pad_zero(plaintext)
+    if config.cipher_mode == "pcbc":
+        return modes.pcbc_encrypt(key, padded, iv)
+    return modes.cbc_encrypt(key, padded, iv)
+
+
+def _decrypt(key: bytes, ciphertext: bytes, config,
+             iv: bytes = modes.ZERO_IV) -> bytes:
+    if len(ciphertext) % modes.BLOCK_SIZE:
+        raise SealError("ciphertext is not block-aligned")
+    if config.cipher_mode == "pcbc":
+        return modes.pcbc_decrypt(key, ciphertext, iv)
+    return modes.cbc_decrypt(key, ciphertext, iv)
+
+
+def seal(data: bytes, key: bytes, config, rng,
+         iv: bytes = modes.ZERO_IV) -> bytes:
+    """Integrity-protected encryption for tickets and enc-parts.
+
+    Layout: ``[confounder] length(4) data checksum zero-pad``.  The
+    checksum (of the configured type, keyed when it requires a key)
+    covers length + data but — faithfully to the Draft's "confusion of
+    function" between confounder and IV that the paper criticises — NOT
+    the confounder block.  That gap is what lets a chosen-plaintext
+    oracle mint sealed structures (:mod:`repro.attacks.chosen_plaintext`):
+    an unkeyed checksum over attacker-chosen bytes is attacker-computable.
+    """
+    prefix = rng.random_bytes(modes.BLOCK_SIZE) if config.use_confounder else b""
+    body = len(data).to_bytes(4, "big") + data
+    spec = ck.spec_for(config.seal_checksum)
+    mac_key = key if spec.keyed else b""
+    digest = spec.compute(body, mac_key)
+    return _encrypt(key, prefix + body + digest, config, iv)
+
+
+def unseal(blob: bytes, key: bytes, config,
+           iv: bytes = modes.ZERO_IV) -> bytes:
+    """Invert :func:`seal`, verifying length and checksum."""
+    plaintext = _decrypt(key, blob, config, iv)
+    offset = modes.BLOCK_SIZE if config.use_confounder else 0
+    if len(plaintext) < offset + 4:
+        raise SealError("sealed message too short")
+    length = int.from_bytes(plaintext[offset:offset + 4], "big")
+    data_end = offset + 4 + length
+    spec = ck.spec_for(config.seal_checksum)
+    mac_end = data_end + spec.length
+    if mac_end > len(plaintext):
+        raise SealError("sealed length field inconsistent")
+    body = plaintext[offset:data_end]
+    digest = plaintext[data_end:mac_end]
+    mac_key = key if spec.keyed else b""
+    if not ck.verify(config.seal_checksum, body, digest, mac_key):
+        raise SealError("seal checksum mismatch")
+    if any(plaintext[mac_end:]):
+        raise SealError("nonzero padding after sealed data")
+    return plaintext[offset + 4:data_end]
+
+
+def seal_private(data: bytes, key: bytes, config, rng,
+                 iv: bytes = modes.ZERO_IV) -> bytes:
+    """Privacy-only encryption — the Draft KRB_PRIV body.
+
+    No length prefix, no checksum: ``[confounder] data pad``.  A prefix
+    of the output is a valid output for a prefix of the data, which is
+    the algebra behind the chosen-plaintext attack.  (The hardened
+    profile never uses this: ``private_message_integrity`` routes
+    KRB_PRIV through :func:`seal` instead.)
+
+    *iv* supports the paper's recommendation that the IV "be used as
+    intended, and be incremented or otherwise altered after each
+    message", with initial values "exchanged during (or derived from)
+    the authentication handshake" — see
+    :class:`repro.kerberos.session.PrivateChannel` with ``chain_ivs``.
+    """
+    prefix = rng.random_bytes(modes.BLOCK_SIZE) if config.use_confounder else b""
+    return _encrypt(key, prefix + data, config, iv)
+
+
+def unseal_private(blob: bytes, key: bytes, config,
+                   iv: bytes = modes.ZERO_IV) -> bytes:
+    """Invert :func:`seal_private`.  Returns data *including* padding —
+    the layer cannot tell data from pad; the message layout inside must
+    carry its own structure (which is the vulnerability)."""
+    plaintext = _decrypt(key, blob, config, iv)
+    if config.use_confounder:
+        if len(plaintext) < modes.BLOCK_SIZE:
+            raise SealError("missing confounder block")
+        plaintext = plaintext[modes.BLOCK_SIZE:]
+    return plaintext
+
+
+# --- transport framing --------------------------------------------------------
+
+_FRAME_OK = b"\x00"
+_FRAME_ERROR = b"\x01"
+
+
+def frame_ok(payload: bytes) -> bytes:
+    return _FRAME_OK + payload
+
+
+def frame_error(config, code: int, text: str, e_data: bytes = b"") -> bytes:
+    body = config.codec.encode(
+        KRB_ERROR, {"code": code, "text": text, "e_data": e_data}
+    )
+    return _FRAME_ERROR + body
+
+
+def unframe(config, payload: bytes) -> Tuple[bool, bytes]:
+    """Split a framed reply into (is_error, body)."""
+    if not payload:
+        raise CodecError("empty reply")
+    return payload[:1] == _FRAME_ERROR, payload[1:]
+
+
+def decode_error(config, body: bytes) -> Dict[str, Any]:
+    return config.codec.decode(KRB_ERROR, body)
+
+
+__all__.append("decode_error")

@@ -1,0 +1,94 @@
+"""Kerberos principals: the (name, instance, realm) three-tuple.
+
+    "A principal is generally either a user or a particular service on
+    some machine.  A principal consists of the three-tuple
+    <primary name, instance, realm>."
+
+Users have a login name and an optional attribute instance (``root``);
+services use the service name as primary name and the machine name as
+instance (``rlogin.myhost``).  The realm distinguishes authentication
+domains, so "there need not be one giant — and universally trusted —
+Kerberos database serving an entire company."
+
+The paper's keystore section also proposes *derived instances* — a user
+``pat`` registering ``pat.email`` as a separately-keyed service — which
+:meth:`Principal.with_instance` supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Principal", "PrincipalError"]
+
+
+class PrincipalError(ValueError):
+    """Malformed principal string or component."""
+
+
+_FORBIDDEN_NAME = set(".@\x00")
+_FORBIDDEN_INSTANCE = set("@\x00")  # dots allowed: realm names appear here
+
+
+def _check_component(value: str, what: str, allow_empty: bool = False) -> None:
+    if not value and not allow_empty:
+        raise PrincipalError(f"{what} must not be empty")
+    forbidden = _FORBIDDEN_INSTANCE if what == "instance" else _FORBIDDEN_NAME
+    bad = forbidden & set(value)
+    if bad:
+        raise PrincipalError(f"{what} contains forbidden characters {bad!r}")
+
+
+@dataclass(frozen=True, order=True)
+class Principal:
+    """An authenticated identity: user, service, or TGS."""
+
+    name: str
+    instance: str = ""
+    realm: str = ""
+
+    def __post_init__(self) -> None:
+        _check_component(self.name, "name")
+        _check_component(self.instance, "instance", allow_empty=True)
+        # Realms may be dot-separated hierarchies ("ENG.ACME.COM").
+        if "@" in self.realm or "\x00" in self.realm:
+            raise PrincipalError("realm contains forbidden characters")
+
+    @classmethod
+    def parse(cls, text: str) -> "Principal":
+        """Parse ``name[.instance][@REALM]`` notation."""
+        realm = ""
+        if "@" in text:
+            text, realm = text.split("@", 1)
+        name, _, instance = text.partition(".")
+        return cls(name, instance, realm)
+
+    @classmethod
+    def service(cls, service: str, hostname: str, realm: str) -> "Principal":
+        """A service principal such as ``rlogin.myhost@REALM``."""
+        return cls(service, hostname, realm)
+
+    @classmethod
+    def tgs(cls, realm: str, for_realm: str = "") -> "Principal":
+        """The ticket-granting server of *realm*.
+
+        With *for_realm* set, this is the inter-realm principal
+        ``krbtgt.<for_realm>@<realm>`` — realm's TGS acting as a client
+        of another realm's TGS, as V5's inter-realm scheme requires.
+        """
+        return cls("krbtgt", for_realm or realm, realm)
+
+    def with_instance(self, instance: str) -> "Principal":
+        """Derive a separately-keyed instance (the ``pat.email`` pattern)."""
+        return Principal(self.name, instance, self.realm)
+
+    def in_realm(self, realm: str) -> "Principal":
+        return Principal(self.name, self.instance, realm)
+
+    @property
+    def is_tgs(self) -> bool:
+        return self.name == "krbtgt"
+
+    def __str__(self) -> str:
+        base = self.name if not self.instance else f"{self.name}.{self.instance}"
+        return f"{base}@{self.realm}" if self.realm else base

@@ -1,0 +1,159 @@
+"""Realms, inter-realm routing, and the cascading-trust problem.
+
+Version 5's inter-realm scheme makes "the ticket-granting server in a
+realm the client of another realm's TGS", with realms "normally
+configured in a hierarchical fashion".  The paper's objections, all
+modelled here:
+
+* **Routing** — "there is no discussion of how a TGS can determine which
+  of its neighboring realms should be the next hop."  We implement the
+  two answers the paper considers: domain-style hierarchical routing
+  derived from realm names (:func:`next_hop`), and static tables
+  (:meth:`RealmDirectory.add_static_route`) whose out-of-band setup is
+  itself a trust assumption.
+
+* **Transited-path recording** — each TGS that signs a cross-realm
+  request appends its name; the destination decides whether every
+  transit realm is trustworthy.  "In a large internet, such knowledge is
+  probably not possible" — :class:`TrustPolicy` is exactly that
+  knowledge, and benchmark E16 shows what happens when it is wrong or
+  absent.
+
+Realm names are dot-separated, child-first: ``ENG.ACME`` is a child of
+``ACME``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "RealmError", "parent_realm", "is_ancestor", "hierarchy_path",
+    "RealmDirectory", "TrustPolicy", "append_transited", "parse_transited",
+]
+
+
+class RealmError(RuntimeError):
+    """No route between realms, or a malformed realm name."""
+
+
+def parent_realm(realm: str) -> Optional[str]:
+    """``ENG.ACME`` -> ``ACME``; top-level realms have no parent."""
+    if "." not in realm:
+        return None
+    return realm.split(".", 1)[1]
+
+
+def is_ancestor(ancestor: str, realm: str) -> bool:
+    """True if *realm* equals or lies beneath *ancestor*."""
+    return realm == ancestor or realm.endswith("." + ancestor)
+
+
+def hierarchy_path(src: str, dst: str) -> List[str]:
+    """The realm sequence from *src* to *dst* through the name hierarchy.
+
+    Walk up from *src* to the closest common ancestor, then down to
+    *dst*.  Includes both endpoints.  Raises :class:`RealmError` when the
+    two names share no root (the paper's "in the absence of a global name
+    space" problem).
+    """
+    up = [src]
+    node: Optional[str] = src
+    while node is not None and not is_ancestor(node, dst):
+        node = parent_realm(node)
+        if node is not None:
+            up.append(node)
+    if node is None:
+        raise RealmError(f"no common ancestor between {src!r} and {dst!r}")
+
+    down: List[str] = []
+    walker: Optional[str] = dst
+    while walker is not None and walker != node:
+        down.append(walker)
+        walker = parent_realm(walker)
+    return up + list(reversed(down))
+
+
+@dataclass
+class RealmDirectory:
+    """Where each realm's KDC lives, plus optional static routes.
+
+    The directory is deliberately *unauthenticated* configuration data —
+    the paper asks whether administrators "rely on electronic mail
+    messages or telephone calls to set up their routing tables", and the
+    answer here is yes: anything written into this object is believed.
+    """
+
+    kdc_addresses: Dict[str, str] = field(default_factory=dict)
+    static_routes: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    def register(self, realm: str, kdc_address: str) -> None:
+        self.kdc_addresses[realm] = kdc_address
+
+    def kdc_address(self, realm: str) -> str:
+        try:
+            return self.kdc_addresses[realm]
+        except KeyError:
+            raise RealmError(f"no KDC known for realm {realm!r}")
+
+    def add_static_route(self, src: str, dst: str, next_realm: str) -> None:
+        """Override hierarchical routing for the (src, dst) pair."""
+        self.static_routes[(src, dst)] = next_realm
+
+    def next_hop(self, src: str, dst: str) -> str:
+        """The realm *src*'s TGS should send a request for *dst* towards."""
+        if src == dst:
+            raise RealmError("already in the destination realm")
+        override = self.static_routes.get((src, dst))
+        if override is not None:
+            return override
+        path = hierarchy_path(src, dst)
+        return path[1]
+
+
+@dataclass
+class TrustPolicy:
+    """A server's view of which transit realms are acceptable.
+
+    ``trusted_realms=None`` models the server that never looks at the
+    transited field — the Draft 3 default, since checking requires
+    "global knowledge of the trustworthiness of all possible transit
+    realms".
+    """
+
+    trusted_realms: Optional[Set[str]] = None
+    max_path_length: Optional[int] = None
+    accept_forwarded: bool = True
+
+    def check_transited(
+        self, transited: str, client_realm: str,
+        local_realm: Optional[str] = None,
+    ) -> Tuple[bool, str]:
+        """Return (acceptable, reason).
+
+        *local_realm* is the checking server's own realm: clients from
+        home never need transit trust, foreign clients always do.
+        """
+        path = parse_transited(transited)
+        if self.max_path_length is not None and len(path) > self.max_path_length:
+            return False, f"transit path length {len(path)} exceeds limit"
+        if self.trusted_realms is not None:
+            for realm in path:
+                if realm not in self.trusted_realms:
+                    return False, f"untrusted transit realm {realm!r}"
+            foreign = local_realm is None or client_realm != local_realm
+            if foreign and client_realm not in self.trusted_realms:
+                return False, f"untrusted client realm {client_realm!r}"
+        return True, "ok"
+
+
+def append_transited(transited: str, realm: str) -> str:
+    """Add *realm* to a comma-separated transit path."""
+    if not transited:
+        return realm
+    return f"{transited},{realm}"
+
+
+def parse_transited(transited: str) -> List[str]:
+    return [r for r in transited.split(",") if r]

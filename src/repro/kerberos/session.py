@@ -1,0 +1,352 @@
+"""Authenticated/private message channels: KRB_PRIV and KRB_SAFE.
+
+This layer carries the weight of three of the paper's findings:
+
+* **"Session key" is a misnomer** — the key in the ticket is a
+  *multi-session* key, shared by every session opened with that ticket
+  during its lifetime.  :class:`SessionKeys` holds both the multi-session
+  key and, when recommendation (e) is enabled, the *true* session key
+  computed as "an exclusive-or of the multisession key associated with
+  the ticket, a randomly-generated field in the authenticator, and a
+  similar field in the reply message."
+
+* **KRB_PRIV layout** — the Draft format puts DATA first in the
+  encrypted body, making ciphertext prefixes meaningful (the
+  chosen-plaintext attack); the V4 format's leading length field
+  "disrupts the prefix-based attack."  Both layouts are implemented,
+  selected by ``config.krb_priv_layout``.
+
+* **Timestamps vs. sequence numbers** — with timestamps, replay
+  protection needs a cache of recently-seen stamps, and "if two
+  authenticated or encrypted sessions run concurrently, the cache must
+  be shared between them, or messages from one session can be replayed
+  into the other."  With per-session random initial sequence numbers
+  (the appendix's fix) the cache collapses to a last-counter and
+  cross-stream replay dies.  Both modes are implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.crypto import checksum as ck
+from repro.crypto.bits import xor_bytes
+from repro.crypto.checksum import ChecksumType
+from repro.kerberos import messages
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.messages import KRB_SAFE, SealError
+
+__all__ = [
+    "DIR_CLIENT_TO_SERVER", "DIR_SERVER_TO_CLIENT",
+    "ChannelError", "SessionKeys", "PrivateChannel",
+    "encode_private_body", "decode_private_body", "SafeChannel",
+]
+
+DIR_CLIENT_TO_SERVER = 0
+DIR_SERVER_TO_CLIENT = 1
+
+
+class ChannelError(RuntimeError):
+    """Replay, direction, address, or integrity failure on a channel."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class SessionKeys:
+    """The multi-session key plus optional negotiated shares."""
+
+    multi_key: bytes
+    client_share: bytes = b""
+    server_share: bytes = b""
+
+    @property
+    def true_key(self) -> bytes:
+        """The negotiated session key; falls back to the multi-session key
+        when either share is absent (the compatibility behaviour the
+        appendix suggests)."""
+        key = self.multi_key
+        if self.client_share and self.server_share:
+            key = xor_bytes(xor_bytes(key, self.client_share), self.server_share)
+        return key
+
+    def channel_key(self, config: ProtocolConfig) -> bytes:
+        return self.true_key if config.negotiate_session_key else self.multi_key
+
+
+# --- KRB_PRIV body layouts ---------------------------------------------------
+
+
+def encode_private_body(
+    data: bytes, timestamp: int, direction: int, address: str,
+    config: ProtocolConfig,
+) -> bytes:
+    """Assemble the to-be-encrypted KRB_PRIV interior."""
+    addr = address.encode("utf-8")
+    trailer = (
+        timestamp.to_bytes(8, "big")
+        + bytes([direction])
+        + addr
+        + len(addr).to_bytes(2, "big")
+    )
+    if config.krb_priv_layout == "v5draft":
+        # (DATA, timestamp+direction, hostaddress) — DATA leads, nothing
+        # in front of it; the encryption layer's pad follows.
+        return data + trailer + b"\x00"  # explicit pad-length marker
+    # V4: (length(DATA), DATA, timestamp+direction, hostaddress).
+    return len(data).to_bytes(4, "big") + data + trailer
+
+
+def decode_private_body(
+    body: bytes, config: ProtocolConfig
+) -> Tuple[bytes, int, int, str]:
+    """Parse a decrypted KRB_PRIV interior -> (data, timestamp, dir, addr).
+
+    The v5draft parser works from the *end* (pad marker, address length),
+    because DATA is unframed at the front — exactly the structure that
+    tolerates an attacker terminating the message wherever their chosen
+    plaintext ends.  The V4 parser reads the leading length and demands
+    everything line up.
+    """
+    try:
+        if config.krb_priv_layout == "v5draft":
+            # Strip the zero pad the cipher added, back to our marker.
+            end = len(body)
+            while end > 0 and body[end - 1] == 0:
+                end -= 1
+            # body[end-1] would be the last nonzero byte; the marker byte
+            # itself is zero, so `end` now points just past the trailer.
+            addr_len = int.from_bytes(body[end - 2:end], "big")
+            addr_start = end - 2 - addr_len
+            addr = body[addr_start:end - 2].decode("utf-8")
+            direction = body[addr_start - 1]
+            timestamp = int.from_bytes(body[addr_start - 9:addr_start - 1], "big")
+            data = body[:addr_start - 9]
+            return data, timestamp, direction, addr
+        length = int.from_bytes(body[:4], "big")
+        data = body[4:4 + length]
+        if len(data) != length:
+            raise ChannelError("parse", "length field exceeds message")
+        cursor = 4 + length
+        timestamp = int.from_bytes(body[cursor:cursor + 8], "big")
+        direction = body[cursor + 8]
+        rest = body[cursor + 9:]
+        # Address is length-suffixed; anything after it must be zero pad.
+        for end in range(len(rest), 1, -1):
+            if any(rest[end:]):
+                continue
+            addr_len = int.from_bytes(rest[end - 2:end], "big")
+            if addr_len == end - 2:
+                addr = rest[:addr_len].decode("utf-8")
+                return data, timestamp, direction, addr
+        raise ChannelError("parse", "could not locate address trailer")
+    except ChannelError:
+        raise
+    except Exception as exc:
+        raise ChannelError("parse", str(exc))
+
+
+class PrivateChannel:
+    """One endpoint of a KRB_PRIV conversation.
+
+    Holds the replay state for *this* session: a timestamp cache (in
+    timestamp mode) or send/receive counters (in sequence-number mode).
+    The cross-stream replay weakness arises precisely because each
+    channel's cache is private to it while the key may not be.
+    """
+
+    def __init__(
+        self,
+        keys: SessionKeys,
+        config: ProtocolConfig,
+        rng,
+        clock,
+        local_address: str,
+        peer_address: str,
+        direction: int,
+        initial_send_seq: int = 0,
+        initial_recv_seq: int = 0,
+    ):
+        self.keys = keys
+        self.config = config
+        self.rng = rng
+        self.clock = clock
+        self.local_address = local_address
+        self.peer_address = peer_address
+        self.direction = direction
+        self.send_seq = initial_send_seq
+        self.recv_seq = initial_recv_seq
+        self._seen_stamps: Set[Tuple[int, int]] = set()
+        self.messages_sent = 0
+        self.messages_received = 0
+        # IV chaining (appendix rec. d): per-direction IV bases derived
+        # from the channel key — "exchanged during (or derived from) the
+        # authentication handshake" — stepped once per message.
+        self._send_iv_count = 0
+        self._recv_iv_count = 0
+
+    def _iv_base(self, direction: int) -> bytes:
+        from repro.crypto.md4 import md4
+
+        key = self.keys.channel_key(self.config)
+        return md4(key + bytes([direction]) + b"iv-chain")[:8]
+
+    def _iv_for(self, direction: int, count: int) -> bytes:
+        from repro.crypto.md4 import md4
+
+        if not self.config.chain_ivs:
+            from repro.crypto.modes import ZERO_IV
+            return ZERO_IV
+        return md4(self._iv_base(direction) + count.to_bytes(8, "big"))[:8]
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, data: bytes) -> bytes:
+        """Wrap *data* for the wire."""
+        config = self.config
+        if config.use_sequence_numbers:
+            stamp = self.send_seq
+            self.send_seq += 1
+        else:
+            stamp = config.round_timestamp(self.clock.now())
+        body = encode_private_body(
+            data, stamp, self.direction, self.local_address, config
+        )
+        key = self.keys.channel_key(config)
+        iv = self._iv_for(self.direction, self._send_iv_count)
+        self._send_iv_count += 1
+        self.messages_sent += 1
+        if config.private_message_integrity:
+            return messages.seal(body, key, config, self.rng, iv=iv)
+        return messages.seal_private(body, key, config, self.rng, iv=iv)
+
+    # -- receiving -----------------------------------------------------------
+
+    def receive(self, blob: bytes) -> bytes:
+        """Unwrap a wire message, enforcing replay/direction/address rules."""
+        config = self.config
+        key = self.keys.channel_key(config)
+        expected_direction = 1 - self.direction
+        iv = self._iv_for(expected_direction, self._recv_iv_count)
+        try:
+            if config.private_message_integrity:
+                body = messages.unseal(blob, key, config, iv=iv)
+            else:
+                body = messages.unseal_private(blob, key, config, iv=iv)
+            data, stamp, direction, address = decode_private_body(body, config)
+        except SealError as exc:
+            raise ChannelError(
+                "iv-chain" if config.chain_ivs else "decrypt", str(exc)
+            )
+        except ChannelError as exc:
+            if config.chain_ivs:
+                raise ChannelError(
+                    "iv-chain",
+                    f"message does not decrypt at chain position "
+                    f"{self._recv_iv_count} (replayed, deleted, or "
+                    f"reordered): {exc}",
+                )
+            raise
+        self._recv_iv_count += 1
+
+        expected_direction = 1 - self.direction
+        if direction != expected_direction:
+            raise ChannelError(
+                "direction", f"got {direction}, expected {expected_direction}"
+            )
+        if config.bind_address and address != self.peer_address:
+            raise ChannelError(
+                "address", f"message claims {address!r}, peer is {self.peer_address!r}"
+            )
+
+        if config.chain_ivs:
+            # The chained IV already proved this is the next message in
+            # order under this key and direction; no clock, no cache
+            # ("such chaining avoids both the dependence on a clock and
+            # the need to cache recent timestamps").
+            pass
+        elif config.use_sequence_numbers:
+            if stamp != self.recv_seq:
+                raise ChannelError(
+                    "sequence",
+                    f"got {stamp}, expected {self.recv_seq} "
+                    + ("(replay)" if stamp < self.recv_seq else "(gap: deletion?)"),
+                )
+            self.recv_seq += 1
+        else:
+            now = self.clock.now()
+            window = self.config.clock_skew
+            if abs(now - stamp) > window:
+                raise ChannelError("stale", f"timestamp {stamp}, now {now}")
+            cache_key = (stamp, direction)
+            if cache_key in self._seen_stamps:
+                raise ChannelError("replay", f"timestamp {stamp} already seen")
+            self._seen_stamps.add(cache_key)
+
+        self.messages_received += 1
+        return data
+
+    @property
+    def timestamp_cache_size(self) -> int:
+        """How much state timestamp-mode replay detection accumulates
+        (benchmark E14's y-axis).  Sequence mode is O(1) by construction."""
+        return len(self._seen_stamps)
+
+
+class SafeChannel:
+    """KRB_SAFE: integrity without privacy — data + keyed checksum."""
+
+    def __init__(self, keys: SessionKeys, config: ProtocolConfig, clock,
+                 initial_send_seq: int = 0, initial_recv_seq: int = 0):
+        self.keys = keys
+        self.config = config
+        self.clock = clock
+        self.send_seq = initial_send_seq
+        self.recv_seq = initial_recv_seq
+        self._seen_stamps: Set[int] = set()
+
+    def send(self, data: bytes) -> bytes:
+        config = self.config
+        if config.use_sequence_numbers:
+            stamp, seq = 0, self.send_seq
+            self.send_seq += 1
+        else:
+            stamp, seq = config.round_timestamp(self.clock.now()), 0
+        key = self.keys.channel_key(config)
+        mac = ck.compute(
+            ChecksumType.MD4_DES,
+            data + stamp.to_bytes(8, "big") + seq.to_bytes(8, "big"),
+            key,
+        )
+        return config.codec.encode(KRB_SAFE, {
+            "user_data": data, "timestamp": stamp, "seq": seq, "checksum": mac,
+        })
+
+    def receive(self, blob: bytes) -> bytes:
+        config = self.config
+        values = config.codec.decode(KRB_SAFE, blob)
+        key = self.keys.channel_key(config)
+        expected = ck.compute(
+            ChecksumType.MD4_DES,
+            values["user_data"]
+            + values["timestamp"].to_bytes(8, "big")
+            + values["seq"].to_bytes(8, "big"),
+            key,
+        )
+        if values["checksum"] != expected:
+            raise ChannelError("integrity", "KRB_SAFE checksum mismatch")
+        if config.use_sequence_numbers:
+            if values["seq"] != self.recv_seq:
+                raise ChannelError("sequence", f"got {values['seq']}")
+            self.recv_seq += 1
+        else:
+            stamp = values["timestamp"]
+            if abs(self.clock.now() - stamp) > config.clock_skew:
+                raise ChannelError("stale", f"timestamp {stamp}")
+            if stamp in self._seen_stamps:
+                raise ChannelError("replay", f"timestamp {stamp}")
+            self._seen_stamps.add(stamp)
+        return values["user_data"]

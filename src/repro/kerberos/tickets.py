@@ -1,0 +1,171 @@
+"""Tickets and authenticators as first-class objects.
+
+A ticket is "assorted information identifying the principal, encrypted in
+the private key of the service"; an authenticator is "a brief string
+encrypted in the session key and containing a timestamp".  This module
+holds the structured forms, their (codec-dependent) encodings, and the
+seal/unseal round trips under the right keys.
+
+Flags reproduce the V5 machinery the paper critiques: the FORWARDED bit
+that "does not include the original source", and the option bits
+(ENC-TKT-IN-SKEY, REUSE-SKEY) whose overloading of the basic protocol
+the appendix attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.crypto.checksum import ChecksumType, compute
+from repro.kerberos import messages
+from repro.kerberos.messages import AUTHENTICATOR, TICKET, SealError
+from repro.kerberos.principal import Principal
+
+__all__ = [
+    "FLAG_FORWARDABLE", "FLAG_FORWARDED", "FLAG_DUPLICATE_SKEY",
+    "OPT_ENC_TKT_IN_SKEY", "OPT_REUSE_SKEY", "OPT_MUTUAL_AUTH",
+    "OPT_FORWARD", "OPT_CR_RESPONSE",
+    "Ticket", "Authenticator",
+]
+
+# Ticket flags.
+FLAG_FORWARDABLE = 1 << 0
+FLAG_FORWARDED = 1 << 1
+FLAG_DUPLICATE_SKEY = 1 << 2   # Draft 3's REUSE-SKEY marker
+
+# TGS_REQ / AP_REQ option bits.
+OPT_MUTUAL_AUTH = 1 << 0
+OPT_ENC_TKT_IN_SKEY = 1 << 1
+OPT_REUSE_SKEY = 1 << 2
+OPT_FORWARD = 1 << 3
+OPT_CR_RESPONSE = 1 << 4   # this AP_REQ answers a server challenge
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """Decrypted ticket contents, plus helpers to seal them."""
+
+    server: Principal
+    client: Principal
+    address: str          # empty string = not address-bound (V5 option)
+    issued_at: int
+    lifetime: int
+    session_key: bytes
+    flags: int = 0
+    transited: str = ""   # comma-separated realm path (V5 inter-realm)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def expires_at(self) -> int:
+        return self.issued_at + self.lifetime
+
+    def is_current(self, now: int, skew: int) -> bool:
+        return self.issued_at - skew <= now <= self.expires_at() + skew
+
+    def has_flag(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    def forwarded_copy(self, new_address: str) -> "Ticket":
+        """The V5 forwarding result: FORWARDED set, original source lost
+        ("has a flag bit to indicate that a ticket was forwarded, but
+        does not include the original source")."""
+        return replace(
+            self, address=new_address, flags=self.flags | FLAG_FORWARDED
+        )
+
+    # -- wire form ---------------------------------------------------------
+
+    def encode(self, config) -> bytes:
+        return config.codec.encode(TICKET, {
+            "server": str(self.server),
+            "client": str(self.client),
+            "address": self.address,
+            "issued_at": self.issued_at,
+            "lifetime": self.lifetime,
+            "session_key": self.session_key,
+            "flags": self.flags,
+            "transited": self.transited,
+        })
+
+    @classmethod
+    def decode(cls, config, data: bytes) -> "Ticket":
+        values = config.codec.decode(TICKET, data)
+        return cls(
+            server=Principal.parse(values["server"]),
+            client=Principal.parse(values["client"]),
+            address=values["address"],
+            issued_at=values["issued_at"],
+            lifetime=values["lifetime"],
+            session_key=values["session_key"],
+            flags=values["flags"],
+            transited=values["transited"],
+        )
+
+    def seal(self, service_key: bytes, config, rng) -> bytes:
+        """{Tc,s}Ks — the form that travels on the wire."""
+        return messages.seal(self.encode(config), service_key, config, rng)
+
+    @classmethod
+    def unseal(cls, blob: bytes, service_key: bytes, config) -> "Ticket":
+        try:
+            return cls.decode(config, messages.unseal(blob, service_key, config))
+        except messages.SealError:
+            raise
+        except Exception as exc:  # codec errors become ticket errors
+            raise SealError(f"ticket did not parse after decryption: {exc}")
+
+    def checksum(self, config, sealed: bytes) -> bytes:
+        """Collision-proof digest of the sealed ticket (appendix rec. c)."""
+        return compute(ChecksumType.MD4, sealed)
+
+
+@dataclass(frozen=True)
+class Authenticator:
+    """Decrypted authenticator contents: {c, addr, timestamp}Kc,s plus the
+    recommended extra fields (empty/zero when a given option is off)."""
+
+    client: Principal
+    address: str
+    timestamp: int
+    req_checksum: bytes = b""     # Draft 3: guards cleartext TGS_REQ fields
+    ticket_checksum: bytes = b""  # appendix: binds authenticator to ticket
+    seq: int = 0                  # initial sequence number (appendix)
+    subkey: bytes = b""           # session-key negotiation share (rec. e)
+
+    def encode(self, config) -> bytes:
+        return config.codec.encode(AUTHENTICATOR, {
+            "client": str(self.client),
+            "address": self.address,
+            "timestamp": self.timestamp,
+            "req_checksum": self.req_checksum,
+            "ticket_checksum": self.ticket_checksum,
+            "seq": self.seq,
+            "subkey": self.subkey,
+        })
+
+    @classmethod
+    def decode(cls, config, data: bytes) -> "Authenticator":
+        values = config.codec.decode(AUTHENTICATOR, data)
+        return cls(
+            client=Principal.parse(values["client"]),
+            address=values["address"],
+            timestamp=values["timestamp"],
+            req_checksum=values["req_checksum"],
+            ticket_checksum=values["ticket_checksum"],
+            seq=values["seq"],
+            subkey=values["subkey"],
+        )
+
+    def seal(self, session_key: bytes, config, rng) -> bytes:
+        """{Ac}Kc,s."""
+        return messages.seal(self.encode(config), session_key, config, rng)
+
+    @classmethod
+    def unseal(cls, blob: bytes, session_key: bytes, config) -> "Authenticator":
+        try:
+            return cls.decode(config, messages.unseal(blob, session_key, config))
+        except messages.SealError:
+            raise
+        except Exception as exc:
+            raise SealError(f"authenticator did not parse: {exc}")

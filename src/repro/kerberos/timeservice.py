@@ -1,0 +1,57 @@
+"""A Kerberos-authenticated time service — and its bootstrap problem.
+
+    "But synchronizing the servers remains a problem; not synchronizing
+    them will lead to denial of service, and if they access the time
+    service as a client, they must somehow obtain and store a ticket and
+    key to authenticate it. ...  it may not make sense to build an
+    authentication system assuming an already-authenticated underlying
+    system."
+
+:class:`KerberizedTimeService` is the natural-looking design: run the
+time service as an ordinary Kerberos application server, so replies are
+authenticated with no extra key-distribution machinery.  The circularity
+is then demonstrable (``tests/test_time_bootstrap.py``):
+
+* a host whose clock is *slightly* wrong can authenticate to the time
+  service and fix itself;
+* a host whose clock has drifted past the permitted skew **cannot** —
+  its authenticators are judged stale by the very service that could
+  have told it the time.  Authentication needs time; getting the time
+  needs authentication.
+
+The paper's conclusion stands in code: the time base has to come from
+outside the authentication system (the statically-keyed
+:class:`repro.sim.timesvc.AuthenticatedTimeService`, physical
+distribution, or an explicit challenge/response time exchange).
+"""
+
+from __future__ import annotations
+
+from repro.kerberos.appserver import AppServer, ServerSession
+
+__all__ = ["KerberizedTimeService", "kerberized_time_sync"]
+
+
+class KerberizedTimeService(AppServer):
+    """``TIME`` -> the service host's current clock, over KRB_PRIV."""
+
+    def serve(self, session: ServerSession, data: bytes) -> bytes:
+        if data.strip() == b"TIME":
+            return self.host.clock.now().to_bytes(8, "big")
+        return b"ERR unknown command"
+
+
+def kerberized_time_sync(client, service, endpoint) -> int:
+    """Fetch the time through a fully authenticated session and adopt it.
+
+    *client* is a :class:`repro.kerberos.client.KerberosClient` whose
+    host clock may be wrong; every step — the TGS exchange, the AP
+    exchange, the private message — stamps authenticators with that
+    wrong clock, which is exactly where the bootstrap breaks.
+    """
+    cred = client.get_service_ticket(service.principal)
+    session = client.ap_exchange(cred, endpoint)
+    reply = session.call(b"TIME")
+    reported = int.from_bytes(reply[:8], "big")
+    client.host.clock.set_from(reported)
+    return reported

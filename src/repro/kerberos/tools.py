@@ -1,0 +1,99 @@
+"""Operator tools: klist-style credential inspection and wire-log dumps.
+
+Small, human-oriented renderers used by the examples and handy at the
+REPL.  Nothing here touches protocol state; it only formats what the
+library objects already expose.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kerberos.ccache import CredentialCache, Credentials
+from repro.kerberos.tickets import (
+    FLAG_DUPLICATE_SKEY, FLAG_FORWARDABLE, FLAG_FORWARDED, Ticket,
+)
+from repro.sim.clock import MINUTE
+
+__all__ = ["format_credentials", "klist", "describe_ticket",
+           "security_report", "wire_summary"]
+
+_FLAG_NAMES = [
+    (FLAG_FORWARDABLE, "FORWARDABLE"),
+    (FLAG_FORWARDED, "FORWARDED"),
+    (FLAG_DUPLICATE_SKEY, "DUPLICATE-SKEY"),
+]
+
+
+def _minutes(value: int) -> str:
+    return f"{value / MINUTE:.0f}m"
+
+
+def format_credentials(cred: Credentials, now: int) -> str:
+    """One klist line for a cached credential."""
+    remaining = cred.expires_at() - now
+    state = "EXPIRED" if remaining < 0 else f"{_minutes(remaining)} left"
+    return (
+        f"{str(cred.server):32s} issued@{cred.issued_at:>14d} "
+        f"life={_minutes(cred.lifetime):>6s} ({state})"
+    )
+
+
+def klist(cache: CredentialCache, now: int) -> str:
+    """Render a credential cache the way klist(1) would."""
+    entries = cache.entries()
+    header = f"Ticket cache for {cache.owner} on {cache.host.name}"
+    if not entries:
+        return header + "\n  (no tickets)"
+    lines = [header]
+    lines.extend("  " + format_credentials(cred, now) for cred in entries)
+    return "\n".join(lines)
+
+
+def describe_ticket(ticket: Ticket) -> str:
+    """Multi-line dump of a decrypted ticket's contents."""
+    flags = [name for bit, name in _FLAG_NAMES if ticket.flags & bit]
+    lines = [
+        f"server:    {ticket.server}",
+        f"client:    {ticket.client}",
+        f"address:   {ticket.address or '(unbound — usable anywhere)'}",
+        f"issued at: {ticket.issued_at}",
+        f"lifetime:  {_minutes(ticket.lifetime)}",
+        f"flags:     {', '.join(flags) or '(none)'}",
+        f"transited: {ticket.transited or '(direct)'}",
+    ]
+    return "\n".join(lines)
+
+
+def security_report(server) -> str:
+    """An operator's rejection histogram for one application server.
+
+    The paper worries about "a security alarm raised inappropriately";
+    this is where an operator would look to tell attack pressure from
+    misconfiguration: which checks are firing, and how often.
+    """
+    from collections import Counter
+
+    counts = Counter(server.rejection_reasons)
+    lines = [
+        f"security report for {server.principal} "
+        f"(accepted {server.accepted}, rejected {server.rejected})"
+    ]
+    if not counts:
+        lines.append("  no rejections recorded")
+    for reason, count in counts.most_common():
+        lines.append(f"  {reason:24s} x{count}")
+    return "\n".join(lines)
+
+
+def wire_summary(messages: List, limit: int = 0) -> str:
+    """Compact rendering of (part of) the adversary's wire log."""
+    shown = messages if not limit else messages[-limit:]
+    lines = [
+        f"{m.direction:8s} {m.src_address:12s} -> "
+        f"{m.dst.address}:{m.dst.service:14s} {len(m.payload):4d}B"
+        for m in shown
+    ]
+    if limit and len(messages) > limit:
+        lines.insert(0, f"... ({len(messages) - limit} earlier messages)")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Authenticator and ticket validation, shared by the TGS and app servers.
+
+This is the checking the paper scrutinises: "if the time does not match
+the current time within the (predetermined) clock skew limits, the
+request is assumed to be fraudulent."  Everything configurable about that
+sentence is a :class:`repro.kerberos.config.ProtocolConfig` knob:
+
+* the skew window itself (E2 sweeps it);
+* whether a **replay cache** of live authenticators is kept — "the
+  original design of Kerberos required such caching, though this was
+  never implemented";
+* whether the authenticator must carry a **collision-proof checksum of
+  the ticket** it accompanies, closing the REUSE-SKEY redirect
+  (appendix recommendation c);
+* whether the network address in the ticket is checked at all.
+
+The validator reads time from the *verifying host's* clock, so a host
+whose clock has been dragged backwards by a spoofed time service will
+happily accept stale authenticators (E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.crypto.checksum import ChecksumType, compute
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.tickets import Authenticator, Ticket
+
+__all__ = ["ValidationError", "ReplayCache", "validate_authenticator"]
+
+
+class ValidationError(RuntimeError):
+    """The AP/TGS request failed a check; ``reason`` is machine-readable."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+        self.reason = reason
+
+
+class ReplayCache:
+    """Server-side store of live authenticators.
+
+    Keyed on (client, timestamp, checksum-of-authenticator-bytes); entries
+    expire once older than the authenticator lifetime plus skew, so the
+    cache stays bounded — that growth is measured by benchmark E14.
+
+    The UDP-retransmission problem the paper raises is real here too: a
+    *legitimate* retransmission of the same request is indistinguishable
+    from a replay and will be rejected; callers model retransmission by
+    re-sending the same bytes (see ``repro.defenses.replay_cache``).
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[str, int, bytes], int] = {}
+        self.false_alarms = 0  # legitimate retransmissions rejected
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def check_and_store(
+        self, client: str, timestamp: int, fingerprint: bytes,
+        now: int, horizon: int,
+    ) -> bool:
+        """True if fresh (and stores it); False if it is a replay."""
+        self._expire(now, horizon)
+        key = (client, timestamp, fingerprint)
+        if key in self._entries:
+            return False
+        self._entries[key] = timestamp
+        return True
+
+    def _expire(self, now: int, horizon: int) -> None:
+        dead = [k for k, ts in self._entries.items() if ts < now - horizon]
+        for k in dead:
+            del self._entries[k]
+
+
+def validate_authenticator(
+    ticket: Ticket,
+    sealed_ticket: bytes,
+    authenticator: Authenticator,
+    authenticator_bytes: bytes,
+    config: ProtocolConfig,
+    now: int,
+    source_address: str,
+    replay_cache: Optional[ReplayCache] = None,
+    expected_server: Optional[str] = None,
+) -> None:
+    """Run every enabled check; raise :class:`ValidationError` on failure.
+
+    *now* is the verifier's (host-local, possibly skewed) clock reading.
+    *sealed_ticket* is the encrypted wire form, needed for the
+    ticket-binding checksum.  *authenticator_bytes* fingerprints the
+    authenticator for the replay cache.
+    """
+    # 1. Ticket validity window.
+    if not ticket.is_current(now, config.clock_skew):
+        raise ValidationError(
+            "ticket-expired",
+            f"issued={ticket.issued_at} lifetime={ticket.lifetime} now={now}",
+        )
+
+    # 2. Principal consistency between ticket and authenticator.
+    if authenticator.client != ticket.client:
+        raise ValidationError(
+            "client-mismatch",
+            f"ticket={ticket.client} authenticator={authenticator.client}",
+        )
+
+    # 3. Address binding (V4 semantics; V5 may omit the address).
+    if config.bind_address and ticket.address:
+        if authenticator.address != ticket.address:
+            raise ValidationError(
+                "address-mismatch",
+                f"ticket={ticket.address} authenticator={authenticator.address}",
+            )
+        if source_address != ticket.address:
+            raise ValidationError(
+                "address-mismatch",
+                f"ticket={ticket.address} source={source_address}",
+            )
+
+    # 4. Authenticator freshness within the skew window.
+    age = now - authenticator.timestamp
+    window = config.authenticator_lifetime + config.clock_skew
+    if not -config.clock_skew <= age <= window:
+        raise ValidationError(
+            "authenticator-stale", f"age={age} window={window}"
+        )
+
+    # 5. Replay cache, when the deployment keeps one.
+    if config.replay_cache:
+        if replay_cache is None:
+            raise ValidationError(
+                "no-replay-cache", "config demands caching but server has none"
+            )
+        fingerprint = compute(ChecksumType.MD4, authenticator_bytes)
+        if not replay_cache.check_and_store(
+            str(authenticator.client), authenticator.timestamp,
+            fingerprint, now, window,
+        ):
+            raise ValidationError("replay", "authenticator already seen")
+
+    # 6. Ticket-binding checksum (appendix rec. c): defeats swapping in a
+    #    different ticket that happens to share the session key.
+    if config.authenticator_ticket_checksum:
+        expected = compute(ChecksumType.MD4, sealed_ticket)
+        if authenticator.ticket_checksum != expected:
+            raise ValidationError(
+                "ticket-binding", "authenticator not bound to this ticket"
+            )
+
+    # 7. Service-name check inside the ticket (part of the same fix:
+    #    "including service names in the ticket" ties it to its context).
+    if expected_server is not None and str(ticket.server) != expected_server:
+        raise ValidationError(
+            "server-mismatch",
+            f"ticket for {ticket.server}, presented to {expected_server}",
+        )

@@ -1,0 +1,28 @@
+"""Simulation substrate: clocks, the adversarial network, hosts, time.
+
+This package is the "completely open network" of the paper's threat
+model.  The Kerberos implementation in :mod:`repro.kerberos` runs
+entirely on top of it; the attacks in :mod:`repro.attacks` are ordinary
+clients of the same fabric with the adversary's extra capabilities.
+"""
+
+from repro.sim.clock import MINUTE, SECOND, HostClock, SimClock
+from repro.sim.host import Host, HostError, StorageKind
+from repro.sim.network import Adversary, Endpoint, Network, NetworkError, WireMessage
+from repro.sim.process import Process
+
+__all__ = [
+    "Adversary",
+    "Endpoint",
+    "Host",
+    "HostClock",
+    "HostError",
+    "MINUTE",
+    "Network",
+    "NetworkError",
+    "Process",
+    "SECOND",
+    "SimClock",
+    "StorageKind",
+    "WireMessage",
+]

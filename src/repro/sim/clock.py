@@ -1,0 +1,73 @@
+"""Simulated time: a global clock plus skewable per-host views.
+
+"The security of Kerberos depends critically on synchronized clocks."
+Everything time-related in the reproduction is explicit simulation state:
+
+* :class:`SimClock` is the single source of truth, in integer
+  **microseconds** (Draft 3's millisecond resolution "is far too coarse
+  for many applications"; the resolution a protocol *sees* is a knob on
+  :class:`repro.kerberos.config.ProtocolConfig`, so benchmark E14 can
+  show the coarse-resolution replay problem).
+
+* :class:`HostClock` is one host's possibly-wrong view: an offset that
+  models skew, set either by the administrator or — this is the attack
+  surface — by an unauthenticated time service
+  (:mod:`repro.sim.timesvc`).
+
+Nothing reads the real wall clock, so every scenario is deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MICROSECOND", "MILLISECOND", "SECOND", "MINUTE", "SimClock", "HostClock"]
+
+MICROSECOND = 1
+MILLISECOND = 1000
+SECOND = 1_000_000
+MINUTE = 60 * SECOND
+
+
+class SimClock:
+    """The simulation's true time, advanced explicitly by scenarios."""
+
+    def __init__(self, start: int = 0):
+        self._now = start
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, amount: int) -> int:
+        """Move time forward by *amount* microseconds."""
+        if amount < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += amount
+        return self._now
+
+    def advance_seconds(self, seconds: float) -> int:
+        return self.advance(int(seconds * SECOND))
+
+    def advance_minutes(self, minutes: float) -> int:
+        return self.advance(int(minutes * MINUTE))
+
+
+class HostClock:
+    """One host's view of time: true time plus a (possibly hostile) offset."""
+
+    def __init__(self, clock: SimClock, offset: int = 0):
+        self._clock = clock
+        self.offset = offset
+
+    def now(self) -> int:
+        return self._clock.now() + self.offset
+
+    def set_from(self, reported_time: int) -> None:
+        """Adopt *reported_time* as the current time (a time-service sync).
+
+        This is deliberately trusting: whether the reported time came from
+        an honest service or a spoofed reply is decided upstream.
+        """
+        self.offset = reported_time - self._clock.now()
+
+    def skew(self) -> int:
+        """How far this host's clock is from the truth, in microseconds."""
+        return self.offset

@@ -1,0 +1,208 @@
+"""Simulated hosts: workstations, multi-user machines, and their memory.
+
+The paper's environmental critique is about *hosts*, not wires:
+
+* Project Athena workstations are "very smart terminals": single-user,
+  no remote login, local disks that are effectively read-only, and keys
+  wiped at logout.  "The intruder simply cannot approach the safe door."
+
+* Multi-user UNIX hosts are different: "the cached keys are accessible to
+  attackers logged in at the same time", plaintext host keys sit on disk,
+  and session keys "are stored in some area accessible to root".
+
+* Diskless workstations make it worse in a different way: ``/tmp`` lives
+  on a file server and shared memory may be paged, so cached keys transit
+  the (attacker-controlled) network.
+
+:class:`Host` models exactly these distinctions.  A host owns network
+addresses (possibly several — the multi-homing limitation), a clock view,
+a set of logged-in users, and named memory regions whose *visibility*
+(who can read them, and whether they leak to the network) is the entire
+point of benchmark E17.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.clock import HostClock, SimClock
+
+__all__ = ["StorageKind", "MemoryRegion", "HostError", "Host"]
+
+
+class HostError(RuntimeError):
+    """Access-control or configuration violation on a simulated host."""
+
+
+class StorageKind(enum.Enum):
+    """Where a piece of host state physically lives."""
+
+    LOCAL_DISK = "local-disk"        # /tmp on a workstation with a disk
+    NFS_TMP = "nfs-tmp"              # /tmp on a diskless workstation
+    SHARED_MEMORY = "shared-memory"  # may be paged over the network
+    LOCKED_MEMORY = "locked-memory"  # never paged, wiped on logout
+    HARDWARE = "hardware"            # inside an encryption unit / keystore
+
+
+# Storage kinds whose contents transit the network (and are therefore in
+# the adversary's wire log) when written on a host configured to page or
+# mount them remotely.
+_NETWORK_EXPOSED = {StorageKind.NFS_TMP, StorageKind.SHARED_MEMORY}
+
+
+@dataclass
+class MemoryRegion:
+    """A named blob of host state (e.g. a credential cache file)."""
+
+    name: str
+    owner: str
+    kind: StorageKind
+    data: bytes = b""
+    wiped: bool = False
+
+    def write(self, data: bytes) -> None:
+        self.data = data
+        self.wiped = False
+
+    def wipe(self) -> None:
+        self.data = b""
+        self.wiped = True
+
+
+class Host:
+    """A machine on the simulated network."""
+
+    def __init__(
+        self,
+        name: str,
+        network,
+        clock: SimClock,
+        addresses: Optional[List[str]] = None,
+        multi_user: bool = False,
+        diskless: bool = False,
+        pages_shared_memory: bool = False,
+        remote_login_enabled: Optional[bool] = None,
+        clock_offset: int = 0,
+        kmem_world_readable: bool = False,
+    ):
+        self.name = name
+        self.network = network
+        self.addresses = list(addresses) if addresses else [f"10.0.0.{name}"]
+        self.multi_user = multi_user
+        self.diskless = diskless
+        self.pages_shared_memory = pages_shared_memory
+        # MIT disabled remote access to workstations; multi-user hosts
+        # cannot, by definition.
+        self.remote_login_enabled = (
+            multi_user if remote_login_enabled is None else remote_login_enabled
+        )
+        # The pre-1984 permissive /dev/kmem the paper's footnote recalls.
+        self.kmem_world_readable = kmem_world_readable
+        self.clock = HostClock(clock, clock_offset)
+        self.logged_in: List[str] = []
+        self._regions: Dict[str, MemoryRegion] = {}
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The host's primary address (tickets bind to this one, which is
+        exactly why multi-homed hosts 'cannot live with this limitation')."""
+        return self.addresses[0]
+
+    # -- users ------------------------------------------------------------
+
+    def login(self, user: str) -> None:
+        if self.logged_in and not self.multi_user:
+            raise HostError(
+                f"{self.name} is single-user; {self.logged_in[0]} is logged in"
+            )
+        if user in self.logged_in:
+            raise HostError(f"{user} already logged in on {self.name}")
+        self.logged_in.append(user)
+
+    def logout(self, user: str) -> None:
+        """Log *user* out, wiping their key material (the Athena behaviour:
+        'Kerberos attempts to wipe out old keys at logoff time')."""
+        if user not in self.logged_in:
+            raise HostError(f"{user} not logged in on {self.name}")
+        self.logged_in.remove(user)
+        for region in self._regions.values():
+            if region.owner == user and region.kind is not StorageKind.HARDWARE:
+                region.wipe()
+
+    # -- memory -----------------------------------------------------------
+
+    def store(
+        self, name: str, owner: str, kind: StorageKind, data: bytes
+    ) -> MemoryRegion:
+        """Write a named region; may leak to the wire (see module doc)."""
+        region = self._regions.get(name)
+        if region is None:
+            region = MemoryRegion(name, owner, kind)
+            self._regions[name] = region
+        region.owner = owner
+        region.kind = kind
+        region.write(data)
+        if self._leaks_to_network(kind):
+            self._leak(name, data)
+        return region
+
+    def read(self, name: str, reader: str) -> bytes:
+        """Read a region subject to the host's protection model.
+
+        * The owner can always read their own regions.
+        * ``root`` can read everything ("of necessity, they are stored in
+          some area accessible to root").
+        * Another *concurrently logged-in* user on a multi-user host can
+          read it too, modelling "flaws in the host's security" that the
+          paper assumes an attacker can exploit given concurrent access.
+          On a single-user workstation there is no concurrent attacker.
+        * HARDWARE regions are readable by nobody through this interface.
+        """
+        region = self._regions.get(name)
+        if region is None:
+            raise HostError(f"no region {name!r} on {self.name}")
+        if region.kind is StorageKind.HARDWARE:
+            raise HostError(f"{name!r} lives in hardware; host cannot read it")
+        if reader == region.owner or reader == "root":
+            return region.data
+        if self.multi_user and reader in self.logged_in:
+            return region.data
+        raise HostError(
+            f"{reader} cannot read {name!r} on {self.name} "
+            f"(owner {region.owner}, single-user protections in effect)"
+        )
+
+    def region(self, name: str) -> Optional[MemoryRegion]:
+        return self._regions.get(name)
+
+    def regions(self) -> List[MemoryRegion]:
+        return list(self._regions.values())
+
+    # -- leakage ----------------------------------------------------------
+
+    def _leaks_to_network(self, kind: StorageKind) -> bool:
+        if kind is StorageKind.NFS_TMP:
+            return True  # the file write *is* network traffic
+        if kind is StorageKind.SHARED_MEMORY:
+            return self.pages_shared_memory
+        return False
+
+    def _leak(self, name: str, data: bytes) -> None:
+        """Expose paged/NFS writes on the wire as a pseudo-message."""
+        from repro.sim.network import Endpoint, WireMessage
+
+        adversary = self.network.adversary
+        adversary.observe(
+            WireMessage(
+                seq=-1,
+                src_address=self.address,
+                dst=Endpoint("fileserver", f"paging:{name}"),
+                direction="request",
+                payload=data,
+                time=self.clock.now(),
+            )
+        )

@@ -1,0 +1,245 @@
+"""An open network "under the complete control of an adversary".
+
+The paper's stated design goal: "For the widest utility, the network must
+be considered as completely open.  Specifically, the protocols should be
+secure even if the network is under the complete control of an
+adversary."  This module is that threat model, made concrete:
+
+* :class:`Network` routes request/response exchanges (the simulated
+  analogue of UDP query traffic and short TCP dialogs) between service
+  endpoints registered by hosts.
+
+* :class:`Adversary` taps every message.  It can **eavesdrop** (the full
+  wire log is always recorded), **modify** requests or responses in
+  flight, **drop** them, and **inject** fresh messages of its own —
+  including replaying anything from its log.  Each capability can be
+  restricted to model weaker adversaries (a *passive* wiretapper for the
+  password-guessing experiments, an *active* one for the cut-and-paste
+  attacks).
+
+Delivery is synchronous and deterministic; the interesting
+nondeterminism of a real network (reordering, loss) is modelled where a
+specific attack needs it (e.g. the UDP retransmission false-positive in
+:mod:`repro.defenses.replay_cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Endpoint", "WireMessage", "NetworkError", "Adversary", "Network"]
+
+Handler = Callable[["WireMessage"], bytes]
+
+
+class NetworkError(RuntimeError):
+    """No such endpoint, or the adversary dropped the message."""
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A service address: host network address plus service name."""
+
+    address: str
+    service: str
+
+
+@dataclass
+class WireMessage:
+    """One direction of one exchange, as seen on the wire."""
+
+    seq: int
+    src_address: str
+    dst: Endpoint
+    direction: str  # "request" or "response"
+    payload: bytes
+    time: int  # true simulation time when it crossed the wire
+
+    def clone_with(self, payload: bytes) -> "WireMessage":
+        return WireMessage(
+            self.seq, self.src_address, self.dst, self.direction,
+            payload, self.time,
+        )
+
+
+@dataclass
+class Adversary:
+    """The network attacker: log, filters, and capability switches."""
+
+    can_modify: bool = True
+    can_drop: bool = True
+    can_inject: bool = True
+    log: List[WireMessage] = field(default_factory=list)
+    _request_filters: List[Callable[[WireMessage], Optional[bytes]]] = field(
+        default_factory=list
+    )
+    _response_filters: List[Callable[[WireMessage], Optional[bytes]]] = field(
+        default_factory=list
+    )
+    _drop_predicates: List[Callable[[WireMessage], bool]] = field(
+        default_factory=list
+    )
+
+    # -- passive capabilities -------------------------------------------
+
+    def observe(self, message: WireMessage) -> None:
+        self.log.append(message)
+
+    def recorded(
+        self, service: Optional[str] = None, direction: Optional[str] = None
+    ) -> List[WireMessage]:
+        """Everything eavesdropped, optionally filtered."""
+        out = self.log
+        if service is not None:
+            out = [m for m in out if m.dst.service == service]
+        if direction is not None:
+            out = [m for m in out if m.direction == direction]
+        return list(out)
+
+    # -- active capabilities --------------------------------------------
+
+    def on_request(
+        self, transform: Callable[[WireMessage], Optional[bytes]]
+    ) -> None:
+        """Install an in-flight request rewriter.
+
+        The transform returns replacement payload bytes, or ``None`` to
+        pass the message through unchanged.
+        """
+        if not self.can_modify:
+            raise NetworkError("adversary is passive: cannot modify")
+        self._request_filters.append(transform)
+
+    def on_response(
+        self, transform: Callable[[WireMessage], Optional[bytes]]
+    ) -> None:
+        if not self.can_modify:
+            raise NetworkError("adversary is passive: cannot modify")
+        self._response_filters.append(transform)
+
+    def drop_if(self, predicate: Callable[[WireMessage], bool]) -> None:
+        if not self.can_drop:
+            raise NetworkError("adversary is passive: cannot drop")
+        self._drop_predicates.append(predicate)
+
+    def clear_taps(self) -> None:
+        self._request_filters.clear()
+        self._response_filters.clear()
+        self._drop_predicates.clear()
+
+    # -- applied by the network -----------------------------------------
+
+    def _apply(self, message: WireMessage) -> WireMessage:
+        for predicate in self._drop_predicates:
+            if predicate(message):
+                raise NetworkError(
+                    f"message to {message.dst} dropped by adversary"
+                )
+        filters = (
+            self._request_filters
+            if message.direction == "request"
+            else self._response_filters
+        )
+        for transform in filters:
+            replacement = transform(message)
+            if replacement is not None:
+                message = message.clone_with(replacement)
+        return message
+
+
+class Network:
+    """Synchronous message fabric with a single adversary in the middle.
+
+    Each wire crossing advances the simulation clock by *transit_time*
+    microseconds (default 250µs), modelling transmission plus processing
+    delay.  At the Draft-3 millisecond timestamp resolution several
+    messages can still land in the same quantum — the collision problem
+    the paper notes ("the resolution of the timestamp is limited to 1
+    millisecond, which is far too coarse for many applications").
+    """
+
+    def __init__(self, clock, adversary: Optional[Adversary] = None,
+                 transit_time: int = 250):
+        self._clock = clock
+        self.adversary = adversary if adversary is not None else Adversary()
+        self.transit_time = transit_time
+        self._endpoints: Dict[Tuple[str, str], Handler] = {}
+        self._seq = 0
+
+    def register(self, address: str, service: str, handler: Handler) -> None:
+        """Bind *handler* to ``(address, service)``."""
+        key = (address, service)
+        if key in self._endpoints:
+            raise NetworkError(f"endpoint {key} already registered")
+        self._endpoints[key] = handler
+
+    def unregister(self, address: str, service: str) -> None:
+        self._endpoints.pop((address, service), None)
+
+    def endpoints(self) -> List[Endpoint]:
+        return [Endpoint(a, s) for a, s in self._endpoints]
+
+    def rpc(self, src_address: str, dst: Endpoint, payload: bytes) -> bytes:
+        """One request/response exchange through the adversary."""
+        request = self._make_message(src_address, dst, "request", payload)
+        self.adversary.observe(request)
+        request = self.adversary._apply(request)
+
+        handler = self._endpoints.get((dst.address, dst.service))
+        if handler is None:
+            raise NetworkError(f"no endpoint at {dst}")
+        response_payload = handler(request)
+
+        response = self._make_message(
+            dst.address, dst, "response", response_payload
+        )
+        self.adversary.observe(response)
+        response = self.adversary._apply(response)
+        return response.payload
+
+    def hijack_endpoint(
+        self, address: str, service: str, handler: Handler
+    ) -> Handler:
+        """Route an endpoint's traffic to the adversary's handler.
+
+        "The network is under the complete control of an adversary" —
+        including where packets are delivered.  Returns the displaced
+        handler so the attacker (or a test) can restore or consult it.
+        """
+        if not self.adversary.can_modify:
+            raise NetworkError("adversary is passive: cannot hijack")
+        key = (address, service)
+        original = self._endpoints.get(key)
+        if original is None:
+            raise NetworkError(f"no endpoint at {key} to hijack")
+        self._endpoints[key] = handler
+        return original
+
+    def inject(self, fake_src: str, dst: Endpoint, payload: bytes) -> bytes:
+        """An adversary-originated request, with a forged source address.
+
+        Bypasses the adversary's own taps (it would not attack itself)
+        but is still recorded in the log for auditability.
+        """
+        if not self.adversary.can_inject:
+            raise NetworkError("adversary is passive: cannot inject")
+        message = self._make_message(fake_src, dst, "request", payload)
+        self.adversary.log.append(message)
+        handler = self._endpoints.get((dst.address, dst.service))
+        if handler is None:
+            raise NetworkError(f"no endpoint at {dst}")
+        response = handler(message)
+        self.adversary.log.append(
+            self._make_message(dst.address, dst, "response", response)
+        )
+        return response
+
+    def _make_message(
+        self, src: str, dst: Endpoint, direction: str, payload: bytes
+    ) -> WireMessage:
+        self._seq += 1
+        self._clock.advance(self.transit_time)
+        return WireMessage(
+            self._seq, src, dst, direction, payload, self._clock.now()
+        )

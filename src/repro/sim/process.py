@@ -1,0 +1,67 @@
+"""Processes and kernel memory: the /dev/kmem footnote, modelled.
+
+    "This is not a hypothetical concern.  A program to do just that (for
+    conventional passwords) was posted to netnews as long ago as 1984.
+    It operated by reading /dev/kmem.  The existence of this program was
+    a principal factor motivating the current restrictive permission
+    settings on /dev/kmem."
+
+A :class:`Process` runs as some user on a host.  Kernel memory
+(:func:`read_kmem`) aggregates every memory region on the host — caches,
+session keys in use, everything except hardware-held material — and is
+readable by a root process, or by any process on a host whose
+``kmem_world_readable`` flag models the pre-restriction permissions the
+footnote describes.
+
+This closes the loop on the paper's multi-user-host argument: even a
+host whose per-user file protections hold leaks every key through a
+single over-permissive device node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.host import Host, HostError, StorageKind
+
+__all__ = ["Process", "read_kmem"]
+
+
+@dataclass
+class Process:
+    """A running program: an owner and an effective uid on a host."""
+
+    host: Host
+    owner: str
+    is_root: bool = False
+
+    def read_region(self, name: str) -> bytes:
+        """Ordinary file/region access under the host's protections."""
+        reader = "root" if self.is_root else self.owner
+        return self.host.read(name, reader)
+
+    def read_kmem(self) -> Dict[str, bytes]:
+        """Read kernel memory, subject to /dev/kmem permissions."""
+        return read_kmem(self.host, self)
+
+
+def read_kmem(host: Host, process: Process) -> Dict[str, bytes]:
+    """Everything resident in the host's memory, by region name.
+
+    Permissions: root always; non-root only if the host has been left
+    with world-readable kmem (``host.kmem_world_readable``, default
+    False — the post-1984 restrictive setting).
+    Hardware regions are not host memory and never appear.
+    """
+    world_readable = getattr(host, "kmem_world_readable", False)
+    if not process.is_root and not world_readable:
+        raise HostError(
+            f"/dev/kmem on {host.name} is not readable by "
+            f"{process.owner} (restrictive permissions)"
+        )
+    return {
+        region.name: region.data
+        for region in host.regions()
+        if region.kind is not StorageKind.HARDWARE and not region.wiped
+    }

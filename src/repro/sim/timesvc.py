@@ -1,0 +1,103 @@
+"""Time services: the unauthenticated kind Kerberos leaned on, and better.
+
+    "If a host can be misled about the correct time, a stale
+    authenticator can be replayed without any trouble at all.  Since some
+    time synchronization protocols are unauthenticated, and hosts are
+    still using these protocols despite the existence of better ones,
+    such attacks are not difficult."
+
+:class:`UnauthenticatedTimeService` is an RFC 868-style responder: a bare
+timestamp on the wire that an active adversary can rewrite, dragging any
+host that syncs against it to an arbitrary time
+(:mod:`repro.attacks.time_spoof`).
+
+:class:`AuthenticatedTimeService` wraps the reply in a Kerberos
+``KRB_SAFE``-style keyed checksum, which defeats the rewrite — but, as
+the paper observes, makes the authentication system depend on a time
+service that itself needs authentication ("it may not make sense to
+build an authentication system assuming an already-authenticated
+underlying system"); the circularity is visible here as the shared key
+both ends must already hold.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.checksum import ChecksumType, compute, verify
+from repro.sim.clock import SimClock
+from repro.sim.network import Endpoint, Network, WireMessage
+
+__all__ = [
+    "TIME_SERVICE",
+    "AUTH_TIME_SERVICE",
+    "TimeSyncError",
+    "UnauthenticatedTimeService",
+    "AuthenticatedTimeService",
+    "sync_host_clock",
+    "sync_host_clock_authenticated",
+]
+
+TIME_SERVICE = "timesvc"
+AUTH_TIME_SERVICE = "timesvc-auth"
+
+
+class TimeSyncError(RuntimeError):
+    """Raised when an authenticated time reply fails verification."""
+
+
+class UnauthenticatedTimeService:
+    """RFC 868 style: the reply is just the time, eight bytes, no proof."""
+
+    def __init__(self, network: Network, clock: SimClock, address: str):
+        self._clock = clock
+        self.endpoint = Endpoint(address, TIME_SERVICE)
+        network.register(address, TIME_SERVICE, self._handle)
+
+    def _handle(self, _message: WireMessage) -> bytes:
+        return self._clock.now().to_bytes(8, "big")
+
+
+class AuthenticatedTimeService:
+    """Time plus a keyed MD4-DES checksum over (nonce, time).
+
+    The nonce comes from the client's request, so a recorded reply cannot
+    be replayed later to report a stale time.
+    """
+
+    def __init__(
+        self, network: Network, clock: SimClock, address: str, key: bytes
+    ):
+        self._clock = clock
+        self._key = key
+        self.endpoint = Endpoint(address, AUTH_TIME_SERVICE)
+        network.register(address, AUTH_TIME_SERVICE, self._handle)
+
+    def _handle(self, message: WireMessage) -> bytes:
+        nonce = message.payload[:8]
+        now = self._clock.now().to_bytes(8, "big")
+        mac = compute(ChecksumType.MD4_DES, nonce + now, self._key)
+        return now + mac
+
+
+def sync_host_clock(host, service_endpoint: Endpoint) -> int:
+    """Sync *host* against an unauthenticated time service.
+
+    Returns the adopted time.  Whatever arrives on the wire is believed —
+    that is the vulnerability.
+    """
+    reply = host.network.rpc(host.address, service_endpoint, b"")
+    reported = int.from_bytes(reply[:8], "big")
+    host.clock.set_from(reported)
+    return reported
+
+
+def sync_host_clock_authenticated(
+    host, service_endpoint: Endpoint, key: bytes, nonce: bytes
+) -> int:
+    """Sync against the authenticated service, verifying the keyed MAC."""
+    reply = host.network.rpc(host.address, service_endpoint, nonce)
+    reported_bytes, mac = reply[:8], reply[8:]
+    if not verify(ChecksumType.MD4_DES, nonce + reported_bytes, mac, key):
+        raise TimeSyncError("time reply failed authentication; not adopting")
+    reported = int.from_bytes(reported_bytes, "big")
+    host.clock.set_from(reported)
+    return reported

@@ -1,0 +1,68 @@
+"""The adversarial encryption-layer validation game (paper's method)."""
+
+import pytest
+
+from repro.analysis.validation import (
+    EncryptionLayerAdversary, validate_configuration,
+)
+from repro.crypto.checksum import ChecksumType
+from repro.kerberos.config import ProtocolConfig
+
+
+def test_sealed_layer_secure_under_all_presets():
+    """seal() — length + checksum inside the ciphertext — wins the game
+    under every preset, including V4's PCBC."""
+    for config in (ProtocolConfig.v4(), ProtocolConfig.v5_draft3(),
+                   ProtocolConfig.hardened()):
+        report = validate_configuration(config, private_layer=False)
+        assert report.secure, report.render()
+        assert report.derivations_tried > 15
+
+
+def test_private_layer_forgeable_with_unkeyed_checksum():
+    """seal_private — privacy only — loses: the adversary's crafted
+    plaintext prefix is accepted as a sealed structure."""
+    for config in (ProtocolConfig.v4(), ProtocolConfig.v5_draft3()):
+        report = validate_configuration(config, private_layer=True)
+        assert not report.secure, report.render()
+        strategies = {f.strategy for f in report.forgeries}
+        assert "prefix-of-crafted-plaintext" in strategies
+
+
+def test_private_layer_secure_with_keyed_checksum():
+    """A keyed seal checksum removes the crafted-interior strategy:
+    the adversary cannot compute the MAC it would need to embed."""
+    config = ProtocolConfig.v5_draft3().but(
+        seal_checksum=ChecksumType.MD4_DES
+    )
+    report = validate_configuration(config, private_layer=True)
+    assert report.secure, report.render()
+
+
+def test_forgery_is_never_a_verbatim_oracle_output():
+    config = ProtocolConfig.v5_draft3()
+    adversary = EncryptionLayerAdversary(config, private_layer=True)
+    blob = adversary.submit(b"X" * 24)
+    assert adversary.attempt("replay", blob) is None  # replays don't count
+
+
+def test_unaligned_and_empty_attempts_rejected():
+    config = ProtocolConfig.v4()
+    adversary = EncryptionLayerAdversary(config)
+    assert adversary.attempt("empty", b"") is None
+    assert adversary.attempt("ragged", b"\x00" * 13) is None
+
+
+def test_report_rendering():
+    report = validate_configuration(ProtocolConfig.v5_draft3(),
+                                    private_layer=True)
+    text = report.render()
+    assert "FORGEABLE" in text
+    assert "forged via" in text
+
+
+def test_game_is_deterministic():
+    a = validate_configuration(ProtocolConfig.v5_draft3(), private_layer=True)
+    b = validate_configuration(ProtocolConfig.v5_draft3(), private_layer=True)
+    assert len(a.forgeries) == len(b.forgeries)
+    assert a.forgeries[0].ciphertext == b.forgeries[0].ciphertext

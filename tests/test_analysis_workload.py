@@ -1,0 +1,72 @@
+"""The site workload generator and the adversary-haul inventory."""
+
+import pytest
+
+from repro import ProtocolConfig
+from repro.analysis.cracking import PasswordPopulation
+from repro.analysis.workload import SiteWorkload, adversary_haul
+
+
+def make_workload(seed=1, **kwargs):
+    return SiteWorkload(
+        ProtocolConfig.v4(),
+        PasswordPopulation.generate(6, weak_fraction=0.5, seed=seed),
+        seed=seed, **kwargs,
+    )
+
+
+def test_single_session_shape():
+    workload = make_workload()
+    user = next(iter(workload.population.users))
+    workload.run_session(user)
+    assert workload.stats.logins == 1
+    assert workload.stats.mail_checks == 1
+    # The workstation is free again (logout happened).
+    assert workload._workstation(user).logged_in == []
+
+
+def test_run_hours_session_count():
+    workload = make_workload(seed=2)
+    stats = workload.run_hours(2, sessions_per_hour=4)
+    assert stats.logins == 8
+    assert stats.mail_checks == 8
+    assert stats.simulated_minutes >= 2 * 50  # roughly two hours elapsed
+
+
+def test_workload_is_deterministic():
+    a = make_workload(seed=3)
+    a.run_hours(1, sessions_per_hour=3)
+    b = make_workload(seed=3)
+    b.run_hours(1, sessions_per_hour=3)
+    assert a.stats == b.stats
+    assert len(a.bed.adversary.log) == len(b.bed.adversary.log)
+
+
+def test_haul_counts_as_replies_per_login():
+    workload = make_workload(seed=4)
+    workload.run_hours(1, sessions_per_hour=4)
+    haul = adversary_haul(workload)
+    assert haul.as_replies == workload.stats.logins
+    assert haul.sealed_tickets_seen >= workload.stats.logins  # mail + files
+
+
+def test_haul_live_pairs_age_out():
+    workload = make_workload(seed=5)
+    user = next(iter(workload.population.users))
+    workload.run_session(user)
+    fresh = adversary_haul(workload)
+    assert fresh.live_ap_pairs >= 1
+    workload.bed.advance_minutes(30)
+    stale = adversary_haul(workload)
+    assert stale.live_ap_pairs == 0
+    # But the cracking material is forever.
+    assert stale.as_replies == fresh.as_replies
+
+
+def test_haul_users_exposed():
+    workload = make_workload(seed=6)
+    users = list(workload.population.users)[:3]
+    for user in users:
+        workload.run_session(user)
+    haul = adversary_haul(workload)
+    assert haul.distinct_users_exposed == 3

@@ -1,0 +1,174 @@
+"""The Draft-3 cut-and-paste family and the chosen-plaintext oracle."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.attacks import (
+    enc_tkt_in_skey_attack, mint_authenticator_via_mail,
+    reuse_skey_redirect, ticket_substitution,
+)
+from repro.attacks.cut_and_paste import forge_tgs_request_checksum
+from repro.crypto.checksum import ChecksumType
+from repro.crypto.crc import crc32
+from repro.kerberos.kdc import tgs_request_checksum_input
+
+
+def two_user_bed(config, seed=1):
+    bed = Testbed(config, seed=seed)
+    bed.add_user("victim", "pw1")
+    bed.add_user("mallory", "pw2")
+    return bed
+
+
+# --- checksum forgery unit-level -------------------------------------------
+
+
+def test_forge_tgs_request_checksum():
+    config = ProtocolConfig.v5_draft3()
+    values = {
+        "server": "echo.eh@ATHENA", "options": 0,
+        "additional_ticket": b"", "authorization_data": b"",
+        "forward_address": "", "nonce": 777,
+    }
+    target_input = tgs_request_checksum_input(values)
+    modified = dict(values, options=2, additional_ticket=b"EVIL-TGT" * 8)
+    patched = forge_tgs_request_checksum(config, modified, target_input)
+    assert patched is not None
+    assert crc32(tgs_request_checksum_input(patched)) == crc32(target_input)
+    assert patched["options"] == 2
+
+
+def test_forge_refuses_strong_checksum():
+    config = ProtocolConfig.v5_draft3().but(tgs_req_checksum=ChecksumType.MD4)
+    assert forge_tgs_request_checksum(config, {}, b"") is None
+
+
+# --- ENC-TKT-IN-SKEY ---------------------------------------------------------
+
+
+def run_enc_tkt(config, seed=2):
+    bed = two_user_bed(config, seed)
+    echo = bed.add_echo_server("echohost")
+    v_ws = bed.add_workstation("vws")
+    a_ws = bed.add_workstation("aws")
+    return enc_tkt_in_skey_attack(
+        bed, echo, "victim", "pw1", "mallory", "pw2", v_ws, a_ws
+    )
+
+
+def test_enc_tkt_in_skey_negates_mutual_auth_on_draft3():
+    result = run_enc_tkt(ProtocolConfig.v5_draft3())
+    assert result.succeeded
+    assert result.evidence["key_recovered"]
+    assert result.evidence["mutual_auth_spoofed"]
+    assert result.evidence["victims_served"] == ["victim@ATHENA"]
+
+
+@pytest.mark.parametrize("fix,kwargs", [
+    ("strong-checksum", dict(tgs_req_checksum=ChecksumType.MD4)),
+    ("keyed-checksum", dict(tgs_req_checksum=ChecksumType.MD4_DES)),
+    ("cname-check", dict(enc_tkt_cname_check=True)),
+    ("option-off", dict(allow_enc_tkt_in_skey=False)),
+])
+def test_enc_tkt_in_skey_fixes(fix, kwargs):
+    result = run_enc_tkt(ProtocolConfig.v5_draft3().but(**kwargs))
+    assert not result.succeeded, fix
+
+
+# --- REUSE-SKEY ---------------------------------------------------------------
+
+
+def run_reuse(config, seed=3):
+    bed = two_user_bed(config, seed)
+    fs = bed.add_file_server("filehost")
+    bs = bed.add_backup_server("backuphost")
+    ws = bed.add_workstation("vws")
+    return reuse_skey_redirect(bed, fs, bs, "victim", "pw1", ws)
+
+
+def test_reuse_skey_redirect_destroys_archive():
+    result = run_reuse(ProtocolConfig.v5_draft3())
+    assert result.succeeded
+    assert result.evidence["archive_destroyed"]
+
+
+@pytest.mark.parametrize("fix,kwargs", [
+    ("negotiated-keys", dict(negotiate_session_key=True)),
+    ("option-off", dict(allow_reuse_skey=False)),
+    ("seqnums", dict(use_sequence_numbers=True)),
+])
+def test_reuse_skey_fixes(fix, kwargs):
+    result = run_reuse(ProtocolConfig.v5_draft3().but(**kwargs))
+    assert not result.succeeded, fix
+
+
+# --- ticket substitution --------------------------------------------------------
+
+
+def run_substitution(config, seed=4):
+    bed = Testbed(config, seed=seed)
+    bed.add_user("victim", "pw1")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("vws")
+    return ticket_substitution(bed, echo, "victim", "pw1", ws)
+
+
+def test_substitution_silent_on_draft3():
+    result = run_substitution(ProtocolConfig.v5_draft3())
+    assert result.succeeded
+    assert not result.evidence["detected_at_client"]
+    assert result.evidence["failed_at_service"]
+
+
+def test_substitution_detected_with_reply_checksum():
+    result = run_substitution(
+        ProtocolConfig.v5_draft3().but(kdc_reply_ticket_checksum=True)
+    )
+    assert not result.succeeded
+    assert result.evidence["detected_at_client"]
+
+
+# --- chosen-plaintext minting -----------------------------------------------------
+
+
+def run_mint(config, seed=5):
+    bed = two_user_bed(config, seed)
+    mail = bed.add_mail_server("mailhost")
+    v_ws = bed.add_workstation("vws")
+    a_ws = bed.add_workstation("aws")
+    return mint_authenticator_via_mail(
+        bed, mail, "victim", "pw1", "mallory", "pw2", v_ws, a_ws
+    )
+
+
+def test_minting_succeeds_on_draft3():
+    result = run_mint(ProtocolConfig.v5_draft3())
+    assert result.succeeded
+
+
+def test_minting_defeats_the_replay_cache():
+    """The minted authenticator is *fresh*: caching recent authenticators
+    cannot help, which is why the paper pushes challenge/response."""
+    result = run_mint(ProtocolConfig.v5_draft3().but(replay_cache=True))
+    assert result.succeeded
+    assert result.evidence["replay_cache_defeated"]
+
+
+@pytest.mark.parametrize("fix,kwargs", [
+    ("true-session-keys", dict(negotiate_session_key=True)),
+    ("v4-layout", dict(krb_priv_layout="v4")),
+    ("keyed-seal", dict(seal_checksum=ChecksumType.MD4_DES)),
+])
+def test_minting_fixes(fix, kwargs):
+    result = run_mint(ProtocolConfig.v5_draft3().but(**kwargs))
+    assert not result.succeeded, fix
+
+
+def test_minting_fails_on_v4():
+    result = run_mint(ProtocolConfig.v4())
+    assert not result.succeeded
+
+
+def test_minting_fails_on_hardened():
+    result = run_mint(ProtocolConfig.hardened())
+    assert not result.succeeded

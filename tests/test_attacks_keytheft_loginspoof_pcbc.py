@@ -1,0 +1,151 @@
+"""Key theft from hosts, login spoofing, PCBC splicing."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.attacks import (
+    concurrent_cache_theft, encryption_unit_theft, garble_profile,
+    post_logout_theft, tamper_private_message, trojan_capture,
+    wire_capture_theft,
+)
+from repro.crypto.keys import KeyTag, string_to_key
+from repro.crypto.rng import DeterministicRandom
+from repro.hardware import EncryptionUnit, HandheldDevice
+from repro.sim.host import StorageKind
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+
+
+# --- key theft -----------------------------------------------------------
+
+
+def theft_bed(seed=1):
+    bed = Testbed(ProtocolConfig.v4(), seed=seed)
+    bed.add_user("victim", "pw1")
+    bed.add_user("mallory", "pw2")
+    bed.add_mail_server("mailhost")
+    return bed
+
+
+def test_multiuser_concurrent_theft_yields_session_keys():
+    bed = theft_bed()
+    host = bed.add_multiuser_host("bighost")
+    outcome = bed.login("victim", "pw1", host)
+    mail = bed.servers["mail.mailhost@ATHENA"]
+    cred = outcome.client.get_service_ticket(mail.principal)
+    result = concurrent_cache_theft(host, "victim", "mallory")
+    assert result.succeeded
+    assert cred.session_key.hex() in result.evidence["session_keys"]
+
+
+def test_workstation_blocks_concurrent_theft():
+    bed = theft_bed(seed=2)
+    ws = bed.add_workstation("ws1")
+    bed.login("victim", "pw1", ws)
+    result = concurrent_cache_theft(ws, "victim", "mallory")
+    assert not result.succeeded
+
+
+def test_logout_wipe_blocks_post_logout_theft():
+    bed = theft_bed(seed=3)
+    ws = bed.add_workstation("ws1")
+    bed.login("victim", "pw1", ws)
+    ws.logout("victim")
+    assert not post_logout_theft(ws, "victim").succeeded
+
+
+def test_abandoned_session_is_stealable():
+    """No logout, no wipe: the debris is still keys."""
+    bed = theft_bed(seed=4)
+    ws = bed.add_workstation("ws1")
+    bed.login("victim", "pw1", ws)
+    assert post_logout_theft(ws, "victim").succeeded
+
+
+def test_nfs_tmp_cache_leaks_to_wire():
+    bed = theft_bed(seed=5)
+    dws = bed.add_workstation("dws", diskless=True)
+    bed.login("victim", "pw1", dws, cache_kind=StorageKind.NFS_TMP)
+    result = wire_capture_theft(bed, "victim")
+    assert result.succeeded
+
+
+def test_paged_shared_memory_leaks():
+    bed = theft_bed(seed=6)
+    ws = bed.add_workstation("pws", pages_shared_memory=True)
+    bed.login("victim", "pw1", ws, cache_kind=StorageKind.SHARED_MEMORY)
+    assert wire_capture_theft(bed, "victim").succeeded
+
+
+def test_pinned_shared_memory_does_not_leak():
+    bed = theft_bed(seed=7)
+    ws = bed.add_workstation("sws", pages_shared_memory=False)
+    bed.login("victim", "pw1", ws, cache_kind=StorageKind.SHARED_MEMORY)
+    assert not wire_capture_theft(bed, "victim").succeeded
+
+
+def test_encryption_unit_resists_extraction():
+    unit = EncryptionUnit(ProtocolConfig.v4(), DeterministicRandom(1))
+    handles = [
+        unit.load_key(string_to_key("pw"), KeyTag.LOGIN, "victim"),
+        unit.generate_session_key("victim"),
+        unit.load_key(KEY, KeyTag.SERVICE, "mail"),
+    ]
+    result = encryption_unit_theft(unit, handles)
+    assert not result.succeeded
+    assert result.evidence["audit_refusals"]
+
+
+# --- login spoofing ----------------------------------------------------------
+
+
+def test_trojan_with_password_wins():
+    bed = theft_bed(seed=8)
+    ws = bed.add_workstation("ws1")
+    attacker_host = bed.add_workstation("ah")
+    result = trojan_capture(bed, "victim", "pw1", ws, attacker_host)
+    assert result.succeeded
+
+
+def test_trojan_with_handheld_loses():
+    bed = Testbed(ProtocolConfig.v4().but(handheld_login=True), seed=9)
+    bed.add_user("victim", "pw1")
+    ws = bed.add_workstation("ws1")
+    attacker_host = bed.add_workstation("ah")
+    device = HandheldDevice.from_password("pw1")
+    result = trojan_capture(bed, "victim", device, ws, attacker_host)
+    assert not result.succeeded
+    assert "one-time" in result.detail
+
+
+# --- PCBC splicing --------------------------------------------------------------
+
+
+def test_garble_profiles():
+    plaintext = bytes(range(64))
+    pcbc_garbled, _ = garble_profile("pcbc", KEY, plaintext, 2, 3)
+    cbc_garbled, _ = garble_profile("cbc", KEY, plaintext, 2, 3)
+    assert pcbc_garbled == [2, 3]
+    assert cbc_garbled == [2, 3, 4]
+
+
+def tamper_bed(config, seed=10):
+    bed = Testbed(config, seed=seed)
+    bed.add_user("victim", "pw1")
+    fs = bed.add_file_server("filehost")
+    ws = bed.add_workstation("vws")
+    return bed, fs, ws
+
+
+def test_tampering_accepted_without_integrity():
+    for config in (ProtocolConfig.v4(), ProtocolConfig.v5_draft3()):
+        bed, fs, ws = tamper_bed(config)
+        result = tamper_private_message(bed, fs, "victim", "pw1", ws)
+        assert result.succeeded, config.label
+        assert result.evidence["garbled_bytes"] > 0
+
+
+def test_tampering_rejected_with_integrity():
+    bed, fs, ws = tamper_bed(ProtocolConfig.hardened())
+    result = tamper_private_message(bed, fs, "victim", "pw1", ws)
+    assert not result.succeeded

@@ -1,0 +1,95 @@
+"""The rogue transit realm and the inter-realm client check."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.attacks import forge_foreign_client
+from repro.kerberos.client import KerberosError
+
+
+def deployment(config, seed=1):
+    bed = Testbed(config, seed=seed, realm="VICTIM")
+    evil = bed.add_realm("EVIL.VICTIM")
+    bed.realms["VICTIM"].link(evil)
+    bed.add_user("admin", "a genuinely strong passphrase")
+    fs = bed.add_file_server("filehost")
+    host = bed.add_workstation("attackerhost")
+    return bed, evil, fs, host
+
+
+def test_rogue_realm_impersonates_local_admin_on_draft3():
+    bed, evil, fs, host = deployment(ProtocolConfig.v5_draft3())
+    result = forge_foreign_client(
+        bed, evil, bed.realms["VICTIM"], "admin", fs, host
+    )
+    assert result.succeeded
+    assert result.evidence["impersonated"] == "admin@VICTIM"
+
+
+def test_interrealm_client_check_blocks_the_forgery():
+    config = ProtocolConfig.v5_draft3().but(verify_interrealm_client=True)
+    bed, evil, fs, host = deployment(config)
+    result = forge_foreign_client(
+        bed, evil, bed.realms["VICTIM"], "admin", fs, host
+    )
+    assert not result.succeeded
+    assert "claims a client from" in result.detail
+
+
+def test_hardened_profile_includes_the_check():
+    assert ProtocolConfig.hardened().verify_interrealm_client
+
+
+def test_rogue_can_still_speak_for_its_own_users():
+    """The check must not break honest cross-realm traffic: a genuine
+    EVIL.VICTIM user reaching a VICTIM service is fine (identity
+    truthful), subject only to the destination's trust policy."""
+    config = ProtocolConfig.v5_draft3().but(verify_interrealm_client=True)
+    bed = Testbed(config, seed=2, realm="VICTIM")
+    evil = bed.add_realm("EVIL.VICTIM")
+    bed.realms["VICTIM"].link(evil)
+    evil.add_user("honest", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("honest", "pw", ws, realm="EVIL.VICTIM")
+    cred = outcome.client.get_service_ticket(echo.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(echo))
+    assert session.call(b"hi") == b"echo:hi"
+
+
+def test_deep_hierarchy_unaffected_by_the_check():
+    """The subtree-vouching rule keeps legitimate multi-hop chains
+    working (a leaf-realm user crossing to a sibling subtree)."""
+    config = ProtocolConfig.v5_draft3().but(verify_interrealm_client=True)
+    bed = Testbed(config, seed=3, realm="ACME")
+    eng = bed.add_realm("ENG.ACME")
+    lab = bed.add_realm("LAB.ENG.ACME")
+    sales = bed.add_realm("SALES.ACME")
+    bed.realms["ACME"].link(eng)
+    eng.link(lab)
+    bed.realms["ACME"].link(sales)
+    lab.add_user("pat", "pw")
+    echo = bed.add_echo_server("eh", realm="SALES.ACME")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, realm="LAB.ENG.ACME")
+    cred = outcome.client.get_service_ticket(echo.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(echo))
+    assert session.call(b"x") == b"echo:x"
+
+
+def test_sibling_forgery_also_blocked():
+    """The rogue claiming a user from a realm it is not above — a
+    sibling — is equally refused."""
+    config = ProtocolConfig.v5_draft3().but(verify_interrealm_client=True)
+    bed = Testbed(config, seed=4, realm="ACME")
+    evil = bed.add_realm("EVIL.ACME")
+    sales = bed.add_realm("SALES.ACME")
+    bed.realms["ACME"].link(evil)
+    bed.realms["ACME"].link(sales)
+    sales.add_user("target", "pw")
+    fs = bed.add_file_server("filehost")
+    host = bed.add_workstation("attackerhost")
+    result = forge_foreign_client(
+        bed, evil, sales, "target", fs, host
+    )
+    assert not result.succeeded

@@ -1,0 +1,37 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main, _EXPERIMENTS
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "E26" in out and "ablation" in out
+    assert f"{len(_EXPERIMENTS)} experiments" in out
+
+
+def test_notation(capsys):
+    assert main(["notation"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "{Tc,s}Ks" in out
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "OK stored" in out
+    assert "Ticket cache for demo" in out
+    assert "kerberos" in out  # the wire trace
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_experiment_ids_are_sequential():
+    ids = [int(eid[1:]) for eid, _t, _b in _EXPERIMENTS]
+    assert ids == list(range(1, len(_EXPERIMENTS) + 1))

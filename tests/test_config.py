@@ -1,0 +1,91 @@
+"""ProtocolConfig presets and derivation."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.checksum import ChecksumType
+from repro.kerberos.config import ProtocolConfig
+from repro.sim.clock import MICROSECOND, MILLISECOND, MINUTE
+
+
+def test_presets_are_frozen():
+    config = ProtocolConfig.v4()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.replay_cache = True
+
+
+def test_but_derives_and_labels():
+    config = ProtocolConfig.v4().but(replay_cache=True)
+    assert config.replay_cache
+    assert config.label == "v4+replay_cache=True"
+    assert not ProtocolConfig.v4().replay_cache  # original untouched
+
+
+def test_but_explicit_label():
+    config = ProtocolConfig.v4().but(replay_cache=True, label="mine")
+    assert config.label == "mine"
+
+
+def test_v4_preset_shape():
+    config = ProtocolConfig.v4()
+    assert config.version == 4
+    assert config.cipher_mode == "pcbc"
+    assert not config.use_confounder
+    assert config.bind_address
+    assert not config.allow_forwarding
+    assert config.timestamp_resolution == MICROSECOND
+
+
+def test_draft3_preset_shape():
+    config = ProtocolConfig.v5_draft3()
+    assert config.version == 5
+    assert config.cipher_mode == "cbc"
+    assert config.use_confounder
+    assert config.timestamp_resolution == MILLISECOND
+    assert config.allow_enc_tkt_in_skey and config.allow_reuse_skey
+    assert not config.enc_tkt_cname_check      # the omitted requirement
+    assert config.tgs_req_checksum is ChecksumType.CRC32
+    assert config.krb_priv_layout == "v5draft"
+
+
+def test_draft2_differs_from_draft3_only_in_the_nonce():
+    d2 = dataclasses.asdict(ProtocolConfig.v5_draft2())
+    d3 = dataclasses.asdict(ProtocolConfig.v5_draft3())
+    differing = {k for k in d2 if d2[k] != d3[k]}
+    assert differing == {"as_rep_nonce", "label"}
+
+
+def test_hardened_enables_every_recommendation():
+    config = ProtocolConfig.hardened()
+    assert config.preauth_required
+    assert not config.issue_tickets_for_users
+    assert config.dh_login
+    assert config.handheld_login
+    assert config.challenge_response
+    assert config.negotiate_session_key
+    assert config.use_sequence_numbers
+    assert config.replay_cache
+    assert config.authenticator_ticket_checksum
+    assert config.kdc_reply_ticket_checksum
+    assert config.verify_interrealm_client
+    assert not config.allow_enc_tkt_in_skey
+    assert not config.allow_reuse_skey
+    assert not config.allow_forwarding
+    assert config.seal_checksum is ChecksumType.MD4
+    assert config.private_message_integrity
+    assert config.krb_priv_layout == "v4"
+
+
+def test_round_timestamp():
+    config = ProtocolConfig.v5_draft3()  # millisecond resolution
+    assert config.round_timestamp(1_234_567) == 1_234_000
+    micro = ProtocolConfig.v4()
+    assert micro.round_timestamp(1_234_567) == 1_234_567
+
+
+def test_default_lifetimes_match_the_paper():
+    config = ProtocolConfig.v4()
+    assert config.authenticator_lifetime == 5 * MINUTE  # "typically five"
+    assert config.clock_skew == 5 * MINUTE
+    assert config.ticket_lifetime == 480 * MINUTE

@@ -1,0 +1,62 @@
+"""CRC-32 correctness and the linearity forgery behind the cut-and-paste
+attack."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crc import ForgeryError, crc32, forge_field
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_matches_zlib(data):
+    assert crc32(data) == zlib.crc32(data)
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_affine_property(a, b):
+    """crc(a) ^ crc(b) ^ crc(a^b-with-same-length) is constant per length
+    — the structure the forgery exploits."""
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    xored = bytes(x ^ y for x, y in zip(a, b))
+    zero = bytes(n)
+    assert crc32(a) ^ crc32(b) == crc32(xored) ^ crc32(zero)
+
+
+@given(
+    st.binary(min_size=12, max_size=100),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_forgery_hits_any_target(message, target, data):
+    offset = data.draw(st.integers(min_value=0, max_value=len(message) - 4))
+    forged = forge_field(message, offset, target)
+    assert crc32(forged) == target
+    assert forged[:offset] == message[:offset]
+    assert forged[offset + 4:] == message[offset + 4:]
+    assert len(forged) == len(message)
+
+
+def test_forgery_out_of_range():
+    with pytest.raises(ForgeryError):
+        forge_field(b"short", 3, 0)
+    with pytest.raises(ForgeryError):
+        forge_field(b"longenough", -1, 0)
+
+
+def test_forgery_reproduces_existing_crc():
+    """Forging to the message's own CRC can leave the field semantics
+    free: 4 bytes of attacker choice with no integrity cost."""
+    message = b"server|options|ticket|AAAA|nonce"
+    target = crc32(message)
+    tampered = message.replace(b"options", b"OPTIONS")
+    offset = tampered.index(b"AAAA")
+    forged = forge_field(tampered, offset, target)
+    assert crc32(forged) == target
+    assert forged != message  # different content, same checksum

@@ -1,0 +1,100 @@
+"""DES correctness: FIPS vectors, inverse property, parity, weak keys."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import des
+from repro.crypto.des import (
+    BLOCK_OPS, DesCipher, WEAK_KEYS, decrypt_block, derive_subkeys,
+    encrypt_block, has_odd_parity, is_weak_key, set_odd_parity,
+)
+
+# Classic published test vectors: (key, plaintext, ciphertext).
+VECTORS = [
+    ("133457799BBCDFF1", "0123456789ABCDEF", "85E813540F0AB405"),
+    ("0123456789ABCDEF", "4E6F772069732074", "3FA40E8A984D4815"),
+    ("0101010101010101", "0000000000000000", "8CA64DE9C1B123A7"),
+    ("7CA110454A1A6E57", "01A1D6D039776742", "690F5B0D9A26939B"),
+    ("0131D9619DC1376E", "5CD54CA83DEF57DA", "7A389D10354BD271"),
+]
+
+
+@pytest.mark.parametrize("key_hex,plain_hex,cipher_hex", VECTORS)
+def test_known_vectors(key_hex, plain_hex, cipher_hex):
+    key = bytes.fromhex(key_hex)
+    plain = bytes.fromhex(plain_hex)
+    assert encrypt_block(key, plain).hex().upper() == cipher_hex
+
+
+@pytest.mark.parametrize("key_hex,plain_hex,cipher_hex", VECTORS)
+def test_decrypt_inverts(key_hex, plain_hex, cipher_hex):
+    key = bytes.fromhex(key_hex)
+    assert decrypt_block(key, bytes.fromhex(cipher_hex)) == bytes.fromhex(plain_hex)
+
+
+@given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(key, block):
+    assert decrypt_block(key, encrypt_block(key, block)) == block
+
+
+@given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_parity_bits_ignored(key, block):
+    """Flipping parity bits must not change the function (FIPS 46)."""
+    stripped = bytes(b & 0xFE for b in key)
+    assert encrypt_block(key, block) == encrypt_block(stripped, block)
+
+
+def test_cached_schedule_matches_oneshot():
+    key = bytes.fromhex("133457799BBCDFF1")
+    cipher = DesCipher(key)
+    block = b"\x01" * 8
+    assert cipher.encrypt_block(block) == encrypt_block(key, block)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_subkey_count_and_width():
+    subkeys = derive_subkeys(b"\x01" * 8)
+    assert len(subkeys) == 16
+    assert all(0 <= k < (1 << 48) for k in subkeys)
+
+
+def test_bad_lengths_rejected():
+    with pytest.raises(des.DesError):
+        encrypt_block(b"short", b"\x00" * 8)
+    with pytest.raises(des.DesError):
+        encrypt_block(b"\x00" * 8, b"tooshortblock")
+
+
+def test_weak_key_schedule_is_palindromic():
+    """A weak key encrypts and decrypts identically — the reason they are
+    rejected for session keys."""
+    weak = next(iter(WEAK_KEYS))
+    block = b"attack a"
+    assert encrypt_block(weak, encrypt_block(weak, block)) == block
+
+
+def test_set_odd_parity():
+    fixed = set_odd_parity(bytes(range(8)))
+    assert has_odd_parity(fixed)
+    # Idempotent.
+    assert set_odd_parity(fixed) == fixed
+
+
+@pytest.mark.parametrize("weak_hex", ["0101010101010101", "fefefefefefefefe"])
+def test_weak_key_detection(weak_hex):
+    assert is_weak_key(bytes.fromhex(weak_hex))
+
+
+def test_normal_key_not_weak():
+    assert not is_weak_key(bytes.fromhex("133457799BBCDFF1"))
+
+
+def test_block_op_counter():
+    BLOCK_OPS.reset()
+    encrypt_block(b"\x01" * 8, b"\x00" * 8)
+    encrypt_block(b"\x01" * 8, b"\x00" * 8)
+    assert BLOCK_OPS.reset() == 2
+    assert BLOCK_OPS.count == 0

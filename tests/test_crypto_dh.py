@@ -1,0 +1,87 @@
+"""Exponential key exchange and the baby-step/giant-step break."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dh import (
+    SAFE_PRIMES, DhGroup, DhKeyPair, DiscreteLogError, discrete_log,
+    key_exchange, shared_key_to_des,
+)
+from repro.crypto.des import has_odd_parity
+from repro.crypto.rng import DeterministicRandom
+
+
+@pytest.mark.parametrize("bits", [16, 32, 64, 128])
+def test_safe_prime_structure(bits):
+    p = SAFE_PRIMES[bits]
+    assert p.bit_length() == bits
+    assert p % 2 == 1
+    # p = 2q + 1 with prime q: verify small-factor sanity of q.
+    q = (p - 1) // 2
+    assert pow(2, q, p) in (1, p - 1)  # 2^q = ±1 mod safe prime
+
+
+@pytest.mark.parametrize("bits", [16, 32, 64])
+def test_exchange_agrees(bits):
+    group = DhGroup.for_bits(bits)
+    a, b, secret = key_exchange(
+        group, DeterministicRandom(1), DeterministicRandom(2)
+    )
+    assert a.shared_secret(b.public) == secret
+    assert b.shared_secret(a.public) == secret
+
+
+def test_generator_generates_subgroup():
+    group = DhGroup.for_bits(32)
+    assert pow(group.generator, group.subgroup_order, group.prime) == 1
+    assert pow(group.generator, 2, group.prime) != 1
+
+
+def test_unknown_bits_rejected():
+    with pytest.raises(KeyError):
+        DhGroup.for_bits(17)
+
+
+def test_out_of_range_peer_rejected():
+    group = DhGroup.for_bits(32)
+    pair = DhKeyPair.generate(group, DeterministicRandom(3))
+    with pytest.raises(ValueError):
+        pair.shared_secret(0)
+    with pytest.raises(ValueError):
+        pair.shared_secret(group.prime)
+
+
+@pytest.mark.parametrize("bits", [16, 24, 32])
+def test_discrete_log_recovers_small_moduli(bits):
+    """The LaMacchia–Odlyzko half: small moduli fall to BSGS."""
+    group = DhGroup.for_bits(bits)
+    pair = DhKeyPair.generate(group, DeterministicRandom(4))
+    recovered = discrete_log(group, pair.public)
+    assert pow(group.generator, recovered, group.prime) == pair.public
+
+
+def test_discrete_log_respects_work_bound():
+    """The other half: the work bound models infeasibility at size."""
+    group = DhGroup.for_bits(64)
+    pair = DhKeyPair.generate(group, DeterministicRandom(5))
+    with pytest.raises(DiscreteLogError):
+        discrete_log(group, pair.public, max_work=1000)
+
+
+def test_shared_key_to_des_shape():
+    group = DhGroup.for_bits(64)
+    key = shared_key_to_des(123456789, group.prime)
+    assert len(key) == 8
+    assert has_odd_parity(key)
+
+
+@given(st.integers(min_value=2, max_value=2**20))
+@settings(max_examples=20, deadline=None)
+def test_discrete_log_identity(exponent):
+    group = DhGroup.for_bits(24)
+    exponent %= group.subgroup_order
+    if exponent < 2:
+        exponent = 2
+    target = pow(group.generator, exponent, group.prime)
+    assert pow(group.generator, discrete_log(group, target), group.prime) == target

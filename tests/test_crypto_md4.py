@@ -1,0 +1,63 @@
+"""MD4 against the RFC 1320 vectors plus incremental-update behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.md4 import MD4, md4
+
+RFC_VECTORS = {
+    b"": "31d6cfe0d16ae931b73c59d7e0c089c0",
+    b"a": "bde52cb31de33e46245e05fbdbd6fb24",
+    b"abc": "a448017aaf21d8525fc10ae87aa6729d",
+    b"message digest": "d9130a8164549fe818874806e1c7014b",
+    b"abcdefghijklmnopqrstuvwxyz": "d79e1c308aa5bbcdeea8ed63df412da9",
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789":
+        "043f8582f241db351ce627e153e7f0e4",
+    b"1234567890" * 8: "e33b4ddc9c38f2199c3e7b164fcc0536",
+}
+
+
+@pytest.mark.parametrize("message,digest", RFC_VECTORS.items())
+def test_rfc_vectors(message, digest):
+    assert md4(message).hex() == digest
+
+
+def test_digest_length():
+    assert len(md4(b"x")) == 16
+
+
+@given(st.binary(max_size=300), st.integers(min_value=0, max_value=300))
+@settings(max_examples=50, deadline=None)
+def test_incremental_equals_oneshot(data, split):
+    split = min(split, len(data))
+    hasher = MD4()
+    hasher.update(data[:split])
+    hasher.update(data[split:])
+    assert hasher.digest() == md4(data)
+
+
+def test_digest_is_nondestructive():
+    hasher = MD4(b"hello")
+    first = hasher.digest()
+    assert hasher.digest() == first
+    hasher.update(b" world")
+    assert hasher.digest() == md4(b"hello world")
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_distinct_inputs_distinct_digests(a, b):
+    """Not a collision proof — just the sanity the protocol relies on."""
+    if a != b:
+        assert md4(a) != md4(b)
+
+
+def test_block_boundary_lengths():
+    """Padding edge cases: 55, 56, 63, 64, 65 bytes."""
+    for length in (55, 56, 63, 64, 65, 119, 120, 128):
+        data = bytes(i & 0xFF for i in range(length))
+        hasher = MD4()
+        for byte in data:
+            hasher.update(bytes([byte]))
+        assert hasher.digest() == md4(data), length

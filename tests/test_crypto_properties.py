@@ -1,0 +1,137 @@
+"""Deeper cryptographic properties the implementation must honour.
+
+These pin well-known structural facts of the primitives — facts an
+implementation bug would silently break and that the protocol design
+leans on (or must avoid leaning on).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.des import BLOCK_SIZE, encrypt_block
+from repro.crypto.md4 import MD4, md4
+
+
+# --- DES structural properties ----------------------------------------------
+
+
+def _complement(data: bytes) -> bytes:
+    return bytes(b ^ 0xFF for b in data)
+
+
+@given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_des_complementation_property(key, block):
+    """E_~K(~P) == ~E_K(P) — the classic DES complementation identity.
+
+    Any table or key-schedule transcription error breaks this.
+    """
+    normal = encrypt_block(key, block)
+    complemented = encrypt_block(_complement(key), _complement(block))
+    assert complemented == _complement(normal)
+
+
+@given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8),
+       st.integers(min_value=0, max_value=63))
+@settings(max_examples=30, deadline=None)
+def test_des_avalanche_nontrivial(key, block, bit):
+    """Flipping one plaintext bit changes many ciphertext bits.
+
+    A loose avalanche sanity bound (>= 10 of 64): catches gross
+    permutation-table damage without being flaky.
+    """
+    flipped = bytearray(block)
+    flipped[bit // 8] ^= 1 << (bit % 8)
+    a = encrypt_block(key, block)
+    b = encrypt_block(key, bytes(flipped))
+    differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+    assert differing >= 10
+
+
+def test_des_is_a_permutation_on_sample():
+    """Distinct plaintexts map to distinct ciphertexts under one key."""
+    key = bytes.fromhex("133457799BBCDFF1")
+    outputs = {
+        encrypt_block(key, i.to_bytes(8, "big")) for i in range(256)
+    }
+    assert len(outputs) == 256
+
+
+# --- MD4 length extension ------------------------------------------------------
+
+
+def _md4_pad(length: int) -> bytes:
+    """The padding MD4 appends to a message of *length* bytes."""
+    import struct
+
+    return (b"\x80" + b"\x00" * ((55 - length) % 64)
+            + struct.pack("<Q", length * 8))
+
+
+def _resume_md4(digest: bytes, consumed: int) -> MD4:
+    """Seed an MD4 instance from a finished digest (extension attack)."""
+    import struct
+
+    hasher = MD4()
+    hasher._state = list(struct.unpack("<4I", digest))
+    hasher._length = consumed
+    hasher._buffer = b""
+    return hasher
+
+
+@given(st.binary(max_size=80), st.binary(min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_md4_length_extension(message, suffix):
+    """MD4(m || pad(m) || s) is computable from MD4(m) alone.
+
+    This is why ``H(secret || message)`` is NOT a MAC, and why the
+    protocol's keyed checksum encrypts the digest (MD4-DES) instead of
+    hashing a secret prefix.
+    """
+    digest = md4(message)
+    glue = _md4_pad(len(message))
+    forged_input = message + glue + suffix
+
+    resumed = _resume_md4(digest, len(message) + len(glue))
+    resumed.update(suffix)
+    assert resumed.digest() == md4(forged_input)
+
+
+def test_secret_prefix_mac_is_forgeable_but_md4_des_is_not():
+    """The concrete protocol consequence of the extension property."""
+    from repro.crypto.checksum import ChecksumType, compute
+
+    secret = b"sixteen-byte-key"
+    message = b"options=0|authz=none"
+
+    # Hypothetical H(secret || m) "MAC": forgeable without the secret.
+    tag = md4(secret + message)
+    glue = _md4_pad(len(secret) + len(message))
+    extension = b"|authz=ROOT"
+    forged_message = message + glue + extension
+    resumed = _resume_md4(tag, len(secret) + len(message) + len(glue))
+    resumed.update(extension)
+    forged_tag = resumed.digest()
+    assert forged_tag == md4(secret + forged_message)  # forged, no secret
+
+    # The protocol's MD4-DES: the digest is DES-encrypted; extending the
+    # *encrypted* value has no exploitable relationship to the plaintext
+    # digest chain, and the attacker cannot produce the encryption.
+    key = bytes.fromhex("133457799BBCDFF1")
+    real = compute(ChecksumType.MD4_DES, message, key)
+    assert compute(ChecksumType.MD4_DES, forged_message, key) != real
+
+
+# --- interaction: parity bits are free bits ---------------------------------------
+
+
+@given(st.binary(min_size=8, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_effective_keyspace_is_56_bits(key):
+    """All 256 parity-bit variants of a key encrypt identically — the
+    famous 56-bit effective keyspace."""
+    block = b"\x00" * 8
+    reference = encrypt_block(key, block)
+    variant = bytes(b | 1 for b in key)
+    assert encrypt_block(variant, block) == reference

@@ -1,0 +1,70 @@
+"""Adversarial bytes against the codecs: errors, never crashes or
+mis-typed values.
+
+The encoding layer fronts everything an attacker controls; whatever
+arrives must either decode to schema-conformant values or raise
+CodecError — no other exception, no type confusion within a schema.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.codec import CodecError, FieldKind, V4Codec, V5Codec
+from repro.kerberos import messages as M
+
+ALL_SCHEMAS = [
+    M.TICKET, M.AUTHENTICATOR, M.AS_REQ, M.KDC_REP_ENC, M.AS_REP,
+    M.TGS_REQ, M.TGS_REP, M.AP_REQ, M.AP_REP_ENC, M.KRB_SAFE,
+    M.KRB_ERROR, M.CHALLENGE_ENC,
+]
+
+_EXPECTED_TYPES = {
+    FieldKind.UINT: int,
+    FieldKind.BYTES: bytes,
+    FieldKind.STRING: str,
+}
+
+
+@pytest.mark.parametrize("codec", [V4Codec, V5Codec], ids=["v4", "v5"])
+@given(junk=st.binary(max_size=150), index=st.integers(min_value=0, max_value=11))
+@settings(max_examples=120, deadline=None)
+def test_fuzz_decode_is_total(codec, junk, index):
+    schema = ALL_SCHEMAS[index]
+    try:
+        values = codec.decode(schema, junk)
+    except CodecError:
+        return
+    # If it decoded, every field has the declared type and uints are
+    # non-negative.
+    for field in schema.fields:
+        value = values[field.name]
+        assert isinstance(value, _EXPECTED_TYPES[field.kind]), field.name
+        if field.kind is FieldKind.UINT:
+            assert value >= 0
+
+
+@pytest.mark.parametrize("codec", [V4Codec, V5Codec], ids=["v4", "v5"])
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_fuzz_bitflip_roundtrip(codec, data):
+    """Flip one byte of a valid encoding: either CodecError or a decode
+    whose values remain type-correct (silent corruption of contents is
+    the encoding layer's documented limitation; type safety is not)."""
+    values = {
+        "server": "mail.mh@A", "client": "pat@A", "address": "10.0.0.1",
+        "issued_at": 1000, "lifetime": 500, "session_key": b"\x01" * 8,
+        "flags": 0, "transited": "",
+    }
+    blob = bytearray(codec.encode(M.TICKET, values))
+    position = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    blob[position] ^= flip
+    try:
+        decoded = codec.decode(M.TICKET, bytes(blob))
+    except CodecError:
+        return
+    for field in M.TICKET.fields:
+        assert isinstance(
+            decoded[field.name], _EXPECTED_TYPES[field.kind]
+        )

@@ -1,0 +1,192 @@
+"""The simulated hardware: encryption unit, keystore, handheld, RNG svc."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.crypto.keys import KeyTag, string_to_key
+from repro.crypto.rng import DeterministicRandom
+from repro.hardware import (
+    EncryptionUnit, HandheldDevice, KeystoreClient, KeystoreServer,
+    RandomNumberService, UnitError, provision_instance_key,
+)
+from repro.kerberos import messages
+from repro.kerberos.config import ProtocolConfig as Config
+from repro.kerberos.principal import Principal
+from repro.kerberos.tickets import Authenticator, Ticket
+
+
+# --- encryption unit ----------------------------------------------------
+
+
+def make_unit():
+    return EncryptionUnit(Config.v4(), DeterministicRandom(1))
+
+
+def test_unit_has_no_key_export():
+    """The paper's assurance argument: audit the interface, find no way
+    to transmit a key."""
+    unit = make_unit()
+    exported = [name for name in dir(unit)
+                if not name.startswith("_") and "key" in name.lower()]
+    # Only loading/generating operations exist; none return bytes.
+    handle = unit.generate_session_key("pat")
+    assert not isinstance(handle, (bytes, bytearray))
+
+
+def test_unit_tag_enforcement():
+    """A login key must not decrypt session traffic, and vice versa."""
+    unit = make_unit()
+    login = unit.load_key(string_to_key("pw"), KeyTag.LOGIN, "pat")
+    session = unit.generate_session_key("pat")
+    with pytest.raises(UnitError):
+        unit.seal_with(login, b"data")        # login key as session key
+    with pytest.raises(UnitError):
+        unit.decrypt_kdc_reply(session, b"")  # session key as login key
+    refusals = [l for l in unit.audit_log() if "REFUSED" in l]
+    assert len(refusals) == 2
+
+
+def test_unit_kdc_reply_flow_scrubs_keys():
+    config = Config.v4()
+    rng = DeterministicRandom(2)
+    unit = EncryptionUnit(config, rng)
+    client_key = string_to_key("pw")
+    session_key = rng.random_key()
+    enc_part = messages.seal(
+        config.codec.encode(messages.KDC_REP_ENC, {
+            "session_key": session_key, "server": "krbtgt.A@A",
+            "nonce": 7, "issued_at": 100, "lifetime": 1000,
+            "ticket_checksum": b"",
+        }),
+        client_key, config, rng,
+    )
+    handle = unit.load_key(client_key, KeyTag.LOGIN, "pat")
+    public, session_handle = unit.decrypt_kdc_reply(handle, enc_part)
+    assert public["session_key"] == b""       # scrubbed
+    assert public["server"] == "krbtgt.A@A"   # metadata visible
+    assert session_handle.tag is KeyTag.TGS_SESSION
+    # The handle works for protocol operations without exposing bytes.
+    authenticator = Authenticator(
+        client=Principal("pat", "", "A"), address="10.0.0.1", timestamp=500,
+    )
+    blob = unit.make_authenticator(session_handle, authenticator)
+    assert Authenticator.unseal(blob, session_key, config) == authenticator
+
+
+def test_unit_validate_ticket():
+    config = Config.v4()
+    rng = DeterministicRandom(3)
+    unit = EncryptionUnit(config, rng)
+    service_key = rng.random_key()
+    ticket = Ticket(
+        server=Principal.service("mail", "mh", "A"),
+        client=Principal("pat", "", "A"),
+        address="10.0.0.1", issued_at=0, lifetime=100,
+        session_key=rng.random_key(),
+    )
+    sealed = ticket.seal(service_key, config, rng)
+    handle = unit.load_key(service_key, KeyTag.SERVICE, "mail")
+    scrubbed, session_handle = unit.validate_ticket(handle, sealed)
+    assert scrubbed.session_key == b""
+    assert scrubbed.client == ticket.client
+    # Session handle seals/unseals traffic.
+    blob = unit.seal_with(session_handle, b"payload")
+    assert unit.unseal_with(session_handle, blob) == b"payload"
+
+
+def test_unit_forget():
+    unit = make_unit()
+    handle = unit.generate_session_key("pat")
+    unit.forget(handle)
+    with pytest.raises(UnitError):
+        unit.seal_with(handle, b"x")
+
+
+def test_audit_log_is_a_copy():
+    unit = make_unit()
+    unit.generate_session_key("pat")
+    log = unit.audit_log()
+    log.clear()
+    assert unit.audit_log()  # the internal record survived
+
+
+# --- handheld -----------------------------------------------------------
+
+
+def test_handheld_responses():
+    device = HandheldDevice.from_password("pw")
+    r = b"\x05" * 8
+    first = device.respond(r)
+    assert first == device.respond(r)       # deterministic per challenge
+    assert first != device.respond(b"\x06" * 8)
+    with pytest.raises(ValueError):
+        device.respond(b"short")
+
+
+def test_handheld_key_not_exposed():
+    device = HandheldDevice.from_password("pw")
+    public = [n for n in dir(device) if not n.startswith("_")]
+    assert set(public) <= {"from_password", "preauth", "respond",
+                           "responses_issued"}
+
+
+# --- keystore + random service (integration) ------------------------------
+
+
+def _keystore_deployment():
+    bed = Testbed(ProtocolConfig.v4(), seed=9)
+    bed.add_user("pat", "pw")
+    keystore = bed.add_server(KeystoreServer, "keystore", "kh")
+    randsvc = bed.add_server(RandomNumberService, "random", "rh")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    ks_session = outcome.client.ap_exchange(
+        outcome.client.get_service_ticket(keystore.principal),
+        bed.endpoint(keystore),
+    )
+    rnd_session = outcome.client.ap_exchange(
+        outcome.client.get_service_ticket(randsvc.principal),
+        bed.endpoint(randsvc),
+    )
+    return bed, keystore, ks_session, rnd_session
+
+
+def test_keystore_put_get_delete_list():
+    _bed, _server, session, _rnd = _keystore_deployment()
+    client = KeystoreClient(session)
+    client.put("service-keys", b"\x01\x02\x03")
+    assert client.get("service-keys") == b"\x01\x02\x03"
+    assert client.list() == ["service-keys"]
+    assert client.delete("service-keys")
+    assert client.get("service-keys") is None
+    assert client.list() == []
+
+
+def test_keystore_traffic_is_encrypted_on_the_wire():
+    bed, _server, session, _rnd = _keystore_deployment()
+    client = KeystoreClient(session)
+    secret = b"super-secret-key-material"
+    client.put("blob", secret)
+    assert not any(
+        secret in m.payload for m in bed.adversary.log
+    ), "keystore payload leaked in cleartext"
+
+
+def test_random_service_key_shape():
+    _bed, _ks, _s, rnd_session = _keystore_deployment()
+    key = rnd_session.call(b"KEY")
+    from repro.crypto.des import has_odd_parity
+    assert len(key) == 8 and has_odd_parity(key)
+    assert len(rnd_session.call(b"BYTES 16")) == 16
+    assert rnd_session.call(b"BYTES 0") == b"ERR bad count"
+
+
+def test_provision_instance_key():
+    bed, keystore, ks_session, rnd_session = _keystore_deployment()
+    client = KeystoreClient(ks_session)
+    instance = Principal("pat", "email", bed.realm.name)
+    key = provision_instance_key(
+        rnd_session, client, bed.realm.database, instance
+    )
+    assert bed.realm.database.key_of(instance) == key
+    assert client.get(f"instance-key:{instance}") == key

@@ -1,0 +1,97 @@
+"""The unit-backed server: a working service with no keys in host memory."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.attacks import kmem_theft
+from repro.hardware.unit_server import UnitBackedServer
+from repro.kerberos.client import KerberosError
+from repro.sim.process import Process
+
+CONFIG = ProtocolConfig.v4().but(private_message_integrity=True)
+
+
+def deployment(seed=1):
+    bed = Testbed(CONFIG, seed=seed)
+    bed.add_user("pat", "pw")
+    server = bed.add_server(UnitBackedServer, "vault", "vaulthost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    return bed, server, outcome
+
+
+def test_full_exchange_works():
+    bed, server, outcome = deployment()
+    cred = outcome.client.get_service_ticket(server.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(server))
+    assert session.call(b"sensitive request") == b"unit-echo:sensitive request"
+    assert server.executed == 1
+
+
+def test_mutual_authentication_proof():
+    """The AP_REP timestamp+1 proof comes out of the unit correctly."""
+    bed, server, outcome = deployment(seed=2)
+    cred = outcome.client.get_service_ticket(server.principal)
+    # ap_exchange(mutual=True) raises if the proof is wrong.
+    outcome.client.ap_exchange(cred, bed.endpoint(server), mutual=True)
+
+
+def test_no_service_key_retained_on_instance():
+    _bed, server, _outcome = deployment(seed=3)
+    assert server.service_key == b""
+
+
+def test_kmem_scrape_finds_no_server_keys():
+    """Root on the server host reads all of kmem: the service key and
+    session keys simply are not there."""
+    bed, server, outcome = deployment(seed=4)
+    cred = outcome.client.get_service_ticket(server.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(server))
+    session.call(b"hello")
+
+    # What root can see on the server host:
+    kmem = Process(server.host, "root", is_root=True).read_kmem()
+    all_memory = b"".join(kmem.values())
+    # Neither the multi-session key (known from the client's ccache in
+    # this test harness) nor the service key bytes appear.
+    assert cred.session_key not in all_memory
+    service_key = bed.realm.database.key_of(server.principal)
+    assert service_key not in all_memory
+    # And the generic theft attack comes up empty.
+    result = kmem_theft(server.host, "root", as_root=True)
+    assert not result.succeeded
+
+
+def test_wrong_ticket_rejected_by_unit():
+    bed, server, outcome = deployment(seed=5)
+    other = bed.add_echo_server("echohost")
+    cred = outcome.client.get_service_ticket(other.principal)
+    with pytest.raises(KerberosError):
+        outcome.client.ap_exchange(cred, bed.endpoint(server))
+    assert server.rejection_reasons[-1] == "bad-ticket"
+
+
+def test_replayed_authenticator_rejected_with_cache():
+    config = CONFIG.but(replay_cache=True)
+    bed = Testbed(config, seed=6)
+    bed.add_user("pat", "pw")
+    server = bed.add_server(UnitBackedServer, "vault", "vaulthost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    cred = outcome.client.get_service_ticket(server.principal)
+    outcome.client.ap_exchange(cred, bed.endpoint(server))
+    captured = bed.adversary.recorded(service="vault", direction="request")[-1]
+    accepted_before = server.accepted
+    bed.network.inject(captured.src_address, captured.dst, captured.payload)
+    assert server.accepted == accepted_before
+    assert server.rejection_reasons[-1] == "replay"
+
+
+def test_audit_log_records_protocol_operations():
+    bed, server, outcome = deployment(seed=7)
+    cred = outcome.client.get_service_ticket(server.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(server))
+    session.call(b"x")
+    log = server.unit.audit_log()
+    assert any("validate-ticket" in line for line in log)
+    assert any("load tag=service" in line for line in log)

@@ -1,0 +1,118 @@
+"""Client-library corners not covered elsewhere."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.kerberos.client import (
+    KerberosClient, KerberosError, PasswordSecret,
+)
+from repro.kerberos.principal import Principal
+from repro.kerberos.realm import RealmDirectory, RealmError
+
+
+def make_bed(config=None, seed=1):
+    bed = Testbed(config if config is not None else ProtocolConfig.v4(),
+                  seed=seed)
+    bed.add_user("pat", "pw")
+    bed.add_echo_server("echohost")
+    return bed
+
+
+def test_non_mutual_ap_exchange():
+    bed = make_bed()
+    echo = bed.servers["echo.echohost@ATHENA"]
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(echo),
+                                         mutual=False)
+    assert session.call(b"hi") == b"echo:hi"
+
+
+def test_mutual_auth_detects_tampered_proof():
+    """Flip bits in the AP_REP: the {timestamp+1} proof must fail."""
+    bed = make_bed(seed=2)
+    echo = bed.servers["echo.echohost@ATHENA"]
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+
+    def corrupt(message):
+        if message.dst.service != "echo":
+            return None
+        payload = bytearray(message.payload)
+        if payload[:1] != b"\x00" or len(payload) < 20:
+            return None
+        payload[12] ^= 0xFF
+        return bytes(payload)
+
+    bed.adversary.on_response(corrupt)
+    with pytest.raises(KerberosError):
+        outcome.client.ap_exchange(cred, bed.endpoint(echo), mutual=True)
+    bed.adversary.clear_taps()
+
+
+def test_unknown_realm_in_directory():
+    bed = make_bed(seed=3)
+    ws = bed.add_workstation("ws1")
+    client = KerberosClient(
+        ws, Principal("pat", "", "NOWHERE"), bed.config,
+        bed.directory, bed.rng.fork("c"),
+    )
+    with pytest.raises(RealmError):
+        client.kinit(PasswordSecret("pw"))
+
+
+def test_kinit_for_explicit_service():
+    """kinit can request an initial ticket for a service directly (the
+    V4 pattern for servers that skip the TGS)."""
+    bed = make_bed(seed=4)
+    echo = bed.servers["echo.echohost@ATHENA"]
+    ws = bed.add_workstation("ws1")
+    client = KerberosClient(
+        ws, Principal("pat", "", bed.realm.name), bed.config,
+        bed.directory, bed.rng.fork("c"),
+    )
+    cred = client.kinit(PasswordSecret("pw"), server=echo.principal)
+    assert cred.server == echo.principal
+    session = client.ap_exchange(cred, bed.endpoint(echo))
+    assert session.call(b"direct") == b"echo:direct"
+
+
+def test_messages_exchanged_counter():
+    bed = make_bed(seed=5)
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    assert outcome.client.messages_exchanged == 2  # one AS round trip
+    echo = bed.servers["echo.echohost@ATHENA"]
+    outcome.client.get_service_ticket(echo.principal)
+    assert outcome.client.messages_exchanged == 4
+
+
+def test_expired_service_ticket_rejected_at_server():
+    bed = make_bed(seed=6)
+    echo = bed.servers["echo.echohost@ATHENA"]
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+    bed.advance_minutes(500)
+    with pytest.raises(KerberosError):
+        outcome.client.ap_exchange(cred, bed.endpoint(echo))
+    assert echo.rejection_reasons[-1] == "ticket-expired"
+
+
+def test_second_safe_call_continues_channel():
+    from repro.kerberos.appserver import BulletinServer
+    bed = Testbed(ProtocolConfig.v4(), seed=7)
+    bed.add_user("pat", "pw")
+    board = bed.add_server(BulletinServer, "bulletin", "bh")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    session = outcome.client.ap_exchange(
+        outcome.client.get_service_ticket(board.principal),
+        bed.endpoint(board),
+    )
+    session.safe_call(b"POST first")
+    bed.clock.advance(2000)
+    session.safe_call(b"POST second")
+    assert len(board.postings) == 2

@@ -1,0 +1,98 @@
+"""KDC database and the notation-trace renderer."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos.database import DatabaseError, KdcDatabase
+from repro.kerberos.principal import Principal
+from repro.kerberos.trace import NOTATION_TABLE, ProtocolTrace
+
+
+def make_db():
+    return KdcDatabase("ATHENA", DeterministicRandom(1))
+
+
+def test_add_user_key_is_password_derived():
+    db = make_db()
+    principal = db.add_user("pat", "pw")
+    from repro.crypto.keys import string_to_key
+    assert db.key_of(principal) == string_to_key("pw")
+
+
+def test_add_service_random_key():
+    db = make_db()
+    a = db.add_service("mail", "mh")
+    b = db.add_service("file", "fh")
+    assert db.key_of(a) != db.key_of(b)
+    assert len(db.key_of(a)) == 8
+
+
+def test_add_tgs():
+    db = make_db()
+    tgs = db.add_tgs()
+    assert str(tgs) == "krbtgt.ATHENA@ATHENA"
+    assert db.knows(tgs)
+
+
+def test_unknown_principal():
+    db = make_db()
+    with pytest.raises(DatabaseError):
+        db.key_of(Principal("ghost", "", "ATHENA"))
+
+
+def test_principals_listing_is_public_but_keyless():
+    db = make_db()
+    db.add_user("pat", "pw")
+    db.add_service("mail", "mh")
+    listing = db.principals()
+    assert len(listing) == 2
+    assert all(isinstance(p, Principal) for p in listing)
+
+
+def test_users_listing():
+    db = make_db()
+    db.add_user("pat", "pw")
+    db.add_service("mail", "mh")
+    db.add_tgs()
+    assert [p.name for p in db.users()] == ["pat"]
+
+
+def test_set_key():
+    db = make_db()
+    p = db.add_user("pat", "pw")
+    db.set_key(p, b"\x09" * 8)
+    assert db.key_of(p) == b"\x09" * 8
+
+
+def test_interrealm_key():
+    db = make_db()
+    p = db.add_interrealm("LCS", b"\x07" * 8)
+    assert str(p) == "krbtgt.LCS@ATHENA"
+    assert db.key_of(p) == b"\x07" * 8
+
+
+# --- trace -----------------------------------------------------------------
+
+
+def test_notation_table_contents():
+    symbols = [s for s, _ in NOTATION_TABLE]
+    assert "{Tc,s}Ks" in symbols
+    assert "{Ac}Kc,s" in symbols
+    rendered = ProtocolTrace.notation_table()
+    assert "Table 1" in rendered
+    assert "session key for c and s" in rendered
+
+
+def test_v4_flow_trace():
+    trace = ProtocolTrace.v4_full_flow()
+    rendered = trace.render()
+    assert "{Kc,tgs, {Tc,tgs}Ktgs}Kc" in rendered
+    assert "{timestamp + 1}Kc,s" in rendered
+    assert len(trace.steps) == 6
+
+
+def test_custom_trace():
+    trace = ProtocolTrace(title="test")
+    trace.add("a", "b", "{x}K", note="why")
+    assert "a -> b:" in trace.render()
+    assert "(why)" in trace.render()

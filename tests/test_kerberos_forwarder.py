@@ -1,0 +1,109 @@
+"""The V4 ticket-forwarder: footnote 9's awkward dance, end to end."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.kerberos.client import KerberosClient, KerberosError
+from repro.kerberos.forwarder import TicketForwarderServer, forward_credentials
+from repro.kerberos.principal import Principal
+
+
+def deployment(seed=1):
+    bed = Testbed(ProtocolConfig.v4(), seed=seed)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    forwarder = bed.add_server(
+        TicketForwarderServer, "forwarder", "hostb", directory=bed.directory
+    )
+    host_a = bed.add_workstation("hosta")
+    return bed, echo, forwarder, host_a
+
+
+def test_direct_copy_fails_under_v4_binding():
+    """The problem the forwarder exists to solve."""
+    bed, echo, forwarder, host_a = deployment()
+    outcome = bed.login("pat", "pw", host_a)
+    cred = outcome.client.get_service_ticket(echo.principal)
+    mover = KerberosClient(
+        forwarder.host, Principal("pat", "", bed.realm.name), bed.config,
+        bed.directory, bed.rng.fork("mover"),
+    )
+    mover.ccache.store(cred)
+    with pytest.raises(KerberosError):
+        mover.ap_exchange(cred, bed.endpoint(echo))
+
+
+def test_forwarder_dance_produces_usable_credentials():
+    bed, echo, forwarder, host_a = deployment(seed=2)
+    outcome = bed.login("pat", "pw", host_a)
+    fwd_cred = outcome.client.get_service_ticket(forwarder.principal)
+    session = outcome.client.ap_exchange(fwd_cred, bed.endpoint(forwarder))
+
+    forwarded = forward_credentials(
+        session, bed.config, "pw", Principal("pat", "", bed.realm.name)
+    )
+    assert forwarded is not None
+    assert forwarder.installed == 1
+
+    # The new TGT, bound to host B's address, works FROM host B.
+    remote = KerberosClient(
+        forwarder.host, Principal("pat", "", bed.realm.name), bed.config,
+        bed.directory, bed.rng.fork("remote"),
+    )
+    remote.ccache.store(forwarded)
+    cred = remote.get_service_ticket(echo.principal)
+    remote_session = remote.ap_exchange(cred, bed.endpoint(echo))
+    assert remote_session.call(b"hi from B") == b"echo:hi from B"
+
+
+def test_forwarder_refuses_other_users_credentials():
+    bed, _echo, forwarder, host_a = deployment(seed=3)
+    bed.add_user("mallory", "pw2")
+    outcome = bed.login("mallory", "pw2", host_a)
+    fwd_cred = outcome.client.get_service_ticket(forwarder.principal)
+    session = outcome.client.ap_exchange(fwd_cred, bed.endpoint(forwarder))
+    # mallory asks for pat's TGT relay: refused.
+    reply = session.call(b"ASREQ pat")
+    assert reply.startswith(b"ERR")
+
+
+def test_forwarder_refuses_installing_foreign_credentials():
+    bed, _echo, forwarder, host_a = deployment(seed=4)
+    bed.add_user("mallory", "pw2")
+    outcome = bed.login("mallory", "pw2", host_a)
+    fwd_cred = outcome.client.get_service_ticket(forwarder.principal)
+    session = outcome.client.ap_exchange(fwd_cred, bed.endpoint(forwarder))
+    # Forge a credential blob claiming to belong to pat.
+    from repro.kerberos.ccache import Credentials, _serialize
+    fake = Credentials(
+        server=Principal.tgs(bed.realm.name),
+        client=Principal("pat", "", bed.realm.name),
+        sealed_ticket=b"x" * 16, session_key=b"\x01" * 8,
+        issued_at=0, lifetime=100,
+    )
+    reply = session.call(b"INSTALL " + _serialize([fake]))
+    assert reply.startswith(b"ERR")
+    assert forwarder.installed == 0
+
+
+def test_password_never_on_the_wire():
+    bed, _echo, forwarder, host_a = deployment(seed=5)
+    outcome = bed.login("pat", "pw", host_a)
+    fwd_cred = outcome.client.get_service_ticket(forwarder.principal)
+    session = outcome.client.ap_exchange(fwd_cred, bed.endpoint(forwarder))
+    forward_credentials(session, bed.config, "pw",
+                        Principal("pat", "", bed.realm.name))
+    assert not any(b"pw" == m.payload for m in bed.adversary.log)
+    # Stronger: the password-derived key never appears in any payload.
+    from repro.crypto.keys import string_to_key
+    kc = string_to_key("pw")
+    assert not any(kc in m.payload for m in bed.adversary.log)
+
+
+def test_garbage_install_rejected():
+    bed, _echo, forwarder, host_a = deployment(seed=6)
+    outcome = bed.login("pat", "pw", host_a)
+    fwd_cred = outcome.client.get_service_ticket(forwarder.principal)
+    session = outcome.client.ap_exchange(fwd_cred, bed.endpoint(forwarder))
+    assert session.call(b"INSTALL \xff\xfe\x00garbage").startswith(b"ERR")
+    assert session.call(b"BOGUS command").startswith(b"ERR")

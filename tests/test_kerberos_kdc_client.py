@@ -1,0 +1,244 @@
+"""KDC + client integration: AS/TGS flows across all configurations."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.hardware import HandheldDevice
+from repro.kerberos import Principal
+from repro.kerberos.client import (
+    HandheldSecret, KerberosClient, KerberosError, PasswordSecret,
+)
+from repro.kerberos.messages import (
+    ERR_PREAUTH_REQUIRED, ERR_POLICY, ERR_UNKNOWN_PRINCIPAL,
+)
+from repro.kerberos.tickets import (
+    FLAG_FORWARDABLE, FLAG_FORWARDED, OPT_FORWARD, Ticket,
+)
+
+CONFIG_IDS = ["v4", "v5-draft3", "hardened"]
+CONFIGS = [ProtocolConfig.v4(), ProtocolConfig.v5_draft3(),
+           ProtocolConfig.hardened()]
+
+
+@pytest.fixture(params=list(zip(CONFIG_IDS, CONFIGS)), ids=CONFIG_IDS)
+def bed(request):
+    _label, config = request.param
+    bed = Testbed(config, seed=99)
+    bed.add_user("pat", "correct horse")
+    bed.add_echo_server("echohost")
+    return bed
+
+
+def test_full_flow(bed):
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "correct horse", ws)
+    assert outcome.credentials.server.is_tgs
+    echo = bed.servers["echo.echohost@" + bed.realm.name]
+    cred = outcome.client.get_service_ticket(echo.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(echo))
+    assert session.call(b"ping") == b"echo:ping"
+
+
+def test_wrong_password_fails(bed):
+    ws = bed.add_workstation("ws1")
+    with pytest.raises(KerberosError):
+        bed.login("pat", "wrong password", ws)
+
+
+def test_unknown_user(bed):
+    ws = bed.add_workstation("ws1")
+    with pytest.raises(KerberosError) as excinfo:
+        bed.login("nobody", "pw", ws)
+    assert excinfo.value.code in (ERR_UNKNOWN_PRINCIPAL, ERR_PREAUTH_REQUIRED)
+
+
+def test_service_ticket_cached(bed):
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "correct horse", ws)
+    echo = bed.servers["echo.echohost@" + bed.realm.name]
+    first = outcome.client.get_service_ticket(echo.principal)
+    second = outcome.client.get_service_ticket(echo.principal)
+    assert first.sealed_ticket == second.sealed_ticket  # from the ccache
+
+
+def test_no_tgt_error():
+    bed = Testbed(ProtocolConfig.v4(), seed=1)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    client = KerberosClient(
+        ws, Principal("pat", "", bed.realm.name), bed.config,
+        bed.directory, bed.rng.fork("c"),
+    )
+    with pytest.raises(KerberosError, match="kinit"):
+        client.get_service_ticket(echo.principal)
+
+
+def test_preauth_required_error_without_preauth():
+    bed = Testbed(ProtocolConfig.v4().but(preauth_required=True), seed=2)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    # A client speaking the no-preauth dialect gets a typed error.
+    client = KerberosClient(
+        ws, Principal("pat", "", bed.realm.name), ProtocolConfig.v4(),
+        bed.directory, bed.rng.fork("c"),
+    )
+    with pytest.raises(KerberosError) as excinfo:
+        client.kinit(PasswordSecret("pw"))
+    assert excinfo.value.code == ERR_PREAUTH_REQUIRED
+
+
+def test_preauth_wrong_password_rejected_before_reply():
+    bed = Testbed(ProtocolConfig.v4().but(preauth_required=True), seed=3)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    with pytest.raises(KerberosError):
+        bed.login("pat", "wrong", ws)
+    # Crucially: no AS_REP material was handed out for cracking.
+    replies = [
+        m for m in bed.adversary.recorded(service="kerberos",
+                                          direction="response")
+        if m.payload[:1] == b"\x00"
+    ]
+    assert replies == []
+
+
+def test_handheld_login_and_device_counter():
+    bed = Testbed(ProtocolConfig.v4().but(handheld_login=True), seed=4)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    device = HandheldDevice.from_password("pw")
+    outcome = bed.login("pat", device, ws)
+    assert outcome.credentials.server.is_tgs
+    assert device.responses_issued == 1
+
+
+def test_handheld_secret_refuses_passwordless_kdc():
+    """If the KDC does not speak the handheld dialect, the device cannot
+    log in without exposing the password — by design."""
+    bed = Testbed(ProtocolConfig.v4(), seed=5)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    with pytest.raises(KerberosError, match="without exposing"):
+        bed.login("pat", HandheldDevice.from_password("pw"), ws)
+
+
+def test_dh_login_roundtrip():
+    config = ProtocolConfig.v4().but(dh_login=True, dh_modulus_bits=64)
+    bed = Testbed(config, seed=6)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    assert outcome.credentials.server.is_tgs
+
+
+def test_forwardable_ticket_flow():
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=7)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, forwardable=True)
+    tgt = outcome.client.ccache.tgt()
+    forwarded = outcome.client.get_service_ticket(
+        tgt.server, options=OPT_FORWARD, forward_address="10.0.0.77",
+    )
+    ticket = Ticket.unseal(
+        forwarded.sealed_ticket,
+        bed.realm.database.key_of(tgt.server),
+        config,
+    )
+    assert ticket.has_flag(FLAG_FORWARDED)
+
+
+def test_forwarding_refused_without_flag():
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=8)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, forwardable=False)
+    tgt = outcome.client.ccache.tgt()
+    with pytest.raises(KerberosError) as excinfo:
+        outcome.client.get_service_ticket(
+            tgt.server, options=OPT_FORWARD, forward_address="10.0.0.77",
+        )
+    assert excinfo.value.code == ERR_POLICY
+
+
+def test_forwarding_refused_by_v4_policy():
+    bed = Testbed(ProtocolConfig.v4(), seed=9)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, forwardable=True)
+    tgt = outcome.client.ccache.tgt()
+    with pytest.raises(KerberosError):
+        outcome.client.get_service_ticket(
+            tgt.server, options=OPT_FORWARD, forward_address="x",
+        )
+
+
+def test_expired_tgt_rejected_by_tgs():
+    bed = Testbed(ProtocolConfig.v4(), seed=10)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    bed.advance_minutes(500)  # past the 480-minute lifetime
+    with pytest.raises(KerberosError):
+        outcome.client.get_service_ticket(echo.principal)
+
+
+def test_address_bound_ticket_fails_from_other_host():
+    """V4 address binding: moving the ccache to another host fails."""
+    bed = Testbed(ProtocolConfig.v4(), seed=11)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    other = bed.add_workstation("ws2")
+    outcome = bed.login("pat", "pw", ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+    # Carry the credentials to a different host.
+    thief = KerberosClient(
+        other, Principal("pat", "", bed.realm.name), bed.config,
+        bed.directory, bed.rng.fork("thief"),
+    )
+    thief.ccache.store(cred)
+    with pytest.raises(KerberosError):
+        thief.ap_exchange(cred, bed.endpoint(echo))
+
+
+def test_addressless_ticket_moves_freely():
+    """V5 without address binding: the same move succeeds — the paper's
+    argument that addresses add little."""
+    bed = Testbed(ProtocolConfig.v5_draft3(), seed=11)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    other = bed.add_workstation("ws2")
+    outcome = bed.login("pat", "pw", ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+    thief = KerberosClient(
+        other, Principal("pat", "", bed.realm.name), bed.config,
+        bed.directory, bed.rng.fork("thief"),
+    )
+    thief.ccache.store(cred)
+    session = thief.ap_exchange(cred, bed.endpoint(echo))
+    assert session.call(b"hi") == b"echo:hi"
+
+
+def test_as_rep_nonce_detects_substituted_reply():
+    """Draft 3's nonce: splicing a recorded AS_REP into a new login is
+    detected by the client."""
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=12)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    bed.login("pat", "pw", ws)
+    recorded = bed.adversary.recorded(service="kerberos",
+                                      direction="response")[-1]
+    bed.adversary.on_response(
+        lambda m: recorded.payload if m.dst.service == "kerberos" else None
+    )
+    ws2 = bed.add_workstation("ws2")
+    with pytest.raises(KerberosError, match="nonce"):
+        bed.login("pat", "pw", ws2)

@@ -1,0 +1,136 @@
+"""The encryption layer: seal/unseal, tamper rejection, framing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.checksum import ChecksumType
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos import messages
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.messages import (
+    SealError, decode_error, frame_error, frame_ok, seal, seal_private,
+    unframe, unseal, unseal_private,
+)
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+CONFIGS = {
+    "v4": ProtocolConfig.v4(),
+    "v5": ProtocolConfig.v5_draft3(),
+    "hardened": ProtocolConfig.hardened(),
+}
+
+
+@pytest.mark.parametrize("label", CONFIGS)
+@given(data=st.binary(max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_seal_roundtrip(label, data):
+    config = CONFIGS[label]
+    rng = DeterministicRandom(1)
+    assert unseal(seal(data, KEY, config, rng), KEY, config) == data
+
+
+@pytest.mark.parametrize("label", CONFIGS)
+def test_wrong_key_rejected(label):
+    config = CONFIGS[label]
+    blob = seal(b"payload", KEY, config, DeterministicRandom(1))
+    with pytest.raises(SealError):
+        unseal(blob, b"\x01" * 8, config)
+
+
+@pytest.mark.parametrize("label", CONFIGS)
+def test_bitflip_rejected(label):
+    config = CONFIGS[label]
+    blob = bytearray(seal(b"payload-of-some-size", KEY, config,
+                          DeterministicRandom(1)))
+    blob[len(blob) // 2] ^= 0x40
+    with pytest.raises(SealError):
+        unseal(bytes(blob), KEY, config)
+
+
+@pytest.mark.parametrize("label", CONFIGS)
+def test_truncation_rejected(label):
+    config = CONFIGS[label]
+    blob = seal(b"x" * 50, KEY, config, DeterministicRandom(1))
+    with pytest.raises(SealError):
+        unseal(blob[:-8], KEY, config)
+
+
+def test_confounder_randomizes_v5():
+    config = CONFIGS["v5"]
+    a = seal(b"same", KEY, config, DeterministicRandom(1))
+    b = seal(b"same", KEY, config, DeterministicRandom(2))
+    assert a != b  # confounder separates identical plaintexts
+
+
+def test_no_confounder_is_deterministic_v4():
+    config = CONFIGS["v4"]
+    a = seal(b"same", KEY, config, DeterministicRandom(1))
+    b = seal(b"same", KEY, config, DeterministicRandom(2))
+    assert a == b  # the V4 equality leak
+
+
+@pytest.mark.parametrize("label", CONFIGS)
+@given(data=st.binary(max_size=100))
+@settings(max_examples=20, deadline=None)
+def test_seal_private_roundtrip_prefix(label, data):
+    """seal_private returns data plus pad; the data must be a prefix."""
+    config = CONFIGS[label]
+    blob = seal_private(data, KEY, config, DeterministicRandom(3))
+    opened = unseal_private(blob, KEY, config)
+    assert opened[:len(data)] == data
+    assert all(b == 0 for b in opened[len(data):])
+
+
+def test_seal_private_has_no_integrity():
+    """The privacy-only flavour accepts tampered ciphertext — that is
+    its documented weakness."""
+    config = CONFIGS["v4"]
+    blob = bytearray(seal_private(b"A" * 32, KEY, config, DeterministicRandom(1)))
+    blob[8] ^= 0xFF
+    opened = unseal_private(bytes(blob), KEY, config)  # no exception
+    assert opened[:32] != b"A" * 32
+
+
+def test_keyed_seal_checksum_roundtrip():
+    config = ProtocolConfig.v5_draft3().but(seal_checksum=ChecksumType.MD4_DES)
+    blob = seal(b"data", KEY, config, DeterministicRandom(1))
+    assert unseal(blob, KEY, config) == b"data"
+
+
+def test_framing():
+    config = CONFIGS["v4"]
+    ok = frame_ok(b"body")
+    is_error, body = unframe(config, ok)
+    assert not is_error and body == b"body"
+
+    err = frame_error(config, 5, "replay detected", b"extra")
+    is_error, body = unframe(config, err)
+    assert is_error
+    decoded = decode_error(config, body)
+    assert decoded["code"] == 5
+    assert decoded["text"] == "replay detected"
+    assert decoded["e_data"] == b"extra"
+
+
+def test_unframe_empty_rejected():
+    from repro.encoding.codec import CodecError
+    with pytest.raises(CodecError):
+        unframe(CONFIGS["v4"], b"")
+
+
+def test_nonzero_padding_rejected():
+    """Garbage after the checksum must not be silently accepted."""
+    config = CONFIGS["v4"]
+    rng = DeterministicRandom(1)
+    # Build a sealed message then graft a tampered padded tail by
+    # re-encrypting a modified plaintext by hand.
+    from repro.crypto import modes
+    data = b"abc"
+    body = len(data).to_bytes(4, "big") + data
+    from repro.crypto import checksum as ck
+    digest = ck.compute(config.seal_checksum, body)
+    plaintext = modes.pad_zero(body + digest + b"\x01")  # nonzero pad byte
+    blob = modes.pcbc_encrypt(KEY, plaintext)
+    with pytest.raises(SealError):
+        unseal(blob, KEY, config)

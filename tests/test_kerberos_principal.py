@@ -1,0 +1,70 @@
+"""Principal three-tuples and their parsing."""
+
+import pytest
+
+from repro.kerberos.principal import Principal, PrincipalError
+
+
+def test_user_principal():
+    p = Principal("bellovin", "", "ATHENA")
+    assert str(p) == "bellovin@ATHENA"
+    assert not p.is_tgs
+
+
+def test_service_principal():
+    p = Principal.service("rlogin", "myhost", "ATHENA")
+    assert str(p) == "rlogin.myhost@ATHENA"
+    assert p.instance == "myhost"
+
+
+def test_attribute_instance():
+    p = Principal("pat", "root", "ATHENA")
+    assert str(p) == "pat.root@ATHENA"
+
+
+def test_parse_roundtrip():
+    for text in ("pat@ATHENA", "rlogin.myhost@ATHENA", "pat.root@A", "pat"):
+        assert str(Principal.parse(text)) == text
+
+
+def test_parse_hierarchical_instance():
+    p = Principal.parse("krbtgt.ENG.ACME@ACME")
+    assert p.name == "krbtgt" and p.instance == "ENG.ACME" and p.realm == "ACME"
+
+
+def test_tgs_principals():
+    local = Principal.tgs("ATHENA")
+    assert str(local) == "krbtgt.ATHENA@ATHENA"
+    assert local.is_tgs
+    cross = Principal.tgs("ATHENA", "LCS")
+    assert str(cross) == "krbtgt.LCS@ATHENA"
+    assert cross.is_tgs
+
+
+def test_with_instance_derivation():
+    pat = Principal("pat", "", "ATHENA")
+    email = pat.with_instance("email")
+    assert str(email) == "pat.email@ATHENA"
+
+
+def test_in_realm():
+    p = Principal("pat", "", "A").in_realm("B")
+    assert p.realm == "B"
+
+
+def test_validation_errors():
+    with pytest.raises(PrincipalError):
+        Principal("", "", "ATHENA")
+    with pytest.raises(PrincipalError):
+        Principal("a.b", "", "ATHENA")   # dot in name
+    with pytest.raises(PrincipalError):
+        Principal("a", "x@y", "ATHENA")  # @ in instance
+    with pytest.raises(PrincipalError):
+        Principal("a", "", "AT@HENA")    # @ in realm
+
+
+def test_ordering_and_hashing():
+    a = Principal("a", "", "R")
+    b = Principal("b", "", "R")
+    assert a < b
+    assert len({a, b, Principal("a", "", "R")}) == 2

@@ -1,0 +1,146 @@
+"""Realm hierarchy, routing, transited paths, trust policy."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.kerberos.realm import (
+    RealmDirectory, RealmError, TrustPolicy, append_transited,
+    hierarchy_path, is_ancestor, parent_realm, parse_transited,
+)
+from repro.kerberos.tickets import Ticket
+
+
+def test_parent_realm():
+    assert parent_realm("ENG.ACME") == "ACME"
+    assert parent_realm("A.B.C") == "B.C"
+    assert parent_realm("ACME") is None
+
+
+def test_is_ancestor():
+    assert is_ancestor("ACME", "ACME")
+    assert is_ancestor("ACME", "ENG.ACME")
+    assert is_ancestor("ACME", "X.ENG.ACME")
+    assert not is_ancestor("ENG.ACME", "ACME")
+    assert not is_ancestor("ACME", "ACMEX")
+
+
+def test_hierarchy_path():
+    assert hierarchy_path("ENG.ACME", "SALES.ACME") == \
+        ["ENG.ACME", "ACME", "SALES.ACME"]
+    assert hierarchy_path("A.B.ROOT", "C.ROOT") == \
+        ["A.B.ROOT", "B.ROOT", "ROOT", "C.ROOT"]
+    assert hierarchy_path("ACME", "ENG.ACME") == ["ACME", "ENG.ACME"]
+
+
+def test_no_common_ancestor():
+    with pytest.raises(RealmError):
+        hierarchy_path("A.CORP", "B.OTHER")
+
+
+def test_directory_routing():
+    directory = RealmDirectory()
+    assert directory.next_hop("ENG.ACME", "SALES.ACME") == "ACME"
+    assert directory.next_hop("ACME", "SALES.ACME") == "SALES.ACME"
+    with pytest.raises(RealmError):
+        directory.next_hop("ACME", "ACME")
+
+
+def test_static_route_override():
+    """The 'static tables' answer — and its unauthenticated nature: the
+    directory believes whatever is written into it."""
+    directory = RealmDirectory()
+    directory.add_static_route("ENG.ACME", "SALES.ACME", "EVIL.ACME")
+    assert directory.next_hop("ENG.ACME", "SALES.ACME") == "EVIL.ACME"
+
+
+def test_directory_kdc_lookup():
+    directory = RealmDirectory()
+    directory.register("ACME", "10.0.0.1")
+    assert directory.kdc_address("ACME") == "10.0.0.1"
+    with pytest.raises(RealmError):
+        directory.kdc_address("UNKNOWN")
+
+
+def test_transited_helpers():
+    path = append_transited("", "A")
+    path = append_transited(path, "B")
+    assert path == "A,B"
+    assert parse_transited(path) == ["A", "B"]
+    assert parse_transited("") == []
+
+
+def test_trust_policy_default_accepts_everything():
+    """The Draft 3 default: no global knowledge, no checking."""
+    policy = TrustPolicy()
+    ok, _ = policy.check_transited("EVIL,WORSE", "ANYWHERE")
+    assert ok
+
+
+def test_trust_policy_realm_set():
+    policy = TrustPolicy(trusted_realms={"ACME", "ENG.ACME"})
+    assert policy.check_transited("ACME", "ENG.ACME")[0]
+    ok, reason = policy.check_transited("ACME,EVIL", "ENG.ACME")
+    assert not ok and "EVIL" in reason
+
+
+def test_trust_policy_path_length():
+    policy = TrustPolicy(max_path_length=1)
+    assert policy.check_transited("A", "X")[0]
+    assert not policy.check_transited("A,B", "X")[0]
+
+
+def test_three_realm_chain_records_transit():
+    """ENG.ACME -> ACME -> SALES.ACME: the service sees ACME in the
+    transited field (the only true transit realm)."""
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=5, realm="ACME")
+    eng = bed.add_realm("ENG.ACME")
+    sales = bed.add_realm("SALES.ACME")
+    bed.realms["ACME"].link(eng)
+    bed.realms["ACME"].link(sales)
+    eng.add_user("pat", "pw")
+    echo = bed.add_echo_server("eh", realm="SALES.ACME")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, realm="ENG.ACME")
+    cred = outcome.client.get_service_ticket(echo.principal)
+    ticket = Ticket.unseal(
+        cred.sealed_ticket, sales.database.key_of(echo.principal), config
+    )
+    assert parse_transited(ticket.transited) == ["ACME"]
+    assert ticket.client.realm == "ENG.ACME"
+    session = outcome.client.ap_exchange(cred, bed.endpoint(echo))
+    assert session.call(b"x") == b"echo:x"
+
+
+def test_unlinked_realm_unreachable():
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=6, realm="ACME")
+    eng = bed.add_realm("ENG.ACME")  # never linked
+    eng.add_user("pat", "pw")
+    echo = bed.add_echo_server("eh", realm="ACME")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, realm="ENG.ACME")
+    from repro.kerberos.client import KerberosError
+    with pytest.raises(KerberosError):
+        outcome.client.get_service_ticket(echo.principal)
+
+
+def test_deep_hierarchy_referral_chain():
+    """Four levels: X.ENG.ACME -> ENG.ACME -> ACME -> SALES.ACME."""
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=7, realm="ACME")
+    eng = bed.add_realm("ENG.ACME")
+    lab = bed.add_realm("LAB.ENG.ACME")
+    sales = bed.add_realm("SALES.ACME")
+    bed.realms["ACME"].link(eng)
+    eng.link(lab)
+    bed.realms["ACME"].link(sales)
+    lab.add_user("pat", "pw")
+    echo = bed.add_echo_server("eh", realm="SALES.ACME")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, realm="LAB.ENG.ACME")
+    cred = outcome.client.get_service_ticket(echo.principal)
+    ticket = Ticket.unseal(
+        cred.sealed_ticket, sales.database.key_of(echo.principal), config
+    )
+    assert parse_transited(ticket.transited) == ["ENG.ACME", "ACME"]

@@ -1,0 +1,214 @@
+"""Private/safe channels: layouts, replay modes, key negotiation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.session import (
+    DIR_CLIENT_TO_SERVER, DIR_SERVER_TO_CLIENT, ChannelError,
+    PrivateChannel, SafeChannel, SessionKeys, decode_private_body,
+    encode_private_body,
+)
+from repro.sim.clock import MINUTE, SimClock
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+
+
+def make_pair(config, clock=None):
+    """A connected client/server channel pair sharing keys."""
+    clock = clock if clock is not None else SimClock(start=1_000_000)
+    keys = SessionKeys(multi_key=KEY)
+    client = PrivateChannel(
+        keys, config, DeterministicRandom(1), clock,
+        local_address="10.0.0.1", peer_address="10.0.0.2",
+        direction=DIR_CLIENT_TO_SERVER,
+    )
+    server = PrivateChannel(
+        keys, config, DeterministicRandom(2), clock,
+        local_address="10.0.0.2", peer_address="10.0.0.1",
+        direction=DIR_SERVER_TO_CLIENT,
+    )
+    return client, server, clock
+
+
+LAYOUT_CONFIGS = [
+    ProtocolConfig.v4(),
+    ProtocolConfig.v5_draft3(),
+    ProtocolConfig.hardened(),
+]
+
+
+@pytest.mark.parametrize("config", LAYOUT_CONFIGS, ids=lambda c: c.label)
+@given(data=st.binary(max_size=120))
+@settings(max_examples=20, deadline=None)
+def test_private_body_roundtrip(config, data):
+    body = encode_private_body(data, 123456, 1, "10.0.0.9", config)
+    # Simulate the cipher's zero pad.
+    if len(body) % 8:
+        body += bytes(8 - len(body) % 8)
+    out_data, ts, direction, addr = decode_private_body(body, config)
+    assert out_data[:len(data)] == data and ts == 123456
+    assert direction == 1 and addr == "10.0.0.9"
+
+
+@pytest.mark.parametrize("config", LAYOUT_CONFIGS, ids=lambda c: c.label)
+def test_channel_roundtrip(config):
+    client, server, clock = make_pair(config)
+    wire = client.send(b"hello server")
+    clock.advance(500)
+    received = server.receive(wire)
+    assert received[:12] == b"hello server"
+    wire_back = server.send(b"hello client")
+    clock.advance(500)
+    assert client.receive(wire_back)[:12] == b"hello client"
+
+
+def test_direction_check_blocks_reflection():
+    """A message cannot be reflected back at its sender."""
+    config = ProtocolConfig.v4()
+    client, _server, _clock = make_pair(config)
+    wire = client.send(b"data")
+    with pytest.raises(ChannelError) as excinfo:
+        client.receive(wire)  # reflected to self
+    assert excinfo.value.reason == "direction"
+
+
+def test_timestamp_replay_rejected():
+    config = ProtocolConfig.v4()
+    client, server, clock = make_pair(config)
+    wire = client.send(b"cmd")
+    clock.advance(500)
+    server.receive(wire)
+    with pytest.raises(ChannelError) as excinfo:
+        server.receive(wire)
+    assert excinfo.value.reason == "replay"
+
+
+def test_stale_timestamp_rejected():
+    config = ProtocolConfig.v4()
+    client, server, clock = make_pair(config)
+    wire = client.send(b"cmd")
+    clock.advance(20 * MINUTE)
+    with pytest.raises(ChannelError) as excinfo:
+        server.receive(wire)
+    assert excinfo.value.reason == "stale"
+
+
+def test_sequence_mode_replay_and_gap():
+    config = ProtocolConfig.v4().but(use_sequence_numbers=True)
+    client, server, clock = make_pair(config)
+    server.recv_seq = client.send_seq  # handshake alignment
+    first = client.send(b"one")
+    second = client.send(b"two")
+    server.receive(first)
+    with pytest.raises(ChannelError) as excinfo:
+        server.receive(first)  # replay: counter moved on
+    assert excinfo.value.reason == "sequence"
+    # After the failed replay the true next message still arrives.
+    server.receive(second)
+    # A gap (deleted message) is detected too.
+    client.send(b"three-lost")
+    fourth = client.send(b"four")
+    with pytest.raises(ChannelError, match="gap"):
+        server.receive(fourth)
+
+
+def test_wrong_address_rejected():
+    config = ProtocolConfig.v4()
+    client, server, clock = make_pair(config)
+    # Rebind the server's expectation elsewhere.
+    server.peer_address = "10.0.0.99"
+    wire = client.send(b"cmd")
+    clock.advance(500)
+    with pytest.raises(ChannelError) as excinfo:
+        server.receive(wire)
+    assert excinfo.value.reason == "address"
+
+
+def test_true_session_key_computation():
+    keys = SessionKeys(
+        multi_key=bytes([1] * 8),
+        client_share=bytes([2] * 8),
+        server_share=bytes([4] * 8),
+    )
+    assert keys.true_key == bytes([1 ^ 2 ^ 4] * 8)
+    # Compatibility: missing share -> multi-session key.
+    assert SessionKeys(multi_key=KEY, client_share=b"x" * 8).true_key == KEY
+
+
+def test_channel_key_selection():
+    keys = SessionKeys(
+        multi_key=bytes([1] * 8),
+        client_share=bytes([2] * 8),
+        server_share=bytes([4] * 8),
+    )
+    assert keys.channel_key(ProtocolConfig.v4()) == keys.multi_key
+    negotiating = ProtocolConfig.v4().but(negotiate_session_key=True)
+    assert keys.channel_key(negotiating) == keys.true_key
+
+
+def test_timestamp_cache_growth_counter():
+    config = ProtocolConfig.v4()
+    client, server, clock = make_pair(config)
+    for i in range(5):
+        wire = client.send(b"m%d" % i)
+        clock.advance(1000)
+        server.receive(wire)
+    assert server.timestamp_cache_size == 5
+
+
+def test_integrity_mode_rejects_tampering():
+    config = ProtocolConfig.hardened()
+    client, server, clock = make_pair(config)
+    wire = bytearray(client.send(b"x" * 64))
+    wire[20] ^= 1
+    clock.advance(500)
+    with pytest.raises(ChannelError) as excinfo:
+        server.receive(bytes(wire))
+    assert excinfo.value.reason == "decrypt"
+
+
+def test_safe_channel_roundtrip_and_integrity():
+    config = ProtocolConfig.v4()
+    clock = SimClock(start=1_000_000)
+    keys = SessionKeys(multi_key=KEY)
+    sender = SafeChannel(keys, config, clock)
+    receiver = SafeChannel(keys, config, clock)
+    wire = sender.send(b"public but authenticated")
+    assert receiver.receive(wire) == b"public but authenticated"
+    # KRB_SAFE does not hide the data...
+    assert b"public but authenticated" in wire
+    # ...but it does protect it.
+    tampered = wire.replace(b"public", b"pwned!")
+    with pytest.raises(ChannelError) as excinfo:
+        receiver.receive(tampered)
+    assert excinfo.value.reason == "integrity"
+
+
+def test_safe_channel_replay_rejected():
+    config = ProtocolConfig.v4()
+    clock = SimClock(start=1_000_000)
+    keys = SessionKeys(multi_key=KEY)
+    sender = SafeChannel(keys, config, clock)
+    receiver = SafeChannel(keys, config, clock)
+    wire = sender.send(b"once")
+    receiver.receive(wire)
+    with pytest.raises(ChannelError) as excinfo:
+        receiver.receive(wire)
+    assert excinfo.value.reason == "replay"
+
+
+def test_safe_channel_sequence_mode():
+    config = ProtocolConfig.v4().but(use_sequence_numbers=True)
+    clock = SimClock(start=1_000_000)
+    keys = SessionKeys(multi_key=KEY)
+    sender = SafeChannel(keys, config, clock)
+    receiver = SafeChannel(keys, config, clock)
+    receiver.recv_seq = sender.send_seq
+    receiver.receive(sender.send(b"one"))
+    wire = sender.send(b"two")
+    receiver.receive(wire)
+    with pytest.raises(ChannelError):
+        receiver.receive(wire)

@@ -1,0 +1,108 @@
+"""Tickets and authenticators: encoding, sealing, flags, lifetimes."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.messages import SealError
+from repro.kerberos.principal import Principal
+from repro.kerberos.tickets import (
+    FLAG_FORWARDABLE, FLAG_FORWARDED, Authenticator, Ticket,
+)
+from repro.sim.clock import MINUTE
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+SESSION_KEY = bytes.fromhex("0123456789ABCDEF")
+
+CONFIGS = [ProtocolConfig.v4(), ProtocolConfig.v5_draft3(),
+           ProtocolConfig.hardened()]
+
+
+def make_ticket(**overrides) -> Ticket:
+    defaults = dict(
+        server=Principal.service("mail", "mh", "ATHENA"),
+        client=Principal("pat", "", "ATHENA"),
+        address="10.0.0.5",
+        issued_at=1_000_000,
+        lifetime=480 * MINUTE,
+        session_key=SESSION_KEY,
+        flags=0,
+        transited="",
+    )
+    defaults.update(overrides)
+    return Ticket(**defaults)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+def test_ticket_seal_roundtrip(config):
+    ticket = make_ticket()
+    blob = ticket.seal(KEY, config, DeterministicRandom(1))
+    assert Ticket.unseal(blob, KEY, config) == ticket
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+def test_ticket_wrong_key(config):
+    blob = make_ticket().seal(KEY, config, DeterministicRandom(1))
+    with pytest.raises(SealError):
+        Ticket.unseal(blob, b"\x11" * 8, config)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+def test_authenticator_roundtrip(config):
+    authenticator = Authenticator(
+        client=Principal("pat", "", "ATHENA"),
+        address="10.0.0.5",
+        timestamp=1_234_567,
+        req_checksum=b"\x01" * 4,
+        ticket_checksum=b"\x02" * 16,
+        seq=42,
+        subkey=b"\x03" * 8,
+    )
+    blob = authenticator.seal(SESSION_KEY, config, DeterministicRandom(2))
+    assert Authenticator.unseal(blob, SESSION_KEY, config) == authenticator
+
+
+def test_lifetime_window():
+    ticket = make_ticket(issued_at=0, lifetime=10 * MINUTE)
+    skew = MINUTE
+    assert ticket.is_current(5 * MINUTE, skew)
+    assert ticket.is_current(0, skew)
+    assert ticket.is_current(10 * MINUTE + skew, skew)
+    assert not ticket.is_current(12 * MINUTE, skew)
+    assert not ticket.is_current(-2 * MINUTE, skew)
+
+
+def test_expires_at():
+    assert make_ticket(issued_at=100, lifetime=50).expires_at() == 150
+
+
+def test_forwarded_copy_loses_origin():
+    """The paper: a forwarded ticket has a flag 'but does not include
+    the original source'."""
+    original = make_ticket(flags=FLAG_FORWARDABLE)
+    forwarded = original.forwarded_copy("10.0.0.99")
+    assert forwarded.has_flag(FLAG_FORWARDED)
+    assert forwarded.address == "10.0.0.99"
+    # Nothing in the structure records 10.0.0.5 any more.
+    config = ProtocolConfig.v5_draft3()
+    assert b"10.0.0.5" not in forwarded.encode(config)
+
+
+def test_ticket_checksum_distinguishes_tickets():
+    config = ProtocolConfig.v5_draft3()
+    rng = DeterministicRandom(1)
+    a = make_ticket().seal(KEY, config, rng)
+    b = make_ticket(address="10.0.0.6").seal(KEY, config, rng)
+    ticket = make_ticket()
+    assert ticket.checksum(config, a) != ticket.checksum(config, b)
+
+
+def test_garbage_after_decrypt_is_seal_error():
+    """Random valid-key decryption that fails to parse must surface as a
+    SealError, not an arbitrary exception."""
+    config = ProtocolConfig.v4()
+    from repro.kerberos import messages
+    blob = messages.seal(b"not a ticket at all", KEY, config,
+                         DeterministicRandom(1))
+    with pytest.raises(SealError):
+        Ticket.unseal(blob, KEY, config)

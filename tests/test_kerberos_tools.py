@@ -1,0 +1,92 @@
+"""The klist-style inspection tools."""
+
+from repro import Testbed, ProtocolConfig
+from repro.kerberos.tools import (
+    describe_ticket, format_credentials, klist, wire_summary,
+)
+from repro.kerberos.tickets import FLAG_FORWARDABLE, FLAG_FORWARDED, Ticket
+from repro.kerberos.principal import Principal
+from repro.sim.clock import MINUTE
+
+
+def test_klist_and_format():
+    bed = Testbed(ProtocolConfig.v4(), seed=1)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    outcome.client.get_service_ticket(echo.principal)
+    text = klist(outcome.client.ccache, bed.clock.now())
+    assert "Ticket cache for pat" in text
+    assert "krbtgt.ATHENA@ATHENA" in text
+    assert "echo.echohost@ATHENA" in text
+    assert "left)" in text
+
+
+def test_klist_empty_cache():
+    bed = Testbed(ProtocolConfig.v4(), seed=2)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    from repro.kerberos.ccache import CredentialCache
+    from repro.sim.host import StorageKind
+    cache = CredentialCache(ws, "pat", StorageKind.LOCAL_DISK)
+    assert "(no tickets)" in klist(cache, bed.clock.now())
+
+
+def test_expired_marker():
+    bed = Testbed(ProtocolConfig.v4(), seed=3)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    bed.advance_minutes(600)
+    text = klist(outcome.client.ccache, bed.clock.now())
+    assert "EXPIRED" in text
+
+
+def test_describe_ticket():
+    ticket = Ticket(
+        server=Principal.parse("mail.mh@A"),
+        client=Principal.parse("pat@A"),
+        address="", issued_at=1000, lifetime=60 * MINUTE,
+        session_key=b"\x01" * 8,
+        flags=FLAG_FORWARDABLE | FLAG_FORWARDED,
+        transited="B,C",
+    )
+    text = describe_ticket(ticket)
+    assert "usable anywhere" in text
+    assert "FORWARDABLE, FORWARDED" in text
+    assert "transited: B,C" in text
+
+
+def test_security_report():
+    from repro.kerberos.tools import security_report
+    bed = Testbed(ProtocolConfig.v4(), seed=5)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+    outcome.client.ap_exchange(cred, bed.endpoint(echo))
+    clean = security_report(echo)
+    assert "no rejections" in clean
+
+    # Cause a couple of rejections.
+    captured = bed.adversary.recorded(service="echo", direction="request")[-1]
+    bed.advance_minutes(20)
+    bed.network.inject(captured.src_address, captured.dst, captured.payload)
+    bed.network.inject(captured.src_address, captured.dst, b"junk")
+    report = security_report(echo)
+    assert "authenticator-stale" in report
+    assert "bad-request" in report
+    assert "rejected 2" in report
+
+
+def test_wire_summary_with_limit():
+    bed = Testbed(ProtocolConfig.v4(), seed=4)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    bed.login("pat", "pw", ws)
+    full = wire_summary(bed.adversary.log)
+    assert "kerberos" in full
+    limited = wire_summary(bed.adversary.log, limit=1)
+    assert "earlier messages" in limited

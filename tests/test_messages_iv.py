@@ -1,0 +1,80 @@
+"""Explicit IVs through the seal layer (the plumbing under rec. d)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos import messages
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.messages import SealError
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+CONFIGS = [ProtocolConfig.v4(), ProtocolConfig.v5_draft3(),
+           ProtocolConfig.hardened()]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+@given(data=st.binary(max_size=100), iv=st.binary(min_size=8, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_seal_roundtrip_with_iv(config, data, iv):
+    rng = DeterministicRandom(1)
+    blob = messages.seal(data, KEY, config, rng, iv=iv)
+    assert messages.unseal(blob, KEY, config, iv=iv) == data
+
+
+def test_wrong_iv_rejected_without_confounder():
+    """No confounder: the first plaintext block is the length field, so
+    a wrong IV garbles it and unseal rejects — the property IV chaining
+    relies on."""
+    config = ProtocolConfig.v4()  # no confounder
+    rng = DeterministicRandom(2)
+    blob = messages.seal(b"payload bytes", KEY, config, rng, iv=b"\x01" * 8)
+    with pytest.raises(SealError):
+        messages.unseal(blob, KEY, config, iv=b"\x02" * 8)
+
+
+@pytest.mark.parametrize(
+    "config",
+    [ProtocolConfig.v5_draft3(), ProtocolConfig.hardened()],
+    ids=["v5-draft3", "hardened"],
+)
+def test_wrong_iv_undetected_behind_a_confounder(config):
+    """WITH a confounder, a wrong IV garbles only the confounder block —
+    which nothing verifies.  This is precisely the paper's 'confusion of
+    function' between confounder and IV, and why recommendation (d)
+    says the confounder should be *replaced* by a properly-used IV, not
+    stacked under one (``chain_ivs`` therefore pairs with
+    ``use_confounder=False``)."""
+    rng = DeterministicRandom(2)
+    blob = messages.seal(b"payload bytes", KEY, config, rng, iv=b"\x01" * 8)
+    # Accepted despite the wrong IV: the garbled confounder is discarded.
+    assert messages.unseal(blob, KEY, config, iv=b"\x02" * 8) == b"payload bytes"
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+def test_iv_varies_ciphertext(config):
+    rng1 = DeterministicRandom(3)
+    rng2 = DeterministicRandom(3)  # identical confounders
+    a = messages.seal(b"same", KEY, config, rng1, iv=b"\x01" * 8)
+    b = messages.seal(b"same", KEY, config, rng2, iv=b"\x02" * 8)
+    assert a != b
+
+
+def test_seal_private_iv_roundtrip():
+    config = ProtocolConfig.v4()
+    rng = DeterministicRandom(4)
+    blob = messages.seal_private(b"data!", KEY, config, rng, iv=b"\x07" * 8)
+    opened = messages.unseal_private(blob, KEY, config, iv=b"\x07" * 8)
+    assert opened[:5] == b"data!"
+    # Wrong IV garbles the first block under CBC/PCBC.
+    garbled = messages.unseal_private(blob, KEY, config, iv=b"\x08" * 8)
+    assert garbled[:5] != b"data!"
+
+
+def test_default_iv_is_zero_and_compatible():
+    """Pre-IV callers (no iv argument) interoperate with explicit zero."""
+    config = ProtocolConfig.v4()
+    rng = DeterministicRandom(5)
+    blob = messages.seal(b"x", KEY, config, rng)
+    assert messages.unseal(blob, KEY, config, iv=bytes(8)) == b"x"

@@ -1,0 +1,130 @@
+"""The multi-homed host limitation, and protocol-option combinations.
+
+    "The Kerberos protocol binds tickets to IP addresses.  Such usage is
+    problematic on multi-homed hosts ...  Multi-user hosts often do have
+    multiple addresses, however, and cannot live with this limitation.
+    This problem has been fixed in Version 5."
+"""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.crypto.checksum import ChecksumType
+from repro.kerberos.client import KerberosClient
+from repro.kerberos.principal import Principal
+from repro.sim.network import Endpoint
+
+
+# --- multi-homing ------------------------------------------------------------
+
+
+def multihomed_deployment(config, seed=1):
+    bed = Testbed(config, seed=seed)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    host = bed.add_multiuser_host("gateway", extra_addresses=1)
+    client = KerberosClient(
+        host, Principal("pat", "", bed.realm.name), config,
+        bed.directory, bed.rng.fork("c"),
+    )
+    from repro.kerberos.client import PasswordSecret
+    client.kinit(PasswordSecret("pw"))
+    cred = client.get_service_ticket(echo.principal)
+    # Build a legitimate AP_REQ, then deliver it from the SECOND address
+    # (the host replying out its other interface).
+    from repro.crypto import checksum as ck
+    from repro.kerberos.tickets import Authenticator
+    authenticator = Authenticator(
+        client=client.user,
+        address=host.addresses[1],
+        timestamp=config.round_timestamp(host.clock.now()),
+        ticket_checksum=(
+            ck.compute(ChecksumType.MD4, cred.sealed_ticket)
+            if config.authenticator_ticket_checksum else b""
+        ),
+    )
+    request = config.codec.encode(
+        __import__("repro.kerberos.messages", fromlist=["AP_REQ"]).AP_REQ,
+        {
+            "ticket": cred.sealed_ticket,
+            "authenticator": authenticator.seal(
+                cred.session_key, config, bed.rng.fork("a")
+            ),
+            "options": 0,
+        },
+    )
+    reply = bed.network.inject(
+        host.addresses[1], Endpoint(echo.host.address, "echo"), request
+    )
+    return echo, reply
+
+
+def test_v4_address_binding_breaks_multihomed_hosts():
+    echo, reply = multihomed_deployment(ProtocolConfig.v4())
+    assert reply[:1] == b"\x01"  # rejected
+    assert echo.rejection_reasons[-1] == "address-mismatch"
+
+
+def test_v5_fixes_the_multihomed_problem():
+    echo, reply = multihomed_deployment(ProtocolConfig.v5_draft3(), seed=2)
+    assert reply[:1] == b"\x00"  # accepted: addressless ticket
+    assert echo.accepted == 1
+
+
+# --- option-combination matrix -------------------------------------------------
+
+BASE = ProtocolConfig.v5_draft3()
+COMBINATIONS = [
+    ("cr+negotiate", BASE.but(challenge_response=True,
+                              negotiate_session_key=True)),
+    ("cr+seqnums", BASE.but(challenge_response=True,
+                            use_sequence_numbers=True)),
+    ("negotiate+seqnums", BASE.but(negotiate_session_key=True,
+                                   use_sequence_numbers=True)),
+    ("preauth+dh", BASE.but(preauth_required=True, dh_login=True,
+                            dh_modulus_bits=64)),
+    ("preauth+handheld", BASE.but(preauth_required=True,
+                                  handheld_login=True)),
+    ("dh+handheld", BASE.but(dh_login=True, dh_modulus_bits=64,
+                             handheld_login=True)),
+    ("cache+cr", BASE.but(replay_cache=True, challenge_response=True)),
+    ("cache+seqnums+binding", BASE.but(
+        replay_cache=True, use_sequence_numbers=True,
+        authenticator_ticket_checksum=True)),
+    ("checksums+md4", BASE.but(
+        kdc_reply_ticket_checksum=True,
+        authenticator_ticket_checksum=True,
+        tgs_req_checksum=ChecksumType.MD4,
+        seal_checksum=ChecksumType.MD4)),
+    ("keyed-everything", BASE.but(
+        seal_checksum=ChecksumType.MD4_DES,
+        tgs_req_checksum=ChecksumType.MD4_DES,
+        private_message_integrity=True)),
+    ("v4+every-v4-compatible-option", ProtocolConfig.v4().but(
+        preauth_required=True, challenge_response=True,
+        negotiate_session_key=True, use_sequence_numbers=True,
+        replay_cache=True, authenticator_ticket_checksum=True,
+        kdc_reply_ticket_checksum=True)),
+]
+
+
+@pytest.mark.parametrize("label,config", COMBINATIONS,
+                         ids=[c[0] for c in COMBINATIONS])
+def test_option_combination_end_to_end(label, config):
+    """Every curated option combination completes the full flow:
+    login, service ticket, AP exchange, three private messages."""
+    bed = Testbed(config, seed=hash(label) & 0xFFFF)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    if config.handheld_login:
+        from repro.hardware import HandheldDevice
+        typed = HandheldDevice.from_password("pw")
+    else:
+        typed = "pw"
+    outcome = bed.login("pat", typed, ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(echo))
+    for i in range(3):
+        bed.clock.advance(2000)
+        assert session.call(b"m%d" % i) == b"echo:m%d" % i

@@ -1,0 +1,170 @@
+"""The paper's framing claims, as end-to-end assertions.
+
+Not individual attacks — the surrounding arguments: that Kerberos helps
+enormously over cleartext, that its security rests on four mutually
+trusting parties, and that protocol hardening cannot save an
+application that drops to cleartext ("no steel doors in paper walls").
+"""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.attacks import (
+    mail_check_capture, replay_ap_request, session_takeover,
+    spoof_time_and_replay,
+)
+from repro.kerberos.appserver import PlaintextSessionServer
+from repro.kerberos.client import KerberosClient, KerberosError, PasswordSecret
+from repro.kerberos.principal import Principal
+from repro.sim.network import Endpoint
+from repro.sim.timesvc import UnauthenticatedTimeService
+
+
+def test_kerberos_beats_cleartext_by_a_mile():
+    """'Adding Kerberos to a network will, under virtually all
+    circumstances, significantly increase its security' — the passive
+    adversary reads everything on a cleartext deployment and nothing
+    useful on a kerberized one."""
+    secret = b"the quarterly numbers are terrible"
+
+    # A pre-Kerberos network: the service takes commands in cleartext.
+    bed = Testbed(ProtocolConfig.v4(), seed=1)
+    bed.network.register(
+        "10.7.7.7", "legacy-files", lambda m: b"OK " + m.payload
+    )
+    bed.network.rpc("10.0.0.9", Endpoint("10.7.7.7", "legacy-files"),
+                    b"PUT doc " + secret)
+    assert any(secret in m.payload for m in bed.adversary.log)
+
+    # The kerberized equivalent.
+    bed2 = Testbed(ProtocolConfig.v4(), seed=1)
+    bed2.add_user("pat", "pw")
+    fs = bed2.add_file_server("filehost")
+    ws = bed2.add_workstation("ws1")
+    outcome = bed2.login("pat", "pw", ws)
+    session = outcome.client.ap_exchange(
+        outcome.client.get_service_ticket(fs.principal), bed2.endpoint(fs)
+    )
+    session.call(b"PUT doc " + secret)
+    assert not any(secret in m.payload for m in bed2.adversary.log)
+    assert fs.files[("pat", "doc")] == secret
+
+
+class TestFourPartyTrust:
+    """'The Kerberos protocols involve mutual trust among four parties:
+    the client, server, authentication server and time server.'
+    Corrupt any one and authentication fails for everyone."""
+
+    def _deployment(self, seed):
+        bed = Testbed(ProtocolConfig.v4(), seed=seed)
+        bed.add_user("victim", "pw1")
+        mail = bed.add_mail_server("mailhost")
+        ws = bed.add_workstation("vws")
+        return bed, mail, ws
+
+    def test_corrupt_client_workstation(self):
+        """A trojaned client end yields the password (E8 in miniature)."""
+        from repro.attacks import trojan_capture
+        bed, _mail, ws = self._deployment(10)
+        attacker_host = bed.add_workstation("ah")
+        assert trojan_capture(bed, "victim", "pw1", ws, attacker_host).succeeded
+
+    def test_corrupt_server_key(self):
+        """A leaked service key lets anyone mint tickets for that
+        service — impersonating any client to it."""
+        bed, mail, _ws = self._deployment(11)
+        from repro.kerberos.tickets import Ticket
+        from repro.kerberos.messages import AP_REQ
+        leaked_key = mail.service_key  # the corruption
+        forged_session_key = bed.rng.random_key()
+        ticket = Ticket(
+            server=mail.principal,
+            client=Principal("victim", "", bed.realm.name),
+            address="10.66.6.6",
+            issued_at=bed.clock.now(), lifetime=bed.config.ticket_lifetime,
+            session_key=forged_session_key,
+        )
+        from repro.kerberos.tickets import Authenticator
+        config = bed.config
+        request = config.codec.encode(AP_REQ, {
+            "ticket": ticket.seal(leaked_key, config, bed.rng.fork("f")),
+            "authenticator": Authenticator(
+                client=ticket.client, address="10.66.6.6",
+                timestamp=bed.clock.now(),
+            ).seal(forged_session_key, config, bed.rng.fork("g")),
+            "options": 0,
+        })
+        accepted_before = mail.accepted
+        bed.network.inject("10.66.6.6",
+                           Endpoint(mail.host.address, "mail"), request)
+        assert mail.accepted > accepted_before  # total impersonation
+
+    def test_corrupt_authentication_server(self):
+        """A corrupted KDC database (one admin away) is game over: the
+        attacker reads any user's key directly."""
+        bed, mail, ws = self._deployment(12)
+        stolen_key = bed.realm.database.key_of(
+            Principal("victim", "", bed.realm.name)
+        )
+        from repro.crypto.keys import string_to_key
+        assert stolen_key == string_to_key("pw1")  # == the password's key
+
+    def test_corrupt_time_server(self):
+        """The fourth party: a lying time service revives stale
+        authenticators (E4 in miniature)."""
+        bed, mail, ws = self._deployment(13)
+        service = UnauthenticatedTimeService(bed.network, bed.clock, "10.9.9.9")
+        ap, _ = mail_check_capture(bed, "victim", "pw1", mail, ws)
+        result = spoof_time_and_replay(bed, mail, ap[-1], 90, service.endpoint)
+        assert result.succeeded
+
+
+def test_no_steel_doors_in_paper_walls():
+    """Run the FULL hardened profile — and one legacy service that
+    authenticates properly but then talks cleartext.  Every protocol
+    defense holds; the application still falls to a trivial injection.
+    Security is end-to-end or it is not."""
+    config = ProtocolConfig.hardened().but(
+        # The legacy server predates challenge/response; its sessions
+        # still authenticate with ordinary (hardened) authenticators.
+        challenge_response=False,
+    )
+    bed = Testbed(config, seed=14)
+    bed.add_user("victim", "pw1")
+    legacy = bed.add_server(PlaintextSessionServer, "rlogin", "legacyhost")
+    ws = bed.add_workstation("vws")
+    outcome = bed.login("victim", "pw1", ws)
+    cred = outcome.client.get_service_ticket(legacy.principal)
+    session = outcome.client.ap_exchange(cred, bed.endpoint(legacy))
+
+    # The hardened protocol did its job...
+    captured = bed.adversary.recorded(service="rlogin", direction="request")[-1]
+    replay = replay_ap_request(bed, legacy, captured, delay_minutes=1)
+    assert not replay.succeeded  # replay cache holds
+
+    # ...and the paper wall falls anyway.
+    takeover = session_takeover(bed, legacy, session)
+    assert takeover.succeeded
+
+
+def test_stolen_credential_file_is_the_users_problem_not_the_protocols():
+    """Addressless (V5) tickets move freely — 'all that is necessary to
+    employ such a ticket is a secure mechanism for copying the
+    multi-session key' — so a stolen ccache equals stolen identity
+    until expiry, under any protocol profile."""
+    config = ProtocolConfig.v5_draft3()
+    bed = Testbed(config, seed=15)
+    bed.add_user("victim", "pw1")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("vws")
+    thief_host = bed.add_workstation("th")
+    outcome = bed.login("victim", "pw1", ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+
+    thief = KerberosClient(
+        thief_host, Principal("victim", "", bed.realm.name), config,
+        bed.directory, bed.rng.fork("thief"),
+    )
+    thief.ccache.store(cred)
+    session = thief.ap_exchange(cred, bed.endpoint(echo))
+    assert session.call(b"as the victim") == b"echo:as the victim"

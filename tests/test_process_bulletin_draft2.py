@@ -1,0 +1,173 @@
+"""The newest substrate pieces: /dev/kmem processes, the KRB_SAFE
+bulletin board, and the Draft-2 preset."""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.attacks import kmem_theft
+from repro.kerberos.appserver import BulletinServer
+from repro.kerberos.client import KerberosError
+from repro.sim.host import HostError, StorageKind
+from repro.sim.process import Process
+
+
+# --- /dev/kmem ----------------------------------------------------------------
+
+
+def kmem_bed(seed=1, **host_kwargs):
+    bed = Testbed(ProtocolConfig.v4(), seed=seed)
+    bed.add_user("victim", "pw1")
+    bed.add_user("mallory", "pw2")
+    bed.add_mail_server("mailhost")
+    host = bed.add_multiuser_host("bighost")
+    for key, value in host_kwargs.items():
+        setattr(host, key, value)
+    outcome = bed.login("victim", "pw1", host)
+    outcome.client.get_service_ticket(
+        bed.servers["mail.mailhost@ATHENA"].principal
+    )
+    return bed, host
+
+
+def test_root_reads_kmem():
+    _bed, host = kmem_bed()
+    result = kmem_theft(host, "mallory", as_root=True)
+    assert result.succeeded
+    assert len(result.evidence["session_keys"]) >= 2
+
+
+def test_restrictive_kmem_blocks_non_root():
+    """The post-1984 permissions: ordinary users get nothing."""
+    _bed, host = kmem_bed(seed=2)
+    result = kmem_theft(host, "mallory", as_root=False)
+    assert not result.succeeded
+    assert "restrictive" in result.detail
+
+
+def test_world_readable_kmem_leaks_to_anyone():
+    """The pre-restriction world the footnote recalls."""
+    _bed, host = kmem_bed(seed=3, kmem_world_readable=True)
+    result = kmem_theft(host, "mallory", as_root=False)
+    assert result.succeeded
+
+
+def test_kmem_excludes_hardware_regions():
+    _bed, host = kmem_bed(seed=4)
+    host.store("unit-keys", "root", StorageKind.HARDWARE, b"sealed-in-silicon")
+    kmem = Process(host, "root", is_root=True).read_kmem()
+    assert "unit-keys" not in kmem
+
+
+def test_kmem_excludes_wiped_regions():
+    _bed, host = kmem_bed(seed=5)
+    host.logout("victim")
+    kmem = Process(host, "root", is_root=True).read_kmem()
+    assert not any(name.startswith("ccache:victim") and data
+                   for name, data in kmem.items())
+
+
+def test_process_region_access_follows_host_rules():
+    _bed, host = kmem_bed(seed=6)
+    victim_cache = f"ccache:victim"
+    assert Process(host, "victim").read_region(victim_cache)
+    assert Process(host, "anyone", is_root=True).read_region(victim_cache)
+
+
+# --- the KRB_SAFE bulletin board ------------------------------------------------
+
+
+def bulletin_bed(config=None, seed=10):
+    bed = Testbed(config if config is not None else ProtocolConfig.v4(),
+                  seed=seed)
+    bed.add_user("pat", "pw")
+    board = bed.add_server(BulletinServer, "bulletin", "boardhost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    session = outcome.client.ap_exchange(
+        outcome.client.get_service_ticket(board.principal),
+        bed.endpoint(board),
+    )
+    return bed, board, session
+
+
+def test_post_and_read():
+    bed, board, session = bulletin_bed()
+    assert session.safe_call(b"POST colloquium at 4pm") == b"OK posted as pat"
+    listing = session.safe_call(b"READ")
+    assert listing == b"pat: colloquium at 4pm"
+
+
+def test_postings_visible_on_the_wire_but_authentic():
+    """KRB_SAFE by design: public content, protected integrity."""
+    bed, board, session = bulletin_bed(seed=11)
+    session.safe_call(b"POST meeting moved to room 7")
+    # Visible:
+    assert any(b"meeting moved to room 7" in m.payload
+               for m in bed.adversary.log)
+    # But not forgeable: flip a byte of the posting in flight.
+    data_service = board.principal.name + "-data"
+
+    def tamper(message):
+        if message.dst.service != data_service:
+            return None
+        return message.payload.replace(b"room 7", b"room 9")
+
+    bed.adversary.on_request(tamper)
+    with pytest.raises(KerberosError):
+        session.safe_call(b"POST lunch in room 7 after")
+    bed.adversary.clear_taps()
+    assert board.rejection_reasons[-1] == "integrity"
+    assert all(b"room 9" not in body for _a, body in board.postings)
+
+
+def test_bulletin_replay_rejected():
+    bed, board, session = bulletin_bed(seed=12)
+    session.safe_call(b"POST only once please")
+    captured = bed.adversary.recorded(
+        service=board.principal.name + "-data", direction="request"
+    )[-1]
+    bed.network.inject(captured.src_address, captured.dst, captured.payload)
+    assert board.rejection_reasons[-1] in ("replay", "sequence")
+    assert len(board.postings) == 1
+
+
+# --- Draft 2 vs Draft 3: the reply nonce -----------------------------------------
+
+
+def _replay_as_rep(config, seed):
+    """Splice a recorded AS_REP into a later login; True if undetected."""
+    bed = Testbed(config, seed=seed)
+    bed.add_user("pat", "pw")
+    ws = bed.add_workstation("ws1")
+    bed.login("pat", "pw", ws)
+    recorded = bed.adversary.recorded(service="kerberos",
+                                      direction="response")[-1]
+    bed.adversary.on_response(
+        lambda m: recorded.payload if m.dst.service == "kerberos" else None
+    )
+    ws2 = bed.add_workstation("ws2")
+    try:
+        bed.login("pat", "pw", ws2)
+        accepted = True
+    except KerberosError:
+        accepted = False
+    finally:
+        bed.adversary.clear_taps()
+    return accepted
+
+
+def test_draft2_accepts_replayed_as_rep():
+    """No nonce echo: the stale reply looks fine to the client."""
+    assert _replay_as_rep(ProtocolConfig.v5_draft2(), seed=20)
+
+
+def test_draft3_nonce_detects_replayed_as_rep():
+    assert not _replay_as_rep(ProtocolConfig.v5_draft3(), seed=20)
+
+
+def test_draft2_label_and_lineage():
+    config = ProtocolConfig.v5_draft2()
+    assert config.label == "v5-draft2"
+    assert config.version == 5
+    assert not config.as_rep_nonce
+    assert ProtocolConfig.v5_draft3().as_rep_nonce

@@ -1,0 +1,87 @@
+"""Hypothesis round trips across the protocol structures.
+
+These pin the composition of codec + seal: arbitrary (valid) tickets
+and authenticators must survive the full encode-seal-unseal-decode
+pipeline under every protocol generation, byte for byte.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.principal import Principal
+from repro.kerberos.session import decode_private_body, encode_private_body
+from repro.kerberos.tickets import Authenticator, Ticket
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1, max_size=12,
+)
+principals = st.builds(
+    Principal,
+    name=names,
+    instance=st.one_of(st.just(""), names),
+    realm=names.map(str.upper),
+)
+
+tickets = st.builds(
+    Ticket,
+    server=principals,
+    client=principals,
+    address=st.sampled_from(["", "10.0.0.1", "10.9.8.7"]),
+    issued_at=st.integers(min_value=0, max_value=2**48),
+    lifetime=st.integers(min_value=0, max_value=2**40),
+    session_key=st.binary(min_size=8, max_size=8),
+    flags=st.integers(min_value=0, max_value=0xFF),
+    transited=st.sampled_from(["", "A", "A,B.C"]),
+)
+
+authenticators = st.builds(
+    Authenticator,
+    client=principals,
+    address=st.sampled_from(["10.0.0.1", "10.9.8.7"]),
+    timestamp=st.integers(min_value=0, max_value=2**48),
+    req_checksum=st.binary(max_size=16),
+    ticket_checksum=st.binary(max_size=16),
+    seq=st.integers(min_value=0, max_value=2**32),
+    subkey=st.one_of(st.just(b""), st.binary(min_size=8, max_size=8)),
+)
+
+CONFIGS = [ProtocolConfig.v4(), ProtocolConfig.v5_draft3(),
+           ProtocolConfig.hardened()]
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+@given(ticket=tickets)
+@settings(max_examples=25, deadline=None)
+def test_ticket_pipeline_roundtrip(config, ticket):
+    blob = ticket.seal(KEY, config, DeterministicRandom(1))
+    assert Ticket.unseal(blob, KEY, config) == ticket
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+@given(authenticator=authenticators)
+@settings(max_examples=25, deadline=None)
+def test_authenticator_pipeline_roundtrip(config, authenticator):
+    blob = authenticator.seal(KEY, config, DeterministicRandom(2))
+    assert Authenticator.unseal(blob, KEY, config) == authenticator
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label)
+@given(
+    data=st.binary(max_size=80),
+    timestamp=st.integers(min_value=0, max_value=2**48),
+    direction=st.integers(min_value=0, max_value=1),
+)
+@settings(max_examples=25, deadline=None)
+def test_private_body_roundtrip_all_layouts(config, data, timestamp, direction):
+    body = encode_private_body(data, timestamp, direction, "10.0.0.3", config)
+    if len(body) % 8:
+        body += bytes(8 - len(body) % 8)
+    out, ts, d, addr = decode_private_body(body, config)
+    assert out[:len(data)] == data
+    assert (ts, d, addr) == (timestamp, direction, "10.0.0.3")

@@ -1,0 +1,81 @@
+"""Clocks and time services."""
+
+import pytest
+
+from repro.sim.clock import MINUTE, SECOND, HostClock, SimClock
+from repro.sim.host import Host
+from repro.sim.network import Adversary, Endpoint, Network
+from repro.sim.timesvc import (
+    AuthenticatedTimeService, TimeSyncError, UnauthenticatedTimeService,
+    sync_host_clock, sync_host_clock_authenticated,
+)
+
+
+def test_clock_advances():
+    clock = SimClock(start=100)
+    assert clock.now() == 100
+    clock.advance(50)
+    assert clock.now() == 150
+    clock.advance_seconds(2)
+    assert clock.now() == 150 + 2 * SECOND
+    clock.advance_minutes(1)
+    assert clock.now() == 150 + 2 * SECOND + MINUTE
+
+
+def test_clock_never_reverses():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_host_clock_offset():
+    clock = SimClock(start=1000)
+    host_clock = HostClock(clock, offset=500)
+    assert host_clock.now() == 1500
+    assert host_clock.skew() == 500
+    host_clock.set_from(900)
+    assert host_clock.now() == 900
+    assert host_clock.skew() == -100
+
+
+def _deployment():
+    clock = SimClock(start=5 * MINUTE)
+    network = Network(clock, Adversary())
+    host = Host("h", network, clock, addresses=["10.0.0.2"], clock_offset=-MINUTE)
+    return clock, network, host
+
+
+def test_unauthenticated_sync_adopts_reported_time():
+    clock, network, host = _deployment()
+    service = UnauthenticatedTimeService(network, clock, "10.0.9.9")
+    sync_host_clock(host, service.endpoint)
+    assert abs(host.clock.skew()) < SECOND  # synced to truth
+
+
+def test_unauthenticated_sync_believes_lies():
+    clock, network, host = _deployment()
+    service = UnauthenticatedTimeService(network, clock, "10.0.9.9")
+    network.adversary.on_response(lambda m: (42).to_bytes(8, "big"))
+    sync_host_clock(host, service.endpoint)
+    assert host.clock.now() == 42  # dragged to the attacker's time
+
+
+def test_authenticated_sync_verifies():
+    clock, network, host = _deployment()
+    key = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1"
+    service = AuthenticatedTimeService(network, clock, "10.0.9.8", key)
+    sync_host_clock_authenticated(host, service.endpoint, key, b"n" * 8)
+    assert abs(host.clock.skew()) < SECOND
+
+
+def test_authenticated_sync_rejects_forgery():
+    clock, network, host = _deployment()
+    key = b"\x13\x34\x57\x79\x9b\xbc\xdf\xf1"
+    service = AuthenticatedTimeService(network, clock, "10.0.9.8", key)
+    network.adversary.on_response(
+        lambda m: (42).to_bytes(8, "big") + m.payload[8:]
+    )
+    skew_before = host.clock.skew()
+    with pytest.raises(TimeSyncError):
+        sync_host_clock_authenticated(host, service.endpoint, key, b"n" * 8)
+    assert host.clock.skew() == skew_before  # clock untouched

@@ -1,0 +1,118 @@
+"""Host semantics: who can log in, who can read what, what leaks."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.host import Host, HostError, StorageKind
+from repro.sim.network import Adversary, Network
+
+
+def make_host(**kwargs):
+    clock = SimClock()
+    network = Network(clock, Adversary())
+    return Host("h1", network, clock, addresses=["10.0.0.1"], **kwargs), network
+
+
+def test_workstation_is_single_user():
+    host, _ = make_host(multi_user=False)
+    host.login("pat")
+    with pytest.raises(HostError):
+        host.login("mallory")
+
+
+def test_multiuser_host_allows_concurrency():
+    host, _ = make_host(multi_user=True)
+    host.login("pat")
+    host.login("mallory")
+    assert set(host.logged_in) == {"pat", "mallory"}
+
+
+def test_double_login_rejected():
+    host, _ = make_host(multi_user=True)
+    host.login("pat")
+    with pytest.raises(HostError):
+        host.login("pat")
+
+
+def test_logout_wipes_user_regions():
+    host, _ = make_host()
+    host.login("pat")
+    region = host.store("ccache:pat", "pat", StorageKind.LOCAL_DISK, b"keys")
+    host.logout("pat")
+    assert region.wiped and region.data == b""
+
+
+def test_owner_and_root_can_read():
+    host, _ = make_host()
+    host.login("pat")
+    host.store("ccache:pat", "pat", StorageKind.LOCAL_DISK, b"keys")
+    assert host.read("ccache:pat", "pat") == b"keys"
+    assert host.read("ccache:pat", "root") == b"keys"
+
+
+def test_concurrent_user_reads_on_multiuser_only():
+    multi, _ = make_host(multi_user=True)
+    multi.login("pat")
+    multi.login("mallory")
+    multi.store("ccache:pat", "pat", StorageKind.LOCAL_DISK, b"keys")
+    assert multi.read("ccache:pat", "mallory") == b"keys"
+
+    single, _ = make_host(multi_user=False)
+    single.login("pat")
+    single.store("ccache:pat", "pat", StorageKind.LOCAL_DISK, b"keys")
+    with pytest.raises(HostError):
+        single.read("ccache:pat", "mallory")
+
+
+def test_hardware_region_unreadable():
+    host, _ = make_host()
+    host.store("unit", "pat", StorageKind.HARDWARE, b"sealed")
+    with pytest.raises(HostError):
+        host.read("unit", "root")
+
+
+def test_nfs_tmp_leaks_to_wire():
+    host, network = make_host(diskless=True)
+    host.store("ccache:pat", "pat", StorageKind.NFS_TMP, b"secret-keys")
+    leaks = [m for m in network.adversary.log
+             if m.dst.service == "paging:ccache:pat"]
+    assert leaks and leaks[0].payload == b"secret-keys"
+
+
+def test_shared_memory_leaks_only_when_paged():
+    paged, network_paged = make_host(pages_shared_memory=True)
+    paged.store("c", "pat", StorageKind.SHARED_MEMORY, b"k1")
+    assert any(m.dst.service.startswith("paging:") for m in network_paged.adversary.log)
+
+    pinned, network_pinned = make_host(pages_shared_memory=False)
+    pinned.store("c", "pat", StorageKind.SHARED_MEMORY, b"k2")
+    assert not any(
+        m.dst.service.startswith("paging:") for m in network_pinned.adversary.log
+    )
+
+
+def test_locked_memory_never_leaks():
+    host, network = make_host(diskless=True, pages_shared_memory=True)
+    host.store("c", "pat", StorageKind.LOCKED_MEMORY, b"k")
+    assert not any(
+        m.dst.service.startswith("paging:") for m in network.adversary.log
+    )
+
+
+def test_missing_region():
+    host, _ = make_host()
+    with pytest.raises(HostError):
+        host.read("nope", "root")
+
+
+def test_multihoming():
+    clock = SimClock()
+    network = Network(clock, Adversary())
+    host = Host("mh", network, clock, addresses=["10.0.0.1", "10.0.1.1"])
+    assert host.address == "10.0.0.1"
+    assert len(host.addresses) == 2
+
+
+def test_remote_login_default_follows_multiuser():
+    assert make_host(multi_user=True)[0].remote_login_enabled
+    assert not make_host(multi_user=False)[0].remote_login_enabled

@@ -1,0 +1,118 @@
+"""The adversarial network: routing, taps, capability switches."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.network import Adversary, Endpoint, Network, NetworkError
+
+
+def make_network(**adversary_kwargs):
+    clock = SimClock()
+    network = Network(clock, Adversary(**adversary_kwargs))
+    return clock, network
+
+
+def test_rpc_roundtrip_and_log():
+    _clock, network = make_network()
+    network.register("10.0.0.1", "echo", lambda m: b"re:" + m.payload)
+    reply = network.rpc("10.0.0.9", Endpoint("10.0.0.1", "echo"), b"hi")
+    assert reply == b"re:hi"
+    log = network.adversary.log
+    assert len(log) == 2
+    assert log[0].direction == "request" and log[0].payload == b"hi"
+    assert log[1].direction == "response" and log[1].payload == b"re:hi"
+
+
+def test_unknown_endpoint():
+    _clock, network = make_network()
+    with pytest.raises(NetworkError):
+        network.rpc("a", Endpoint("nowhere", "svc"), b"")
+
+
+def test_duplicate_registration_rejected():
+    _clock, network = make_network()
+    network.register("h", "svc", lambda m: b"")
+    with pytest.raises(NetworkError):
+        network.register("h", "svc", lambda m: b"")
+
+
+def test_request_modification_tap():
+    _clock, network = make_network()
+    network.register("h", "svc", lambda m: m.payload)
+    network.adversary.on_request(
+        lambda m: m.payload.replace(b"cat", b"dog")
+    )
+    assert network.rpc("c", Endpoint("h", "svc"), b"a cat") == b"a dog"
+
+
+def test_response_modification_tap():
+    _clock, network = make_network()
+    network.register("h", "svc", lambda m: b"truth")
+    network.adversary.on_response(lambda m: b"lies")
+    assert network.rpc("c", Endpoint("h", "svc"), b"q") == b"lies"
+
+
+def test_drop_predicate():
+    _clock, network = make_network()
+    network.register("h", "svc", lambda m: b"ok")
+    network.adversary.drop_if(lambda m: m.dst.service == "svc")
+    with pytest.raises(NetworkError, match="dropped"):
+        network.rpc("c", Endpoint("h", "svc"), b"q")
+
+
+def test_inject_with_forged_source():
+    _clock, network = make_network()
+    seen = []
+    network.register("h", "svc", lambda m: seen.append(m.src_address) or b"ok")
+    network.inject("10.6.6.6", Endpoint("h", "svc"), b"evil")
+    assert seen == ["10.6.6.6"]
+
+
+def test_inject_bypasses_own_taps():
+    _clock, network = make_network()
+    network.register("h", "svc", lambda m: m.payload)
+    network.adversary.on_request(lambda m: b"mangled")
+    assert network.inject("x", Endpoint("h", "svc"), b"mine") == b"mine"
+
+
+def test_passive_adversary_cannot_go_active():
+    _clock, network = make_network(
+        can_modify=False, can_drop=False, can_inject=False
+    )
+    network.register("h", "svc", lambda m: b"ok")
+    with pytest.raises(NetworkError):
+        network.adversary.on_request(lambda m: None)
+    with pytest.raises(NetworkError):
+        network.adversary.drop_if(lambda m: True)
+    with pytest.raises(NetworkError):
+        network.inject("x", Endpoint("h", "svc"), b"")
+    # Eavesdropping still works.
+    network.rpc("c", Endpoint("h", "svc"), b"q")
+    assert len(network.adversary.log) == 2
+
+
+def test_hijack_endpoint():
+    _clock, network = make_network()
+    network.register("h", "svc", lambda m: b"real")
+    original = network.hijack_endpoint("h", "svc", lambda m: b"fake")
+    assert network.rpc("c", Endpoint("h", "svc"), b"q") == b"fake"
+    network.hijack_endpoint("h", "svc", original)
+    assert network.rpc("c", Endpoint("h", "svc"), b"q") == b"real"
+
+
+def test_recorded_filters():
+    _clock, network = make_network()
+    network.register("h", "a", lambda m: b"")
+    network.register("h", "b", lambda m: b"")
+    network.rpc("c", Endpoint("h", "a"), b"1")
+    network.rpc("c", Endpoint("h", "b"), b"2")
+    assert len(network.adversary.recorded(service="a")) == 2
+    assert len(network.adversary.recorded(service="a", direction="request")) == 1
+
+
+def test_clock_advances_per_message():
+    clock, network = make_network()
+    network.register("h", "svc", lambda m: b"")
+    before = clock.now()
+    network.rpc("c", Endpoint("h", "svc"), b"")
+    assert clock.now() == before + 2 * network.transit_time

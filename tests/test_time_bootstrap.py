@@ -1,0 +1,74 @@
+"""The time-service bootstrap circularity, demonstrated.
+
+Authentication needs synchronized time; the authenticated path to the
+time depends on authentication.  A mildly-skewed host recovers; a badly
+skewed one is locked out by the very service that could fix it.
+"""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.kerberos.client import KerberosClient, KerberosError, PasswordSecret
+from repro.kerberos.principal import Principal
+from repro.kerberos.timeservice import KerberizedTimeService, kerberized_time_sync
+from repro.sim.clock import MINUTE
+from repro.sim.timesvc import AuthenticatedTimeService, sync_host_clock_authenticated
+
+
+def deployment(clock_offset, seed=1):
+    bed = Testbed(ProtocolConfig.v4(), seed=seed)
+    bed.add_user("host-admin", "pw")
+    timesvc = bed.add_server(KerberizedTimeService, "time", "timehost")
+    skewed_host = bed.add_workstation("skewed", clock_offset=clock_offset)
+    client = KerberosClient(
+        skewed_host, Principal("host-admin", "", bed.realm.name),
+        bed.config, bed.directory, bed.rng.fork("c"),
+    )
+    return bed, timesvc, skewed_host, client
+
+
+def test_mild_skew_recovers_through_the_kerberized_service():
+    """Two minutes off — within the window: the dance works and the
+    clock is corrected."""
+    bed, timesvc, host, client = deployment(clock_offset=2 * MINUTE)
+    client.kinit(PasswordSecret("pw"))
+    kerberized_time_sync(client, timesvc, bed.endpoint(timesvc))
+    assert abs(host.clock.skew()) < MINUTE
+
+
+def test_bad_skew_is_locked_out_the_bootstrap_circularity():
+    """Thirty minutes off: every authenticator this host mints is stale
+    to the rest of the realm.  It cannot even get a service ticket —
+    let alone ask the time service what time it is."""
+    bed, timesvc, host, client = deployment(clock_offset=30 * MINUTE, seed=2)
+    client.kinit(PasswordSecret("pw"))  # AS exchange has no authenticator...
+    with pytest.raises(KerberosError):
+        # ...but the TGS exchange does, and it is judged by KDC time.
+        kerberized_time_sync(client, timesvc, bed.endpoint(timesvc))
+    # The clock is still wrong: the deadlock is real.
+    assert host.clock.skew() == 30 * MINUTE
+
+
+def test_statically_keyed_service_breaks_the_deadlock():
+    """The way out the paper points to: a time path whose trust does NOT
+    route through Kerberos.  The same badly-skewed host syncs via the
+    statically-keyed service, after which Kerberos works again."""
+    bed, timesvc, host, client = deployment(clock_offset=30 * MINUTE, seed=3)
+    client.kinit(PasswordSecret("pw"))
+
+    key = bed.rng.random_key()
+    static_svc = AuthenticatedTimeService(bed.network, bed.clock, "10.9.9.8", key)
+    sync_host_clock_authenticated(host, static_svc.endpoint, key, b"n" * 8)
+    assert abs(host.clock.skew()) < MINUTE
+
+    # Kerberos is usable again end to end.
+    reported = kerberized_time_sync(client, timesvc, bed.endpoint(timesvc))
+    assert reported > 0
+
+
+def test_time_service_rejects_unknown_commands():
+    bed, timesvc, _host, client = deployment(clock_offset=0, seed=4)
+    client.kinit(PasswordSecret("pw"))
+    cred = client.get_service_ticket(timesvc.principal)
+    session = client.ap_exchange(cred, bed.endpoint(timesvc))
+    assert session.call(b"WEATHER") == b"ERR unknown command"

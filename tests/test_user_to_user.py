@@ -1,0 +1,103 @@
+"""Legitimate user-to-user authentication via ENC-TKT-IN-SKEY.
+
+The cname-match fix must not break the option's intended use: "This
+requirement would still permit the intended use of the option, but
+would foil the attack we describe."  User B runs a personal service with
+no long-term key; user A gets a ticket for B sealed under the session
+key of B's own TGT, which B's process can decrypt.
+"""
+
+import pytest
+
+from repro import Testbed, ProtocolConfig
+from repro.kerberos.messages import SealError
+from repro.kerberos.tickets import OPT_ENC_TKT_IN_SKEY, Ticket
+
+
+def deployment(config, seed=1):
+    bed = Testbed(config, seed=seed)
+    bed.add_user("alice", "pw-a")
+    bed.add_user("bob", "pw-b")
+    ws_a = bed.add_workstation("wsa")
+    ws_b = bed.add_workstation("wsb")
+    alice = bed.login("alice", "pw-a", ws_a)
+    bob = bed.login("bob", "pw-b", ws_b)
+    return bed, alice, bob
+
+
+def user_to_user(bed, alice, bob):
+    """Alice obtains a ticket *for bob*, sealed in bob's TGT session key."""
+    bob_tgt = bob.client.ccache.tgt()
+    cred = alice.client.get_service_ticket(
+        bob.client.user,
+        options=OPT_ENC_TKT_IN_SKEY,
+        additional_ticket=bob_tgt.sealed_ticket,
+    )
+    # Bob's process — holding only the TGT session key — reads it.
+    ticket = Ticket.unseal(cred.sealed_ticket, bob_tgt.session_key, bed.config)
+    return cred, ticket
+
+
+def test_user_to_user_works_with_cname_check():
+    """The fix preserves the feature."""
+    config = ProtocolConfig.v5_draft3().but(enc_tkt_cname_check=True)
+    bed, alice, bob = deployment(config)
+    cred, ticket = user_to_user(bed, alice, bob)
+    assert ticket.client == alice.client.user
+    assert ticket.server == bob.client.user
+    assert ticket.session_key == cred.session_key  # both ends agree
+
+
+def test_user_to_user_works_on_plain_draft3():
+    bed, alice, bob = deployment(ProtocolConfig.v5_draft3(), seed=2)
+    _cred, ticket = user_to_user(bed, alice, bob)
+    assert ticket.server == bob.client.user
+
+
+def test_third_party_cannot_read_the_ticket():
+    """Only bob's TGT session key opens it — not bob's password key and
+    not another user's TGT key."""
+    config = ProtocolConfig.v5_draft3().but(enc_tkt_cname_check=True)
+    bed, alice, bob = deployment(config, seed=3)
+    cred, _ticket = user_to_user(bed, alice, bob)
+    from repro.crypto.keys import string_to_key
+    with pytest.raises(SealError):
+        Ticket.unseal(cred.sealed_ticket, string_to_key("pw-b"), bed.config)
+    alice_tgt = alice.client.ccache.tgt()
+    with pytest.raises(SealError):
+        Ticket.unseal(cred.sealed_ticket, alice_tgt.session_key, bed.config)
+
+
+def test_cname_check_still_blocks_mismatched_enclosure():
+    """Enclosing a ticket whose cname differs from the requested server
+    is exactly the attack shape; the check refuses it even for honest-
+    looking requests."""
+    config = ProtocolConfig.v5_draft3().but(enc_tkt_cname_check=True)
+    bed, alice, bob = deployment(config, seed=4)
+    alice_tgt = alice.client.ccache.tgt()
+    from repro.kerberos.client import KerberosError
+    with pytest.raises(KerberosError):
+        # Alice encloses her OWN tgt while asking for a ticket "for bob".
+        alice.client.get_service_ticket(
+            bob.client.user,
+            options=OPT_ENC_TKT_IN_SKEY,
+            additional_ticket=alice_tgt.sealed_ticket,
+        )
+
+
+def test_paper_preferred_alternative_instance_keys():
+    """The paper prefers 'having clients register separate instances as
+    services, with truly random keys' — confirm that path coexists."""
+    config = ProtocolConfig.hardened()  # user tickets refused here
+    bed = Testbed(config, seed=5)
+    bed.add_user("alice", "pw-a")
+    bed.add_user("bob", "pw-b")
+    # bob registers bob.server as a service with a random key.
+    instance = bed.realm.database.add_service("bob", "personal")
+    ws = bed.add_workstation("wsa")
+    alice = bed.login("alice", "pw-a", ws)
+    cred = alice.client.get_service_ticket(instance)
+    ticket = Ticket.unseal(
+        cred.sealed_ticket, bed.realm.database.key_of(instance), config
+    )
+    assert ticket.client == alice.client.user
