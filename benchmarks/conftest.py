@@ -16,7 +16,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture
 def experiment_output():
     """Callable fixture: ``experiment_output("e02_replay", table_text)``."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
     def write(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

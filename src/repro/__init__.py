@@ -15,7 +15,11 @@ The package implements, from scratch:
   authenticator, and random-number service;
 * :mod:`repro.analysis` — workloads, cracking statistics, cost
   accounting, and the adversarial encryption-layer validation game;
-* :mod:`repro.suite` — the full attack x protocol evaluation matrix.
+* :mod:`repro.obs` — defender-side telemetry: the structured event
+  bus, metrics registry, and per-exchange audit trails that answer
+  "what would an IDS have seen?" for every attack run;
+* :mod:`repro.suite` — the full attack x protocol evaluation matrix,
+  each cell annotated with its detectability digest.
 
 Start with :class:`repro.Testbed`; reproduce the paper's headline result
 with :func:`repro.suite.run_attack_matrix`.

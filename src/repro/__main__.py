@@ -5,9 +5,12 @@ Commands:
 * ``matrix``      — run the full attack x protocol evaluation matrix;
 * ``notation``    — print the paper's Table 1 and the V4 message flow;
 * ``experiments`` — list the reproduced experiments and their benchmarks;
-* ``demo``        — the quickstart flow with a wire trace.
+* ``demo``        — the quickstart flow with a wire trace;
+* ``audit``       — re-run one scenario with defender telemetry attached
+  and print the event log, metrics, and detectability verdict.
 
-Everything is deterministic; no network, no state left behind.
+Everything is deterministic; no network, no state left behind (except
+the JSONL file ``audit --jsonl`` is asked to write).
 """
 
 from __future__ import annotations
@@ -97,6 +100,81 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _resolve_scenario(name: str):
+    from repro.suite import SCENARIOS
+
+    exact = [s for s in SCENARIOS if s.name == name]
+    if exact:
+        return exact[0]
+    matches = [s for s in SCENARIOS if name.lower() in s.name.lower()]
+    if len(matches) == 1:
+        return matches[0]
+    print("scenario %r is %s; choose one of:" % (
+        name, "ambiguous" if matches else "unknown"))
+    for scenario in (matches or SCENARIOS):
+        print(f"  {scenario.name}")
+    return None
+
+
+def _cmd_audit(args) -> int:
+    from repro.obs import (
+        JsonlSink, build_spans, capture, detectability_digest, render_events,
+    )
+    from repro.obs.metrics import MetricsRegistry, MetricsSink
+    from repro.suite import DEFAULT_COLUMNS
+
+    scenario = _resolve_scenario(args.scenario)
+    if scenario is None:
+        return 2
+    configs = dict(DEFAULT_COLUMNS)
+    if args.column not in configs:
+        print(f"unknown column {args.column!r}; choose from "
+              + ", ".join(configs))
+        return 2
+
+    registry = MetricsRegistry()
+    sinks = [MetricsSink(registry)]
+    jsonl = None
+    if args.jsonl:
+        try:  # fail before the run, not mid-capture, on an unwritable path
+            open(args.jsonl, "w", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"cannot write JSONL to {args.jsonl!r}: {exc}")
+            return 2
+        jsonl = JsonlSink(args.jsonl)
+        sinks.append(jsonl)
+    with capture(*sinks) as cap:
+        result = scenario.run(configs[args.column], args.seed)
+    if jsonl is not None:
+        jsonl.close()
+
+    digest = detectability_digest(cap.events)
+    print(f"scenario:  {scenario.name}   (paper: {scenario.paper_section})")
+    print(f"column:    {args.column}   seed: {args.seed}")
+    print(f"outcome:   {result}")
+    print()
+    print("defender event log:")
+    print(render_events(cap.events))
+    print()
+    print(registry.render_text())
+    print()
+    spans = build_spans(cap.events)
+    flagged = [span for span in spans if span.anomalies]
+    print(f"exchanges: {len(spans)} spans, {len(flagged)} with anomalies")
+    if digest:
+        anomalies = ", ".join(f"{k}×{v}" for k, v in sorted(digest.items()))
+        print(f"detectability: {anomalies}")
+    elif result.succeeded:
+        print("detectability: NONE — the attack won and the defenders' "
+              "telemetry shows an ordinary run (the paper's worst case)")
+    else:
+        print("detectability: none needed — the attack never got far "
+              "enough to trip a check")
+    if jsonl is not None:
+        print(f"\nwrote {jsonl.written} events to {args.jsonl}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -107,12 +185,32 @@ def main(argv=None) -> int:
     sub.add_parser("notation", help="print Table 1 and the V4 flow")
     sub.add_parser("experiments", help="list the reproduced experiments")
     sub.add_parser("demo", help="run the quickstart flow")
+    audit = sub.add_parser(
+        "audit", help="run one scenario with defender telemetry attached"
+    )
+    audit.add_argument(
+        "scenario",
+        help="scenario name from the matrix (unique substring accepted)",
+    )
+    audit.add_argument(
+        "--column", default="v4",
+        help="protocol configuration column (default: v4)",
+    )
+    audit.add_argument(
+        "--seed", type=int, default=1000,
+        help="testbed seed (default: 1000, the matrix's base seed)",
+    )
+    audit.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also write every event to PATH as JSON lines",
+    )
     args = parser.parse_args(argv)
     handler = {
         "matrix": _cmd_matrix,
         "notation": _cmd_notation,
         "experiments": _cmd_experiments,
         "demo": _cmd_demo,
+        "audit": _cmd_audit,
     }[args.command]
     return handler(args)
 

@@ -24,8 +24,8 @@ at (activity rate x window).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.analysis.cracking import PasswordPopulation
 from repro.kerberos.config import ProtocolConfig
@@ -54,9 +54,15 @@ class SiteWorkload:
         config: Optional[ProtocolConfig] = None,
         population: Optional[PasswordPopulation] = None,
         seed: int = 0,
+        max_wire_log: Optional[int] = None,
     ):
+        """*max_wire_log* bounds the adversary's capture buffer — an
+        attacker with finite storage keeps only the newest messages, so
+        :func:`adversary_haul` then inventories a sliding window rather
+        than the whole day."""
         self.bed = Testbed(
-            config if config is not None else ProtocolConfig.v4(), seed=seed
+            config if config is not None else ProtocolConfig.v4(), seed=seed,
+            max_wire_log=max_wire_log,
         )
         self.population = (
             population if population is not None

@@ -9,19 +9,35 @@ and what evidence shows it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 __all__ = ["AttackResult"]
 
 
 @dataclass
 class AttackResult:
-    """Outcome of one attack run."""
+    """Outcome of one attack run.
+
+    ``detectability`` is filled in by runners that record defender-side
+    telemetry (``repro.suite``, ``python -m repro audit``): a mapping of
+    anomaly event kind to count, per :func:`repro.obs.detectability_digest`.
+    ``None`` means nobody was listening; ``{}`` means the defenders were
+    listening and saw nothing anomalous — for a successful attack, the
+    paper's worst case.
+    """
 
     name: str
     succeeded: bool
     detail: str = ""
     evidence: Dict[str, Any] = field(default_factory=dict)
+    detectability: Optional[Dict[str, int]] = None
+
+    @property
+    def silent(self) -> Optional[bool]:
+        """Did the attack leave no anomaly trace?  ``None`` if unmeasured."""
+        if self.detectability is None:
+            return None
+        return not self.detectability
 
     def __str__(self) -> str:
         verdict = "SUCCEEDED" if self.succeeded else "failed"

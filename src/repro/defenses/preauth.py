@@ -21,6 +21,7 @@ from repro.attacks.password_guess import (
 )
 from repro.defenses.base import DefenseReport
 from repro.kerberos.config import ProtocolConfig
+from repro.obs import capture, detectability_digest
 from repro.testbed import Testbed
 
 __all__ = ["demonstrate_harvest", "demonstrate_client_as_service"]
@@ -43,14 +44,18 @@ def demonstrate_harvest(seed: int = 0) -> DefenseReport:
     """Active TGT harvesting, with and without preauthentication."""
     dictionary = ["123456", "password", "letmein", "qwerty"]
 
-    bed = _bed(ProtocolConfig.v4(), seed)
-    harvested, vulnerable = harvest_tickets(bed, _USERS)
+    with capture() as cap:
+        bed = _bed(ProtocolConfig.v4(), seed)
+        harvested, vulnerable = harvest_tickets(bed, _USERS)
     cracked = offline_dictionary_attack(bed.config, harvested, dictionary)
     vulnerable.evidence["cracked"] = dict(cracked.cracked)
     vulnerable.detail += f"; {len(cracked.cracked)} passwords cracked offline"
+    vulnerable.detectability = detectability_digest(cap.events)
 
-    bed2 = _bed(ProtocolConfig.v4().but(preauth_required=True), seed)
-    _harvested2, defended = harvest_tickets(bed2, _USERS)
+    with capture() as cap2:
+        bed2 = _bed(ProtocolConfig.v4().but(preauth_required=True), seed)
+        _harvested2, defended = harvest_tickets(bed2, _USERS)
+    defended.detectability = detectability_digest(cap2.events)
 
     return DefenseReport(
         name="preauthentication",
@@ -64,13 +69,15 @@ def demonstrate_harvest(seed: int = 0) -> DefenseReport:
 def demonstrate_client_as_service(seed: int = 0) -> DefenseReport:
     """The overlooked avenue: authenticated attacker, tickets for users."""
     def run(config: ProtocolConfig):
-        bed = _bed(config, seed)
-        bed.add_user("mallory", "attacker-pw")
-        ws = bed.add_workstation("aws")
-        outcome = bed.login("mallory", "attacker-pw", ws)
-        _tickets, result = client_as_service_harvest(
-            bed, outcome.client, [u for u in _USERS]
-        )
+        with capture() as cap:
+            bed = _bed(config, seed)
+            bed.add_user("mallory", "attacker-pw")
+            ws = bed.add_workstation("aws")
+            outcome = bed.login("mallory", "attacker-pw", ws)
+            _tickets, result = client_as_service_harvest(
+                bed, outcome.client, [u for u in _USERS]
+            )
+        result.detectability = detectability_digest(cap.events)
         return result
 
     return DefenseReport(

@@ -29,18 +29,22 @@ from repro.attacks.replay import mail_check_capture, replay_ap_request
 from repro.defenses.base import DefenseReport
 from repro.kerberos.config import ProtocolConfig
 from repro.kerberos.validation import ReplayCache  # re-export
+from repro.obs import capture, detectability_digest
 from repro.testbed import Testbed
 
 __all__ = ["ReplayCache", "demonstrate", "udp_retransmission_false_alarm"]
 
 
 def _run(config: ProtocolConfig, seed: int) -> AttackResult:
-    bed = Testbed(config, seed=seed)
-    bed.add_user("victim", "pw1")
-    mail = bed.add_mail_server("mailhost")
-    ws = bed.add_workstation("vws")
-    ap, _ = mail_check_capture(bed, "victim", "pw1", mail, ws)
-    return replay_ap_request(bed, mail, ap[-1], delay_minutes=1)
+    with capture() as cap:
+        bed = Testbed(config, seed=seed)
+        bed.add_user("victim", "pw1")
+        mail = bed.add_mail_server("mailhost")
+        ws = bed.add_workstation("vws")
+        ap, _ = mail_check_capture(bed, "victim", "pw1", mail, ws)
+        result = replay_ap_request(bed, mail, ap[-1], delay_minutes=1)
+    result.detectability = detectability_digest(cap.events)
+    return result
 
 
 def demonstrate(seed: int = 0) -> DefenseReport:
@@ -67,21 +71,22 @@ def udp_retransmission_false_alarm(seed: int = 0) -> AttackResult:
     application level").  With the cache on, the honest client is
     rejected — the inappropriate security alarm.
     """
-    bed = Testbed(ProtocolConfig.v4().but(replay_cache=True), seed=seed)
-    bed.add_user("honest", "pw1")
-    mail = bed.add_mail_server("mailhost")
-    ws = bed.add_workstation("hws")
-    outcome = bed.login("honest", "pw1", ws)
-    cred = outcome.client.get_service_ticket(mail.principal)
-    outcome.client.ap_exchange(cred, bed.endpoint(mail))
+    with capture() as cap:
+        bed = Testbed(ProtocolConfig.v4().but(replay_cache=True), seed=seed)
+        bed.add_user("honest", "pw1")
+        mail = bed.add_mail_server("mailhost")
+        ws = bed.add_workstation("hws")
+        outcome = bed.login("honest", "pw1", ws)
+        cred = outcome.client.get_service_ticket(mail.principal)
+        outcome.client.ap_exchange(cred, bed.endpoint(mail))
 
-    # The reply was lost; the client re-sends the identical AP_REQ.
-    request = bed.adversary.recorded(
-        service=mail.principal.name, direction="request"
-    )[-1]
-    rejected_before = mail.rejected
-    bed.network.inject(request.src_address, request.dst, request.payload)
-    false_alarm = mail.rejected > rejected_before
+        # The reply was lost; the client re-sends the identical AP_REQ.
+        request = bed.adversary.recorded(
+            service=mail.principal.name, direction="request"
+        )[-1]
+        rejected_before = mail.rejected
+        bed.network.inject(request.src_address, request.dst, request.payload)
+        false_alarm = mail.rejected > rejected_before
     return AttackResult(
         "udp-retransmission",
         false_alarm,  # "success" here = the false positive occurred
@@ -89,4 +94,7 @@ def udp_retransmission_false_alarm(seed: int = 0) -> AttackResult:
         "raised inappropriately)" if false_alarm else
         "retransmission accepted",
         evidence={"rejections": mail.rejection_reasons[-1:]},
+        # The "inappropriate alarm" is now literal: the digest shows the
+        # ReplayCacheHit the honest client tripped.
+        detectability=detectability_digest(cap.events),
     )

@@ -28,8 +28,8 @@ know which realms it trusts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.rng import DeterministicRandom
 from repro.kerberos import messages
@@ -49,6 +49,10 @@ from repro.kerberos.tickets import (
     FLAG_FORWARDED, OPT_CR_RESPONSE, OPT_MUTUAL_AUTH, Authenticator, Ticket,
 )
 from repro.kerberos.validation import ReplayCache, ValidationError, validate_authenticator
+from repro.obs.events import (
+    ClockSkewReject, DecryptFailure, PolicyReject, ReplayCacheHit,
+    SessionEstablished,
+)
 from repro.sim.host import Host
 
 __all__ = [
@@ -93,6 +97,8 @@ class AppServer:
         self.accepted = 0
         self.rejected = 0
         self.rejection_reasons: List[str] = []
+        # Defender-side telemetry rides the host's network fabric.
+        self.bus = host.network.bus
 
         service = principal.name
         host.network.register(host.address, service, self._handle_ap)
@@ -225,6 +231,12 @@ class AppServer:
             session_id, ticket.client, channel, ticket
         )
         self.accepted += 1
+        bus = self.bus
+        if bus.active:
+            bus.emit(SessionEstablished(
+                service=self.principal.name, client=str(ticket.client),
+                session_id=session_id,
+            ))
 
         reply = messages.seal(
             config.codec.encode(AP_REP_ENC, {
@@ -285,7 +297,21 @@ class AppServer:
     def _reject(self, reason: str, code: int, detail: str) -> bytes:
         self.rejected += 1
         self.rejection_reasons.append(reason)
+        bus = self.bus
+        if bus.active:
+            bus.emit(self._reject_event(reason, detail))
         return frame_error(self.config, code, detail)
+
+    def _reject_event(self, reason: str, detail: str):
+        """Map a rejection reason onto the defender event taxonomy."""
+        service = self.principal.name
+        if reason in ("bad-ticket", "bad-authenticator", "bad-response"):
+            return DecryptFailure(service=service, what=reason, detail=detail)
+        if reason in ("replay", "unknown-challenge"):
+            return ReplayCacheHit(service=service, detail=detail)
+        if reason in ("authenticator-stale", "ticket-expired"):
+            return ClockSkewReject(service=service, reason=reason, detail=detail)
+        return PolicyReject(service=service, reason=reason, detail=detail)
 
 
 class EchoServer(AppServer):
@@ -430,9 +456,7 @@ class BulletinServer(AppServer):
         try:
             data = channel.receive(message.payload[8:])
         except ChannelError as exc:
-            self.rejected += 1
-            self.rejection_reasons.append(exc.reason)
-            return frame_error(self.config, ERR_REPLAY, str(exc))
+            return self._reject(exc.reason, ERR_REPLAY, str(exc))
         response = self.serve(session, data)
         return frame_ok(channel.send(response))
 

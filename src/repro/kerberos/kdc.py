@@ -33,7 +33,6 @@ Implemented behaviour, mapped to the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.crypto import checksum as ck
@@ -55,11 +54,16 @@ from repro.kerberos.messages import (
 from repro.kerberos.principal import Principal, PrincipalError
 from repro.kerberos.realm import RealmDirectory, append_transited
 from repro.kerberos.tickets import (
-    FLAG_DUPLICATE_SKEY, FLAG_FORWARDABLE, FLAG_FORWARDED,
+    FLAG_DUPLICATE_SKEY, FLAG_FORWARDABLE,
     OPT_ENC_TKT_IN_SKEY, OPT_FORWARD, OPT_REUSE_SKEY,
     Authenticator, Ticket,
 )
-from repro.kerberos.validation import ReplayCache, ValidationError, validate_authenticator
+from repro.kerberos.validation import (
+    ReplayCache, ValidationError, validate_authenticator, validation_event,
+)
+from repro.obs.events import (
+    DecryptFailure, PolicyReject, PreauthFailure, TicketIssued,
+)
 
 __all__ = ["AS_SERVICE", "TGS_SERVICE", "Kdc", "tgs_request_checksum_input"]
 
@@ -106,6 +110,8 @@ class Kdc:
         if not database.knows(self.tgs_principal):
             database.add_tgs()
         self.replay_cache = ReplayCache()
+        # Defender-side telemetry rides the host's network fabric.
+        self.bus = host.network.bus
         # Per-source AS request history for rate limiting (timestamps of
         # recent requests, pruned to the trailing minute).
         self._as_history: Dict[str, list] = {}
@@ -128,46 +134,64 @@ class Kdc:
         config = self.config
         if config.as_rate_limit and not self._within_rate(message.src_address):
             self.rate_limited += 1
-            return self._error(
+            return self._refuse(
                 ERR_POLICY,
                 f"rate limit: more than {config.as_rate_limit} AS requests "
                 f"per minute from {message.src_address}",
+                AS_SERVICE, "rate-limit",
             )
         try:
             request = config.codec.decode(AS_REQ, message.payload)
         except Exception as exc:
-            return self._error(ERR_GENERIC, f"bad AS_REQ: {exc}")
+            return self._refuse(ERR_GENERIC, f"bad AS_REQ: {exc}",
+                                AS_SERVICE, "bad-request")
 
         try:
             client = Principal.parse(request["client"])
             server = Principal.parse(request["server"])
         except PrincipalError as exc:
-            return self._error(ERR_GENERIC, str(exc))
+            return self._refuse(ERR_GENERIC, str(exc),
+                                AS_SERVICE, "bad-principal")
 
         try:
             client_key = self.database.key_of(client)
             server_key = self.database.key_of(server)
         except DatabaseError as exc:
-            return self._error(ERR_UNKNOWN_PRINCIPAL, str(exc))
+            return self._refuse(ERR_UNKNOWN_PRINCIPAL, str(exc),
+                                AS_SERVICE, "unknown-principal",
+                                client=request["client"])
 
         # Recommendation (g), second half: "the protocol should not
         # distribute tickets for users (encrypted with the password-based
         # key)" — the client-as-service harvesting loophole.
         if not config.issue_tickets_for_users and self._is_user(server):
-            return self._error(
+            return self._refuse(
                 ERR_POLICY, f"{server} is a user, not a service; "
-                "tickets for user principals are not issued"
+                "tickets for user principals are not issued",
+                AS_SERVICE, "user-ticket-policy", client=str(client),
             )
 
         # Recommendation (g): authenticate the user to Kerberos before
         # handing out anything encrypted in Kc.
         if config.preauth_required:
             if not request["preauth"]:
+                bus = self.bus
+                if bus.active:
+                    bus.emit(PreauthFailure(
+                        realm=self.realm, client=str(client),
+                        detail="no preauth data presented",
+                    ))
                 return self._error(
                     ERR_PREAUTH_REQUIRED, "initial authentication required"
                 )
             if not self._check_preauth(request, client_key):
                 self.rejected += 1
+                bus = self.bus
+                if bus.active:
+                    bus.emit(PreauthFailure(
+                        realm=self.realm, client=str(client),
+                        detail="preauth did not verify",
+                    ))
                 return self._error(ERR_PREAUTH_FAILED, "preauth did not verify")
 
         now = self.host.clock.now()
@@ -222,7 +246,8 @@ class Kdc:
             try:
                 secret = pair.shared_secret(peer)
             except ValueError as exc:
-                return self._error(ERR_GENERIC, f"bad DH public value: {exc}")
+                return self._refuse(ERR_GENERIC, f"bad DH public value: {exc}",
+                                    AS_SERVICE, "bad-dh", client=str(client))
             dh_key = shared_key_to_des(secret, group.prime)
             enc_part = messages.seal(enc_part, dh_key, config, self.rng)
             dh_public = pair.public.to_bytes((group.prime.bit_length() + 7) // 8, "big")
@@ -234,6 +259,12 @@ class Kdc:
             "dh_public": dh_public,
             "handheld_r": handheld_r,
         })
+        bus = self.bus
+        if bus.active:
+            bus.emit(TicketIssued(
+                realm=self.realm, client=str(client), server=str(server),
+                exchange="as",
+            ))
         return frame_ok(reply)
 
     def _check_preauth(self, request: Dict, client_key: bytes) -> bool:
@@ -263,19 +294,23 @@ class Kdc:
         try:
             request = config.codec.decode(TGS_REQ, message.payload)
         except Exception as exc:
-            return self._error(ERR_GENERIC, f"bad TGS_REQ: {exc}")
+            return self._refuse(ERR_GENERIC, f"bad TGS_REQ: {exc}",
+                                TGS_SERVICE, "bad-request")
 
         try:
             server = Principal.parse(request["server"])
             ticket_server = Principal.parse(request["ticket_server"])
         except PrincipalError as exc:
-            return self._error(ERR_GENERIC, str(exc))
+            return self._refuse(ERR_GENERIC, str(exc),
+                                TGS_SERVICE, "bad-principal")
 
         # Which of our keys is the presented ticket sealed under?  Our own
         # TGS key for local TGTs, an inter-realm key for foreign ones.
         if not self.database.knows(ticket_server) or not ticket_server.is_tgs:
-            return self._error(
-                ERR_BAD_TICKET, f"not a ticket-granting principal: {ticket_server}"
+            return self._refuse(
+                ERR_BAD_TICKET,
+                f"not a ticket-granting principal: {ticket_server}",
+                TGS_SERVICE, "bad-ticket-server",
             )
         tgt_key = self.database.key_of(ticket_server)
 
@@ -283,10 +318,17 @@ class Kdc:
             tgt = Ticket.unseal(request["ticket"], tgt_key, config)
         except SealError as exc:
             self.rejected += 1
+            bus = self.bus
+            if bus.active:
+                bus.emit(DecryptFailure(
+                    service=TGS_SERVICE, what="tgt", detail=str(exc),
+                ))
             return self._error(ERR_BAD_TICKET, f"TGT did not unseal: {exc}")
         if tgt.server != ticket_server:
             self.rejected += 1
-            return self._error(ERR_BAD_TICKET, "ticket/key principal mismatch")
+            return self._refuse(ERR_BAD_TICKET, "ticket/key principal mismatch",
+                                TGS_SERVICE, "ticket-key-mismatch",
+                                client=str(tgt.client))
 
         # The rogue-transit-realm check: a TGT sealed under the key we
         # share with realm X was *issued by X*; its client must belong to
@@ -300,10 +342,11 @@ class Kdc:
             # A realm speaks for itself and its hierarchical subtree.
             if not any(is_ancestor(v, tgt.client.realm) for v in vouchers):
                 self.rejected += 1
-                return self._error(
+                return self._refuse(
                     ERR_TRANSIT_POLICY,
                     f"ticket issued by {issuing_realm} claims a client from "
                     f"{tgt.client.realm}, which that realm cannot vouch for",
+                    TGS_SERVICE, "transit-policy", client=str(tgt.client),
                 )
 
         try:
@@ -312,6 +355,12 @@ class Kdc:
             )
         except SealError as exc:
             self.rejected += 1
+            bus = self.bus
+            if bus.active:
+                bus.emit(DecryptFailure(
+                    service=TGS_SERVICE, what="authenticator",
+                    client=str(tgt.client), detail=str(exc),
+                ))
             return self._error(ERR_BAD_TICKET, f"authenticator: {exc}")
 
         now = self.host.clock.now()
@@ -324,6 +373,9 @@ class Kdc:
             )
         except ValidationError as exc:
             self.rejected += 1
+            bus = self.bus
+            if bus.active:
+                bus.emit(validation_event(TGS_SERVICE, str(tgt.client), exc))
             code = ERR_REPLAY if exc.reason == "replay" else ERR_SKEW
             return self._error(code, str(exc))
 
@@ -336,14 +388,18 @@ class Kdc:
             expected = spec.compute(tgs_request_checksum_input(request), mac_key)
             if authenticator.req_checksum != expected:
                 self.rejected += 1
-                return self._error(ERR_BAD_TICKET, "request checksum mismatch")
+                return self._refuse(
+                    ERR_BAD_TICKET, "request checksum mismatch",
+                    TGS_SERVICE, "request-checksum", client=str(tgt.client),
+                )
 
         # Recommendation (g): the TGS path must refuse user-principal
         # "services" too, or the client-as-service harvest just moves here.
         if not config.issue_tickets_for_users and self._is_user(server):
-            return self._error(
+            return self._refuse(
                 ERR_POLICY, f"{server} is a user, not a service; "
-                "tickets for user principals are not issued"
+                "tickets for user principals are not issued",
+                TGS_SERVICE, "user-ticket-policy", client=str(tgt.client),
             )
 
         options = request["options"]
@@ -360,7 +416,9 @@ class Kdc:
         # --- session key for the new ticket ------------------------------
         if options & OPT_REUSE_SKEY:
             if not config.allow_reuse_skey:
-                return self._error(ERR_POLICY, "REUSE-SKEY disabled by policy")
+                return self._refuse(ERR_POLICY, "REUSE-SKEY disabled by policy",
+                                    TGS_SERVICE, "reuse-skey-disabled",
+                                    client=str(tgt.client))
             session_key = tgt.session_key
             extra_flags |= FLAG_DUPLICATE_SKEY
         else:
@@ -373,7 +431,9 @@ class Kdc:
             try:
                 next_realm = self.directory.next_hop(self.realm, server.realm)
             except Exception as exc:
-                return self._error(ERR_GENERIC, f"no route to realm: {exc}")
+                return self._refuse(ERR_GENERIC, f"no route to realm: {exc}",
+                                    TGS_SERVICE, "no-route",
+                                    client=str(tgt.client))
             target = Principal.tgs(self.realm, next_realm)
             if self.realm != tgt.client.realm:
                 transited = append_transited(transited, self.realm)
@@ -387,7 +447,9 @@ class Kdc:
             try:
                 seal_key = self.database.key_of(target)
             except DatabaseError as exc:
-                return self._error(ERR_UNKNOWN_PRINCIPAL, str(exc))
+                return self._refuse(ERR_UNKNOWN_PRINCIPAL, str(exc),
+                                    TGS_SERVICE, "unknown-principal",
+                                    client=str(tgt.client))
 
         ticket = Ticket(
             server=target,
@@ -413,7 +475,10 @@ class Kdc:
         if not options & OPT_ENC_TKT_IN_SKEY:
             return None, 0, None
         if not config.allow_enc_tkt_in_skey:
-            return None, 0, self._error(ERR_POLICY, "ENC-TKT-IN-SKEY disabled")
+            return None, 0, self._refuse(
+                ERR_POLICY, "ENC-TKT-IN-SKEY disabled",
+                TGS_SERVICE, "enc-tkt-disabled",
+            )
         try:
             additional = Ticket.unseal(
                 request["additional_ticket"],
@@ -421,15 +486,22 @@ class Kdc:
                 config,
             )
         except SealError as exc:
+            bus = self.bus
+            if bus.active:
+                bus.emit(DecryptFailure(
+                    service=TGS_SERVICE, what="additional-ticket",
+                    detail=str(exc),
+                ))
             return None, 0, self._error(
                 ERR_BAD_TICKET, f"additional ticket: {exc}"
             )
         if config.enc_tkt_cname_check and str(additional.client) != str(server):
             # The requirement Draft 3 inadvertently omitted: the enclosed
             # ticket's cname must match the server the new ticket is for.
-            return None, 0, self._error(
+            return None, 0, self._refuse(
                 ERR_POLICY,
                 f"ENC-TKT-IN-SKEY cname {additional.client} != server {server}",
+                TGS_SERVICE, "enc-tkt-cname",
             )
         return additional.session_key, 0, None
 
@@ -439,21 +511,26 @@ class Kdc:
         """Re-issue a TGT bound to a new address (V5 forwarding)."""
         config = self.config
         if not config.allow_forwarding:
-            return self._error(ERR_POLICY, "forwarding disabled by policy")
+            return self._refuse(ERR_POLICY, "forwarding disabled by policy",
+                                TGS_SERVICE, "forwarding-disabled",
+                                client=str(tgt.client))
         if not tgt.has_flag(FLAG_FORWARDABLE):
-            return self._error(ERR_POLICY, "TGT is not forwardable")
+            return self._refuse(ERR_POLICY, "TGT is not forwardable",
+                                TGS_SERVICE, "not-forwardable",
+                                client=str(tgt.client))
         forwarded = tgt.forwarded_copy(
             request["forward_address"] if config.bind_address else ""
         )
         sealed = forwarded.seal(tgt_key, config, self.rng)
         return self._kdc_reply(
             TGS_REP, tgt.client, forwarded, sealed,
-            tgt.session_key, request["nonce"],
+            tgt.session_key, request["nonce"], exchange="forward",
         )
 
     def _kdc_reply(
         self, schema, client: Principal, ticket: Ticket,
         sealed_ticket: bytes, reply_key: bytes, nonce: int,
+        exchange: str = "tgs",
     ) -> bytes:
         config = self.config
         enc_part = messages.seal(
@@ -477,6 +554,12 @@ class Kdc:
             "dh_public": b"",
             "handheld_r": b"",
         })
+        bus = self.bus
+        if bus.active:
+            bus.emit(TicketIssued(
+                realm=self.realm, client=str(client),
+                server=str(ticket.server), exchange=exchange,
+            ))
         return frame_ok(reply)
 
     def _within_rate(self, source: str) -> bool:
@@ -503,4 +586,16 @@ class Kdc:
         return not principal.is_tgs and not principal.instance
 
     def _error(self, code: int, text: str) -> bytes:
+        return frame_error(self.config, code, text)
+
+    def _refuse(
+        self, code: int, text: str, service: str, reason: str,
+        client: str = "",
+    ) -> bytes:
+        """An error reply that also shows up in the defender's event log."""
+        bus = self.bus
+        if bus.active:
+            bus.emit(PolicyReject(
+                service=service, reason=reason, client=client, detail=text,
+            ))
         return frame_error(self.config, code, text)

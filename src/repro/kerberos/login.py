@@ -21,8 +21,8 @@ Benchmark E8 measures exactly this difference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from dataclasses import dataclass
+from typing import List, Union
 
 from repro.crypto.rng import DeterministicRandom
 from repro.hardware.handheld import HandheldDevice
@@ -31,6 +31,7 @@ from repro.kerberos.client import HandheldSecret, KerberosClient, PasswordSecret
 from repro.kerberos.config import ProtocolConfig
 from repro.kerberos.principal import Principal
 from repro.kerberos.realm import RealmDirectory
+from repro.obs.events import LoginAttempt
 from repro.sim.host import Host, StorageKind
 
 __all__ = ["LoginOutcome", "LoginProgram", "TrojanedLoginProgram"]
@@ -76,7 +77,20 @@ class LoginProgram:
             self.host, user, self.config, self.directory, self.rng,
             cache_kind=self.cache_kind,
         )
-        credentials = client.kinit(secret, forwardable=forwardable)
+        bus = self.host.network.bus
+        try:
+            credentials = client.kinit(secret, forwardable=forwardable)
+        except Exception:
+            if bus.active:
+                bus.emit(LoginAttempt(
+                    user=user.name, realm=user.realm,
+                    host=self.host.name, ok=False,
+                ))
+            raise
+        if bus.active:
+            bus.emit(LoginAttempt(
+                user=user.name, realm=user.realm, host=self.host.name, ok=True,
+            ))
         return LoginOutcome(client, credentials)
 
     def _collect(self, typed_input):

@@ -21,14 +21,15 @@ happily accept stale authenticators (E4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.crypto.checksum import ChecksumType, compute
 from repro.kerberos.config import ProtocolConfig
 from repro.kerberos.tickets import Authenticator, Ticket
+from repro.obs.events import ClockSkewReject, Event, PolicyReject, ReplayCacheHit
 
-__all__ = ["ValidationError", "ReplayCache", "validate_authenticator"]
+__all__ = ["ValidationError", "ReplayCache", "validate_authenticator",
+           "validation_event"]
 
 
 class ValidationError(RuntimeError):
@@ -37,6 +38,25 @@ class ValidationError(RuntimeError):
     def __init__(self, reason: str, detail: str = ""):
         super().__init__(f"{reason}: {detail}" if detail else reason)
         self.reason = reason
+
+
+def validation_event(service: str, client: str, error: "ValidationError") -> Event:
+    """The defender-side event one :class:`ValidationError` maps to.
+
+    The verifiers (TGS and app servers) emit this on their bus so the
+    paper's detection claims become countable: replays hit the cache,
+    time trouble shows up as skew rejections, everything else is policy.
+    """
+    detail = str(error)
+    if error.reason == "replay":
+        return ReplayCacheHit(service=service, client=client, detail=detail)
+    if error.reason in ("authenticator-stale", "ticket-expired"):
+        return ClockSkewReject(
+            service=service, client=client, reason=error.reason, detail=detail
+        )
+    return PolicyReject(
+        service=service, reason=error.reason, client=client, detail=detail
+    )
 
 
 class ReplayCache:

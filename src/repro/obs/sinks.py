@@ -1,0 +1,76 @@
+"""Event sinks: in-memory collection and JSONL persistence.
+
+A sink is any callable taking one :class:`repro.obs.events.Event`.
+:class:`CollectorSink` keeps them in order for in-process analysis;
+:class:`JsonlSink` streams them to disk, one JSON object per line, so an
+audit run leaves a log other tools (or the next session) can replay
+with :func:`read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import Event, event_from_dict
+
+__all__ = ["CollectorSink", "JsonlSink", "read_jsonl"]
+
+
+class CollectorSink:
+    """Append every event to a list, optionally bounded."""
+
+    def __init__(self, max_events: Optional[int] = None):
+        self.events: List[Event] = []
+        self.max_events = max_events
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+        if self.max_events is not None and len(self.events) > self.max_events:
+            del self.events[: len(self.events) - self.max_events]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonlSink:
+    """Write each event as one JSON line to *path* (opened lazily).
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+        self.written = 0
+
+    def __call__(self, event: Event) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        json.dump(event.to_dict(), self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path, as_events: bool = True) -> List[Any]:
+    """Load a JSONL event log; typed events by default, dicts otherwise."""
+    out: List[Any] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record: Dict[str, Any] = json.loads(line)
+            out.append(event_from_dict(record) if as_events else record)
+    return out

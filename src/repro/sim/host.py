@@ -195,8 +195,7 @@ class Host:
         """Expose paged/NFS writes on the wire as a pseudo-message."""
         from repro.sim.network import Endpoint, WireMessage
 
-        adversary = self.network.adversary
-        adversary.observe(
+        self.network.witness(
             WireMessage(
                 seq=-1,
                 src_address=self.address,

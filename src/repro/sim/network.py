@@ -28,6 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.bus import EventBus
+from repro.obs.events import ExchangeComplete, WireCrossing
+
 __all__ = ["Endpoint", "WireMessage", "NetworkError", "Adversary", "Network"]
 
 Handler = Callable[["WireMessage"], bytes]
@@ -47,7 +50,16 @@ class Endpoint:
 
 @dataclass
 class WireMessage:
-    """One direction of one exchange, as seen on the wire."""
+    """One direction of one exchange, as seen on the wire.
+
+    ``dst`` is the *service endpoint of the exchange* for both
+    directions — the stable anchor wire-log consumers filter on
+    (``m.dst.service == "mail"`` matches the request and its reply).
+    The true delivery pair is ``src_address`` -> ``dst_address``: for a
+    response, ``src_address`` is the responding server and
+    ``dst_address`` the original requester.  (Older logs left
+    ``dst_address`` empty; fall back to ``dst.address`` then.)
+    """
 
     seq: int
     src_address: str
@@ -55,21 +67,33 @@ class WireMessage:
     direction: str  # "request" or "response"
     payload: bytes
     time: int  # true simulation time when it crossed the wire
+    dst_address: str = ""  # true delivery address (requester, for responses)
+
+    @property
+    def delivered_to(self) -> str:
+        return self.dst_address or self.dst.address
 
     def clone_with(self, payload: bytes) -> "WireMessage":
         return WireMessage(
             self.seq, self.src_address, self.dst, self.direction,
-            payload, self.time,
+            payload, self.time, self.dst_address,
         )
 
 
 @dataclass
 class Adversary:
-    """The network attacker: log, filters, and capability switches."""
+    """The network attacker: log, filters, and capability switches.
+
+    ``max_log`` bounds the wire log deque-style (oldest entries drop
+    first) so long workload runs don't accumulate unbounded history;
+    the default stays unbounded because replay attacks *want* to dig up
+    arbitrarily old traffic.
+    """
 
     can_modify: bool = True
     can_drop: bool = True
     can_inject: bool = True
+    max_log: Optional[int] = None
     log: List[WireMessage] = field(default_factory=list)
     _request_filters: List[Callable[[WireMessage], Optional[bytes]]] = field(
         default_factory=list
@@ -85,6 +109,8 @@ class Adversary:
 
     def observe(self, message: WireMessage) -> None:
         self.log.append(message)
+        if self.max_log is not None and len(self.log) > self.max_log:
+            del self.log[: len(self.log) - self.max_log]
 
     def recorded(
         self, service: Optional[str] = None, direction: Optional[str] = None
@@ -160,10 +186,13 @@ class Network:
     """
 
     def __init__(self, clock, adversary: Optional[Adversary] = None,
-                 transit_time: int = 250):
+                 transit_time: int = 250, bus: Optional[EventBus] = None):
         self._clock = clock
         self.adversary = adversary if adversary is not None else Adversary()
         self.transit_time = transit_time
+        # The defender-side event bus rides the same fabric the
+        # adversary taps; with no sinks subscribed it is a no-op.
+        self.bus = bus if bus is not None else EventBus(clock)
         self._endpoints: Dict[Tuple[str, str], Handler] = {}
         self._seq = 0
 
@@ -182,20 +211,35 @@ class Network:
 
     def rpc(self, src_address: str, dst: Endpoint, payload: bytes) -> bytes:
         """One request/response exchange through the adversary."""
-        request = self._make_message(src_address, dst, "request", payload)
-        self.adversary.observe(request)
+        request = self._make_message(
+            src_address, dst, "request", payload, dst.address
+        )
+        self.witness(request)
         request = self.adversary._apply(request)
 
         handler = self._endpoints.get((dst.address, dst.service))
         if handler is None:
             raise NetworkError(f"no endpoint at {dst}")
-        response_payload = handler(request)
+        self.bus.begin_exchange(request.seq)
+        try:
+            response_payload = handler(request)
+        finally:
+            self.bus.end_exchange()
 
         response = self._make_message(
-            dst.address, dst, "response", response_payload
+            dst.address, dst, "response", response_payload, src_address
         )
-        self.adversary.observe(response)
+        self.witness(response)
         response = self.adversary._apply(response)
+        bus = self.bus
+        if bus.active:
+            # End-to-end latency: client send (one transit before the
+            # request message's stamp) to client receive.
+            bus.emit(ExchangeComplete(
+                seq=request.seq, service=dst.service,
+                client_address=src_address,
+                duration=response.time - request.time + self.transit_time,
+            ))
         return response.payload
 
     def hijack_endpoint(
@@ -224,22 +268,44 @@ class Network:
         """
         if not self.adversary.can_inject:
             raise NetworkError("adversary is passive: cannot inject")
-        message = self._make_message(fake_src, dst, "request", payload)
-        self.adversary.log.append(message)
+        message = self._make_message(fake_src, dst, "request", payload,
+                                     dst.address)
+        self.witness(message)
         handler = self._endpoints.get((dst.address, dst.service))
         if handler is None:
             raise NetworkError(f"no endpoint at {dst}")
-        response = handler(message)
-        self.adversary.log.append(
-            self._make_message(dst.address, dst, "response", response)
+        self.bus.begin_exchange(message.seq)
+        try:
+            response = handler(message)
+        finally:
+            self.bus.end_exchange()
+        self.witness(
+            self._make_message(dst.address, dst, "response", response,
+                               fake_src)
         )
         return response
 
+    def witness(self, message: WireMessage) -> None:
+        """Record *message* on both taps: the adversary's log and the
+        defender's event bus.  Every message entering the log goes
+        through here, so the two views stay 1:1 by ``seq``."""
+        self.adversary.observe(message)
+        bus = self.bus
+        if bus.active:
+            bus.emit(WireCrossing(
+                time=message.time, seq=message.seq,
+                direction=message.direction, src=message.src_address,
+                dst_address=message.delivered_to,
+                service=message.dst.service, size=len(message.payload),
+            ))
+
     def _make_message(
-        self, src: str, dst: Endpoint, direction: str, payload: bytes
+        self, src: str, dst: Endpoint, direction: str, payload: bytes,
+        dst_address: str = "",
     ) -> WireMessage:
         self._seq += 1
         self._clock.advance(self.transit_time)
         return WireMessage(
-            self._seq, src, dst, direction, payload, self._clock.now()
+            self._seq, src, dst, direction, payload, self._clock.now(),
+            dst_address,
         )

@@ -30,6 +30,7 @@ from repro.attacks import (
 from repro.attacks.base import AttackResult
 from repro.hardware import HandheldDevice
 from repro.kerberos.config import ProtocolConfig
+from repro.obs import capture, detectability_digest
 from repro.sim.timesvc import UnauthenticatedTimeService
 from repro.testbed import Testbed
 
@@ -226,6 +227,19 @@ class MatrixResult:
     def outcome(self, scenario: str, column: str) -> bool:
         return self.cells[(scenario, column)].succeeded
 
+    def detectability(self, scenario: str, column: str) -> Optional[Dict[str, int]]:
+        """The anomaly digest one cell left behind (None if unmeasured)."""
+        return self.cells[(scenario, column)].detectability
+
+    def silent_wins(self) -> List[Tuple[str, str]]:
+        """(scenario, column) cells where the attack won without tripping
+        a single anomaly event — the paper's worst case: the defenders'
+        own logs show a perfectly ordinary protocol run."""
+        return sorted(
+            key for key, result in self.cells.items()
+            if result.succeeded and result.silent
+        )
+
     def hardened_clean(self, column: str = "hardened") -> bool:
         """True when no scenario succeeds against *column*."""
         return not any(
@@ -234,18 +248,44 @@ class MatrixResult:
             if col == column
         )
 
+    def _scenario_names(self) -> List[str]:
+        seen: List[str] = []
+        for scenario, _column in self.cells:
+            if scenario not in seen:
+                seen.append(scenario)
+        return seen
+
     def render(self) -> str:
         rows = []
-        for scenario in SCENARIOS:
-            row = [scenario.name]
+        measured = False
+        for scenario in self._scenario_names():
+            row = [scenario]
+            anomaly_counts = []
             for column in self.columns:
-                result = self.cells[(scenario.name, column)]
+                result = self.cells[(scenario, column)]
                 row.append("ATTACK WINS" if result.succeeded else "blocked")
+                digest = result.detectability
+                if digest is None:
+                    anomaly_counts.append("-")
+                else:
+                    measured = True
+                    count = str(sum(digest.values()))
+                    if result.succeeded and not digest:
+                        count += "*"
+                    anomaly_counts.append(count)
+            row.append("/".join(anomaly_counts))
             rows.append(row)
-        return render_matrix(
+        table = render_matrix(
             "attack x protocol outcome matrix",
-            "attack", list(self.columns), rows,
+            "attack", list(self.columns) + ["detect"], rows,
         )
+        if measured:
+            table += (
+                "\n\ndetect: anomaly events per column"
+                " (" + "/".join(self.columns) + ");"
+                " * = attack won without tripping any anomaly"
+            )
+        return table
 
 
 def run_attack_matrix(
@@ -257,17 +297,23 @@ def run_attack_matrix(
 
     Protocol-level refusals (a configuration that rejects the attack's
     precondition outright) count as the attack failing.
+
+    Every cell runs inside :func:`repro.obs.capture`, so each
+    :class:`AttackResult` comes back with a ``detectability`` digest:
+    what the defenders' own telemetry recorded while the attack ran.
     """
     columns = list(columns if columns is not None else DEFAULT_COLUMNS)
     chosen = list(scenarios if scenarios is not None else SCENARIOS)
     result = MatrixResult(columns=[label for label, _ in columns])
     for index, scenario in enumerate(chosen):
         for label, config in columns:
-            try:
-                outcome = scenario.run(config, seed + index)
-            except Exception as exc:
-                outcome = AttackResult(
-                    scenario.name, False, f"protocol refused outright: {exc}"
-                )
+            with capture() as cap:
+                try:
+                    outcome = scenario.run(config, seed + index)
+                except Exception as exc:
+                    outcome = AttackResult(
+                        scenario.name, False, f"protocol refused outright: {exc}"
+                    )
+            outcome.detectability = detectability_digest(cap.events)
             result.cells[(scenario.name, label)] = outcome
     return result

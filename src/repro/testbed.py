@@ -21,7 +21,7 @@ This is the package's main entry point for users::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type
+from typing import Dict, Optional, Type
 
 from repro.crypto.rng import DeterministicRandom
 from repro.kerberos.appserver import (
@@ -33,6 +33,7 @@ from repro.kerberos.kdc import Kdc
 from repro.kerberos.login import LoginOutcome, LoginProgram
 from repro.kerberos.principal import Principal
 from repro.kerberos.realm import RealmDirectory, TrustPolicy
+from repro.obs.audit import AuditTrail
 from repro.sim.clock import SimClock
 from repro.sim.host import Host, StorageKind
 from repro.sim.network import Adversary, Endpoint, Network
@@ -90,12 +91,14 @@ class Testbed:
         config: Optional[ProtocolConfig] = None,
         seed: int = 0,
         realm: str = DEFAULT_REALM,
+        max_wire_log: Optional[int] = None,
     ):
         self.config = config if config is not None else ProtocolConfig.v4()
         self.rng = DeterministicRandom(seed)
         self.clock = SimClock(start=1_000_000_000)  # an arbitrary epoch
-        self.adversary = Adversary()
+        self.adversary = Adversary(max_log=max_wire_log)
         self.network = Network(self.clock, self.adversary)
+        self.bus = self.network.bus
         self.directory = RealmDirectory()
         self._host_counter = 0
         self.realms: Dict[str, Realm] = {}
@@ -202,6 +205,15 @@ class Testbed:
 
     def endpoint(self, server: AppServer) -> Endpoint:
         return Endpoint(server.host.address, server.principal.name)
+
+    def attach_audit(self) -> AuditTrail:
+        """Start recording defender-side telemetry for this deployment.
+
+        Returns the :class:`repro.obs.audit.AuditTrail` (events, metrics,
+        spans, wire-log correlation).  Until this is called the event
+        bus has no sinks and instrumentation is a no-op.
+        """
+        return AuditTrail(self.bus)
 
     def advance_minutes(self, minutes: float) -> None:
         self.clock.advance_minutes(minutes)

@@ -1,0 +1,146 @@
+"""Direct unit tests for the human-oriented renderers.
+
+``repro.kerberos.tools`` and ``repro.kerberos.trace`` are exercised
+indirectly by the examples and benchmarks; these tests pin their exact
+output contracts so a formatting regression fails here, not in a
+downstream doc regeneration.
+"""
+
+from repro import ProtocolConfig, Testbed
+from repro.kerberos.tools import security_report, wire_summary
+from repro.kerberos.trace import NOTATION_TABLE, ProtocolTrace, TraceStep
+from repro.sim.network import Endpoint, WireMessage
+
+
+# --------------------------------------------------------------------- #
+# wire_summary
+# --------------------------------------------------------------------- #
+
+
+def _message(seq, src, dst_addr, service, direction, payload, delivered=""):
+    return WireMessage(seq, src, Endpoint(dst_addr, service), direction,
+                       payload, time=0, dst_address=delivered)
+
+
+def test_wire_summary_line_format():
+    line = wire_summary([_message(
+        1, "10.0.0.2", "10.0.0.1", "kerberos", "request", b"x" * 54,
+    )])
+    assert line == (
+        "request  10.0.0.2     -> 10.0.0.1:kerberos         54B"
+    )
+
+
+def test_wire_summary_anchors_responses_to_the_service_endpoint():
+    # The response's dst stays the *service* endpoint (the filterable
+    # anchor); the true delivery address rides in dst_address.
+    response = _message(2, "10.0.0.1", "10.0.0.1", "kerberos", "response",
+                        b"y" * 181, delivered="10.0.0.2")
+    text = wire_summary([response])
+    assert "10.0.0.1:kerberos" in text
+    assert response.delivered_to == "10.0.0.2"
+
+
+def test_wire_summary_limit_elides_older_messages():
+    messages = [
+        _message(i, f"10.0.0.{i}", "10.0.0.1", "mail", "request", b"p")
+        for i in range(1, 6)
+    ]
+    text = wire_summary(messages, limit=2)
+    lines = text.splitlines()
+    assert lines[0] == "... (3 earlier messages)"
+    assert len(lines) == 3
+    assert "10.0.0.4" in lines[1] and "10.0.0.5" in lines[2]
+
+
+def test_wire_summary_no_elision_when_under_limit():
+    messages = [_message(1, "a", "b", "mail", "request", b"p")]
+    assert "earlier" not in wire_summary(messages, limit=5)
+
+
+# --------------------------------------------------------------------- #
+# security_report
+# --------------------------------------------------------------------- #
+
+
+class _StubServer:
+    principal = "mail.mailhost@ATHENA"
+
+    def __init__(self, accepted, reasons):
+        self.accepted = accepted
+        self.rejection_reasons = reasons
+        self.rejected = len(reasons)
+
+
+def test_security_report_clean_server():
+    text = security_report(_StubServer(3, []))
+    assert "accepted 3" in text and "rejected 0" in text
+    assert "no rejections recorded" in text
+
+
+def test_security_report_histogram_orders_by_frequency():
+    text = security_report(_StubServer(
+        1, ["replay", "bad-ticket", "replay", "replay", "bad-ticket"]
+    ))
+    lines = text.splitlines()
+    assert "rejected 5" in lines[0]
+    assert lines[1].split() == ["replay", "x3"]
+    assert lines[2].split() == ["bad-ticket", "x2"]
+
+
+def test_security_report_on_a_live_server():
+    bed = Testbed(ProtocolConfig.v4(), seed=6)
+    bed.add_user("pat", "pw")
+    echo = bed.add_echo_server("echohost")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws)
+    cred = outcome.client.get_service_ticket(echo.principal)
+    outcome.client.ap_exchange(cred, bed.endpoint(echo))
+    bed.network.inject("10.9.9.9", bed.endpoint(echo), b"garbage")
+    text = security_report(echo)
+    assert "bad-request" in text and "x1" in text
+
+
+# --------------------------------------------------------------------- #
+# ProtocolTrace
+# --------------------------------------------------------------------- #
+
+
+def test_trace_step_render_with_and_without_note():
+    bare = TraceStep("c", "s", "{Tc,s}Ks")
+    assert bare.render() == "c -> s:            {Tc,s}Ks"
+    noted = TraceStep("c", "s", "{Tc,s}Ks", note="the ticket")
+    assert noted.render().endswith("(the ticket)")
+
+
+def test_v4_full_flow_structure():
+    trace = ProtocolTrace.v4_full_flow()
+    hops = [(s.sender, s.receiver) for s in trace.steps]
+    assert hops == [
+        ("c", "kerberos"), ("kerberos", "c"),
+        ("c", "tgs"), ("tgs", "c"),
+        ("c", "s"), ("s", "c"),
+    ]
+    # The paper's notation appears verbatim in the right messages.
+    assert trace.steps[1].message == "{Kc,tgs, {Tc,tgs}Ktgs}Kc"
+    assert trace.steps[4].message == "{Tc,s}Ks, {Ac}Kc,s"
+    assert trace.steps[5].message == "{timestamp + 1}Kc,s"
+    rendered = trace.render()
+    assert rendered.splitlines()[0] == "Kerberos V4 message flow (paper notation)"
+    assert rendered.splitlines()[1].startswith("---")
+
+
+def test_notation_table_covers_every_symbol():
+    rendered = ProtocolTrace.notation_table()
+    assert rendered.splitlines()[0] == "Table 1: Notation"
+    for symbol, meaning in NOTATION_TABLE:
+        assert symbol in rendered
+        assert meaning in rendered
+
+
+def test_trace_accumulates_custom_steps():
+    trace = ProtocolTrace(title="t")
+    trace.add("a", "b", "m1")
+    trace.add("b", "a", "m2", note="reply")
+    assert len(trace.steps) == 2
+    assert "(reply)" in trace.render()
