@@ -7,10 +7,14 @@ Commands:
 * ``experiments`` — list the reproduced experiments and their benchmarks;
 * ``demo``        — the quickstart flow with a wire trace;
 * ``audit``       — re-run one scenario with defender telemetry attached
-  and print the event log, metrics, and detectability verdict.
+  and print the event log, metrics, and detectability verdict;
+* ``perf``        — micro-benchmark the crypto fast path, the modes, a
+  full exchange, and the (serial vs parallel) matrix, writing
+  ``BENCH_crypto.json``.
 
 Everything is deterministic; no network, no state left behind (except
-the JSONL file ``audit --jsonl`` is asked to write).
+the JSONL file ``audit --jsonl`` writes and the benchmark report
+``perf`` writes).
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ _EXPERIMENTS = [
     ("E24", "passive adversary's haul", "test_e24_adversary_haul.py"),
     ("E25", "rogue transit realm", "test_e25_rogue_realm.py"),
     ("E26", "hardened-profile ablation", "test_e26_ablation.py"),
+    ("E27", "crypto fast path + parallel matrix", "test_e27_crypto_perf.py"),
 ]
 
 
@@ -98,6 +103,17 @@ def _cmd_demo(_args) -> int:
     print("wire trace:")
     print(wire_summary(bed.adversary.log))
     return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.perf import render_report, run_perf
+
+    print("benchmarking the crypto fast path"
+          + (" (quick)" if args.quick else "") + "...\n")
+    report = run_perf(quick=args.quick, parallel=args.parallel,
+                      out_path=args.out)
+    print(render_report(report))
+    return 0 if report["matrix"]["identical_render"] else 1
 
 
 def _resolve_scenario(name: str):
@@ -204,6 +220,21 @@ def main(argv=None) -> int:
         "--jsonl", metavar="PATH",
         help="also write every event to PATH as JSON lines",
     )
+    perf = sub.add_parser(
+        "perf", help="micro-benchmark the crypto fast path and the matrix"
+    )
+    perf.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizes: a few seconds instead of ~a minute",
+    )
+    perf.add_argument(
+        "--parallel", type=int, default=4,
+        help="worker count for the parallel matrix timing (default: 4)",
+    )
+    perf.add_argument(
+        "--out", default="BENCH_crypto.json", metavar="PATH",
+        help="benchmark report path (default: BENCH_crypto.json)",
+    )
     args = parser.parse_args(argv)
     handler = {
         "matrix": _cmd_matrix,
@@ -211,6 +242,7 @@ def main(argv=None) -> int:
         "experiments": _cmd_experiments,
         "demo": _cmd_demo,
         "audit": _cmd_audit,
+        "perf": _cmd_perf,
     }[args.command]
     return handler(args)
 

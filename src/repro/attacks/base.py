@@ -24,6 +24,12 @@ class AttackResult:
     ``None`` means nobody was listening; ``{}`` means the defenders were
     listening and saw nothing anomalous — for a successful attack, the
     paper's worst case.
+
+    ``block_ops`` is the number of DES block operations the whole cell
+    executed (attacker, KDC, and servers together), measured from
+    :data:`repro.crypto.des.BLOCK_OPS` by ``run_attack_matrix`` — in a
+    parallel run, captured inside the worker process and merged back.
+    ``None`` means the run was not metered.
     """
 
     name: str
@@ -31,6 +37,7 @@ class AttackResult:
     detail: str = ""
     evidence: Dict[str, Any] = field(default_factory=dict)
     detectability: Optional[Dict[str, int]] = None
+    block_ops: Optional[int] = None
 
     @property
     def silent(self) -> Optional[bool]:

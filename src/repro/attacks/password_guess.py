@@ -46,6 +46,7 @@ from repro.testbed import Testbed
 
 __all__ = [
     "GuessingResult",
+    "clear_guess_memo",
     "try_password_against_reply",
     "offline_dictionary_attack",
     "harvest_tickets",
@@ -99,6 +100,20 @@ def _extract_as_material(
 # only the leading blocks (the internal length field is implausible for
 # all but ~1 in 2^32 wrong keys).
 _cached_string_to_key = lru_cache(maxsize=None)(string_to_key)
+
+
+def clear_guess_memo() -> None:
+    """Forget the memoised password->key transforms.
+
+    The memo is a real cracker optimisation, but it is process-global:
+    left alone, a matrix cell that guesses the same dictionary as an
+    earlier cell would execute fewer DES block operations depending on
+    what happened to run before it in the same process.
+    ``run_attack_matrix`` clears it at the top of every cell so each
+    cell's cost is a property of the cell, identical whether cells run
+    serially or fan out over worker processes.
+    """
+    _cached_string_to_key.cache_clear()
 
 
 def _head_plausible(config: ProtocolConfig, enc_part: bytes, key: bytes) -> bool:

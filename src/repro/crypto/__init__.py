@@ -9,7 +9,14 @@ randomness for reproducible simulation.
 
 from repro.crypto.checksum import ChecksumType, compute as compute_checksum, verify as verify_checksum
 from repro.crypto.crc import crc32, forge_field
-from repro.crypto.des import BLOCK_SIZE, DesCipher, decrypt_block, encrypt_block
+from repro.crypto.des import (
+    BLOCK_SIZE,
+    DesCipher,
+    KeySchedule,
+    decrypt_block,
+    encrypt_block,
+    get_schedule,
+)
 from repro.crypto.dh import DhGroup, DhKeyPair, discrete_log
 from repro.crypto.keys import KeyTag, TaggedKey, string_to_key
 from repro.crypto.md4 import md4
@@ -20,6 +27,8 @@ __all__ = [
     "ChecksumType",
     "DesCipher",
     "DeterministicRandom",
+    "KeySchedule",
+    "get_schedule",
     "DhGroup",
     "DhKeyPair",
     "KeyTag",

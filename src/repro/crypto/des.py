@@ -8,12 +8,31 @@ so that the *modes* (CBC, PCBC) and the protocol layers above them behave
 with the exact algebra the paper's attacks exploit — prefix properties of
 CBC, the propagation behaviour of PCBC, and so on.
 
-The implementation follows FIPS 46-3 directly: initial/final permutations,
-16 Feistel rounds with the E expansion, the eight S-boxes, the P
-permutation, and the PC-1/PC-2 key schedule.  For speed, the S-boxes and P
-permutation are fused at import time into eight 64-entry "SP" tables, a
-standard software-DES optimisation that does not change the function
-computed.
+The implementation follows FIPS 46-3: initial/final permutations, 16
+Feistel rounds with the E expansion, the eight S-boxes, the P
+permutation, and the PC-1/PC-2 key schedule.  Two standard software-DES
+optimisations are fused at import time, neither of which changes the
+function computed:
+
+* the S-boxes and P permutation are combined into eight 64-entry "SP"
+  tables, then paired into four 4096-entry tables, so each round's
+  substitution+permutation is four lookups;
+* the initial and final permutations are compiled into 8×256
+  byte-indexed tables (:func:`_build_byte_tables`), and the E expansion
+  disappears entirely — E maps each S-box input to six *contiguous* bits
+  of a 34-bit wraparound of R, so the round function is pure shifts,
+  masks, XORs, and SP-table hits.
+
+The per-bit path the tables replace is retained verbatim in
+:mod:`repro.crypto.des_reference`; property tests cross-check the two on
+the FIPS/Rivest vectors and on random keys and blocks.
+
+Key schedules are memoised in a bounded module-level cache
+(:func:`get_schedule`): the protocol layers encrypt and decrypt under
+the same handful of keys thousands of times per scenario (a ticket is
+sealed by the KDC, unsealed by the server, its session key reused for
+every KRB_PRIV message), and deriving the 16 subkeys costs more than
+encrypting a block.
 
 Verified against the FIPS / Rivest test vectors in
 ``tests/test_crypto_des.py``.
@@ -21,17 +40,23 @@ Verified against the FIPS / Rivest test vectors in
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
 
-from repro.crypto.bits import bytes_to_int, int_to_bytes, permute, rotate_left
+from repro.crypto.bits import bytes_to_int, permute, rotate_left
 
 __all__ = [
     "BLOCK_SIZE",
     "KEY_SIZE",
+    "SCHEDULE_CACHE_SIZE",
     "WEAK_KEYS",
     "SEMIWEAK_KEYS",
     "DesError",
+    "KeySchedule",
     "derive_subkeys",
+    "get_schedule",
+    "schedule_cache_info",
+    "clear_schedule_cache",
     "encrypt_block",
     "decrypt_block",
     "set_odd_parity",
@@ -190,6 +215,9 @@ SEMIWEAK_KEYS = frozenset(
 )
 
 
+# --- precompiled fast-path tables ------------------------------------------
+
+
 def _build_sp_tables() -> Tuple[Tuple[int, ...], ...]:
     """Fuse each S-box with the P permutation.
 
@@ -214,6 +242,53 @@ def _build_sp_tables() -> Tuple[Tuple[int, ...], ...]:
 _SP = _build_sp_tables()
 
 
+def _build_byte_tables(table: Sequence[int]) -> Tuple[Tuple[int, ...], ...]:
+    """Compile a 64->64 bit permutation into 8×256 byte-indexed tables.
+
+    ``T[i][b]`` is the permuted output contribution of input byte *i*
+    holding value *b*; each output bit has exactly one source bit, so the
+    full permutation is the OR of the eight per-byte contributions.
+    """
+    width = len(table)
+    tables: List[Tuple[int, ...]] = []
+    for byte_index in range(8):
+        entries = []
+        for value in range(256):
+            acc = 0
+            for out_pos, src in enumerate(table):
+                src_byte, src_bit = divmod(src - 1, 8)
+                if src_byte == byte_index and (value >> (7 - src_bit)) & 1:
+                    acc |= 1 << (width - 1 - out_pos)
+            entries.append(acc)
+        tables.append(tuple(entries))
+    return tuple(tables)
+
+
+_IP_TAB = _build_byte_tables(_IP)
+_FP_TAB = _build_byte_tables(_FP)
+
+#: The SP tables paired up: ``_SPP[i][(a << 6) | b]`` is
+#: ``_SP[2i][a] ^ _SP[2i+1][b]``, so a round needs four lookups instead
+#: of eight.  16K entries, built once at import.
+_SPP = tuple(
+    tuple(_SP[2 * i][v >> 6] ^ _SP[2 * i + 1][v & 0x3F] for v in range(4096))
+    for i in range(4)
+)
+
+#: E-expansion eliminator.  E feeds S-box *i* the six contiguous bits
+#: 4i-1 .. 4i+4 of R (wrapping), so over the 34-bit wraparound word
+#: ``w = R32 · R1..R32 · R1`` an S-box *pair* reads ten contiguous bits.
+#: ``_ECAT`` spreads those ten bits into the 12-bit pair index (the two
+#: middle bits are shared between the boxes — that is the whole content
+#: of E): the round function becomes shifts, masks, XORs and table hits,
+#: with no expansion step at all.
+_ECAT = tuple(((v >> 4) << 6) | (v & 0x3F) for v in range(1024))
+
+#: Per-byte popcount-parity (1 = odd number of set bits).  Python 3.9 has
+#: no ``int.bit_count``; one 256-entry table serves both parity helpers.
+_PARITY = tuple(bin(value).count("1") & 1 for value in range(256))
+
+
 def derive_subkeys(key: bytes) -> Tuple[int, ...]:
     """Run the FIPS 46 key schedule, returning 16 48-bit round keys.
 
@@ -233,12 +308,13 @@ def derive_subkeys(key: bytes) -> Tuple[int, ...]:
     return tuple(subkeys)
 
 
-def _feistel(right: int, subkey: int) -> int:
-    expanded = permute(right, 32, _E) ^ subkey
-    out = 0
-    for i in range(8):
-        out ^= _SP[i][(expanded >> (6 * (7 - i))) & 0x3F]
-    return out
+def _split_rounds(subkeys: Sequence[int]) -> Tuple[Tuple[int, ...], ...]:
+    """Pre-split each 48-bit round key into four 12-bit S-box-pair chunks,
+    matching the paired ``_SPP`` tables."""
+    return tuple(
+        tuple((subkey >> (36 - 12 * i)) & 0xFFF for i in range(4))
+        for subkey in subkeys
+    )
 
 
 class _OpCounter:
@@ -256,62 +332,172 @@ class _OpCounter:
 BLOCK_OPS = _OpCounter()
 
 
-def _crypt_block(block: bytes, subkeys: Sequence[int]) -> bytes:
+def _crypt_block(block: bytes, rounds: Sequence[Sequence[int]]) -> bytes:
+    """One block operation over pre-split round keys, all table-driven.
+
+    The Feistel round works on the 34-bit wraparound word ``w`` (R bit
+    32, bits 1..32, bit 1 again, FIPS numbering): each ``_ECAT`` slice
+    is one S-box pair's E-expanded input, XORed against 12 pre-split key
+    bits and resolved through one paired ``_SPP`` hit.  Four lookups per
+    round, no per-bit permutation anywhere on the path.
+    """
     if len(block) != BLOCK_SIZE:
         raise DesError(f"DES block must be {BLOCK_SIZE} bytes, got {len(block)}")
     BLOCK_OPS.count += 1
-    value = permute(bytes_to_int(block), 64, _IP)
+    ip = _IP_TAB
+    value = (
+        ip[0][block[0]] | ip[1][block[1]] | ip[2][block[2]] | ip[3][block[3]]
+        | ip[4][block[4]] | ip[5][block[5]] | ip[6][block[6]] | ip[7][block[7]]
+    )
     left = value >> 32
     right = value & 0xFFFFFFFF
-    for subkey in subkeys:
-        left, right = right, left ^ _feistel(right, subkey)
+    cat = _ECAT
+    sp0, sp1, sp2, sp3 = _SPP
+    for k0, k1, k2, k3 in rounds:
+        w = ((right & 1) << 33) | (right << 1) | (right >> 31)
+        left, right = right, left ^ (
+            sp0[cat[(w >> 24) & 0x3FF] ^ k0]
+            ^ sp1[cat[(w >> 16) & 0x3FF] ^ k1]
+            ^ sp2[cat[(w >> 8) & 0x3FF] ^ k2]
+            ^ sp3[cat[w & 0x3FF] ^ k3]
+        )
     # Final swap is folded into the order of (right, left) here.
-    return int_to_bytes(permute((right << 32) | left, 64, _FP), 8)
+    pre = (right << 32) | left
+    fp = _FP_TAB
+    out = (
+        fp[0][pre >> 56] | fp[1][(pre >> 48) & 0xFF]
+        | fp[2][(pre >> 40) & 0xFF] | fp[3][(pre >> 32) & 0xFF]
+        | fp[4][(pre >> 24) & 0xFF] | fp[5][(pre >> 16) & 0xFF]
+        | fp[6][(pre >> 8) & 0xFF] | fp[7][pre & 0xFF]
+    )
+    return out.to_bytes(8, "big")
+
+
+# --- the key-schedule cache ------------------------------------------------
+
+
+class KeySchedule:
+    """One key's derived schedule, in both directions and both layouts.
+
+    ``subkeys`` is exactly :func:`derive_subkeys`'s output (16 48-bit
+    ints, encryption order); the pre-split forms are what the fast block
+    path consumes.  Instances are immutable in practice and shared freely
+    through the module cache.
+    """
+
+    __slots__ = ("key", "subkeys", "_enc_rounds", "_dec_rounds")
+
+    def __init__(self, key: bytes):
+        self.key = bytes(key)
+        self.subkeys = derive_subkeys(self.key)
+        self._enc_rounds = _split_rounds(self.subkeys)
+        self._dec_rounds = tuple(reversed(self._enc_rounds))
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        return _crypt_block(block, self._enc_rounds)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        return _crypt_block(block, self._dec_rounds)
+
+
+#: Bound on distinct keys memoised at once.  A whole matrix run touches a
+#: few hundred keys (per-principal long-term keys plus per-scenario
+#: session keys); evicting least-recently-used beyond this keeps the
+#: cache a property of the working set, not of process lifetime.
+SCHEDULE_CACHE_SIZE = 1024
+
+_schedule_cache: "OrderedDict[bytes, KeySchedule]" = OrderedDict()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def get_schedule(key: bytes) -> KeySchedule:
+    """Return the (cached) :class:`KeySchedule` for *key*.
+
+    Every block-level entry point — :func:`encrypt_block`,
+    :func:`decrypt_block`, :class:`DesCipher`, and all of
+    :mod:`repro.crypto.modes` — routes through here, so a ticket that is
+    encrypted by the KDC, decrypted by the server, and re-checked by the
+    client derives its 16 subkeys exactly once.
+    """
+    global _cache_hits, _cache_misses
+    key = bytes(key)
+    schedule = _schedule_cache.get(key)
+    if schedule is not None:
+        _cache_hits += 1
+        _schedule_cache.move_to_end(key)
+        return schedule
+    schedule = KeySchedule(key)  # raises DesError before touching the cache
+    _cache_misses += 1
+    _schedule_cache[key] = schedule
+    if len(_schedule_cache) > SCHEDULE_CACHE_SIZE:
+        _schedule_cache.popitem(last=False)
+    return schedule
+
+
+def schedule_cache_info() -> Dict[str, int]:
+    """Hits, misses, and current size — for tests and ``repro perf``."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "size": len(_schedule_cache),
+        "maxsize": SCHEDULE_CACHE_SIZE,
+    }
+
+
+def clear_schedule_cache() -> None:
+    """Drop all memoised schedules and zero the hit/miss counters."""
+    global _cache_hits, _cache_misses
+    _schedule_cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
 
 
 def encrypt_block(key: bytes, block: bytes) -> bytes:
     """Encrypt one 8-byte block under *key* (8 bytes, parity ignored)."""
-    return _crypt_block(block, derive_subkeys(key))
+    return _crypt_block(block, get_schedule(key)._enc_rounds)
 
 
 def decrypt_block(key: bytes, block: bytes) -> bytes:
     """Decrypt one 8-byte block under *key*."""
-    return _crypt_block(block, tuple(reversed(derive_subkeys(key))))
+    return _crypt_block(block, get_schedule(key)._dec_rounds)
 
 
 class DesCipher:
-    """A DES instance with a cached key schedule.
+    """A DES instance bound to one key's (cached) schedule.
 
-    The protocol layers encrypt many blocks under one key (tickets,
-    KRB_PRIV payloads, checksums); caching the schedule makes the
-    simulation fast enough for the benchmark sweeps.
+    Kept as the stable object-style API; since the schedule cache it is
+    a thin view — constructing one is a dictionary hit, not sixteen
+    PC-2 permutations.
     """
 
+    __slots__ = ("key", "_schedule")
+
     def __init__(self, key: bytes):
-        self.key = bytes(key)
-        self._enc = derive_subkeys(key)
-        self._dec = tuple(reversed(self._enc))
+        self._schedule = get_schedule(key)
+        self.key = self._schedule.key
 
     def encrypt_block(self, block: bytes) -> bytes:
-        return _crypt_block(block, self._enc)
+        return _crypt_block(block, self._schedule._enc_rounds)
 
     def decrypt_block(self, block: bytes) -> bytes:
-        return _crypt_block(block, self._dec)
+        return _crypt_block(block, self._schedule._dec_rounds)
 
 
 def set_odd_parity(key: bytes) -> bytes:
     """Return *key* with each byte's low bit fixed to give odd parity."""
+    parity = _PARITY
     out = bytearray(key)
     for i, byte in enumerate(out):
         high = byte & 0xFE
-        parity = bin(high).count("1") & 1
-        out[i] = high | (parity ^ 1)
+        out[i] = high | (parity[high] ^ 1)
     return bytes(out)
 
 
 def has_odd_parity(key: bytes) -> bool:
     """True if every byte of *key* has an odd number of set bits."""
-    return all(bin(b).count("1") & 1 for b in key)
+    parity = _PARITY
+    return all(parity[b] for b in key)
 
 
 def is_weak_key(key: bytes) -> bool:
@@ -321,3 +507,4 @@ def is_weak_key(key: bytes) -> bool:
 
 
 __all__.append("DesCipher")
+__all__.append("BLOCK_OPS")

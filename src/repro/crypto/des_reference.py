@@ -1,0 +1,74 @@
+"""The straight-from-the-standard DES block path, kept for cross-checking.
+
+This module preserves the original per-bit implementation of the DES
+block function: the initial and final permutations and the E expansion
+all go through the generic :func:`repro.crypto.bits.permute`, exactly as
+FIPS 46 writes them down.  :mod:`repro.crypto.des` replaced that path
+with byte-indexed lookup tables fused at import time; the two must
+compute the identical function, and the property tests in
+``tests/test_crypto_fastpath.py`` (plus the E27 benchmark) hold them to
+it on the published vectors and on random keys and blocks.
+
+The reference path deliberately does **not** touch
+:data:`repro.crypto.des.BLOCK_OPS` — it exists only for verification and
+for the ``python -m repro perf`` speedup baseline, never for protocol
+traffic, so it must not perturb the cost accounting of E18.
+
+The FIPS tables themselves (IP, FP, E, the S-boxes, PC-1/PC-2) live in
+:mod:`repro.crypto.des` and are imported here; they are data, not an
+implementation strategy, and keeping one copy means a transcription
+error cannot hide in only one of the two paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.crypto.bits import bytes_to_int, int_to_bytes, permute
+from repro.crypto.des import (
+    BLOCK_SIZE,
+    DesError,
+    _E,
+    _FP,
+    _IP,
+    _SP,
+    derive_subkeys,
+)
+
+__all__ = [
+    "crypt_block",
+    "encrypt_block",
+    "decrypt_block",
+]
+
+
+def _feistel(right: int, subkey: int) -> int:
+    """The round function, with E as a literal 48-entry permutation."""
+    expanded = permute(right, 32, _E) ^ subkey
+    out = 0
+    for i in range(8):
+        out ^= _SP[i][(expanded >> (6 * (7 - i))) & 0x3F]
+    return out
+
+
+def crypt_block(block: bytes, subkeys: Sequence[int]) -> bytes:
+    """One DES block operation with per-bit IP/E/FP permutations."""
+    if len(block) != BLOCK_SIZE:
+        raise DesError(f"DES block must be {BLOCK_SIZE} bytes, got {len(block)}")
+    value = permute(bytes_to_int(block), 64, _IP)
+    left = value >> 32
+    right = value & 0xFFFFFFFF
+    for subkey in subkeys:
+        left, right = right, left ^ _feistel(right, subkey)
+    # Final swap is folded into the order of (right, left) here.
+    return int_to_bytes(permute((right << 32) | left, 64, _FP), 8)
+
+
+def encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one block via the reference path (no schedule cache)."""
+    return crypt_block(block, derive_subkeys(key))
+
+
+def decrypt_block(key: bytes, block: bytes) -> bytes:
+    """Decrypt one block via the reference path (no schedule cache)."""
+    return crypt_block(block, tuple(reversed(derive_subkeys(key))))

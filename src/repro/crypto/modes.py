@@ -18,7 +18,11 @@ The modes here are the protagonists of two of the paper's attacks:
 
 All functions take and return raw ``bytes``; inputs must already be padded
 to a multiple of the 8-byte block size (see :func:`pad_zero` /
-:func:`pad_random`).  Confounders — the random leading block Version 5
+:func:`pad_random`).  Every mode routes through the module-level key
+schedule cache (:func:`repro.crypto.des.get_schedule`) and assembles its
+output into one preallocated ``bytearray``, so repeated calls under the
+same key — the common case three protocol layers deep — cost only block
+operations.  Confounders — the random leading block Version 5
 prepends so that identical plaintexts encrypt differently — are provided
 as explicit helpers because the paper argues they belong in the encryption
 layer, not the protocol layer.
@@ -27,7 +31,7 @@ layer, not the protocol layer.
 from __future__ import annotations
 
 from repro.crypto.bits import xor_bytes
-from repro.crypto.des import BLOCK_SIZE, DesCipher, DesError
+from repro.crypto.des import BLOCK_SIZE, DesError, get_schedule
 
 __all__ = [
     "ZERO_IV",
@@ -81,47 +85,44 @@ def pad_random(data: bytes, rng) -> bytes:
 def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
     """Electronic-codebook encryption (used only for single blocks)."""
     _check_blocks(plaintext, "plaintext")
-    cipher = DesCipher(key)
-    return b"".join(
-        cipher.encrypt_block(plaintext[i:i + BLOCK_SIZE])
-        for i in range(0, len(plaintext), BLOCK_SIZE)
-    )
+    encrypt = get_schedule(key).encrypt_block
+    out = bytearray(len(plaintext))
+    for i in range(0, len(plaintext), BLOCK_SIZE):
+        out[i:i + BLOCK_SIZE] = encrypt(plaintext[i:i + BLOCK_SIZE])
+    return bytes(out)
 
 
 def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
     _check_blocks(ciphertext, "ciphertext")
-    cipher = DesCipher(key)
-    return b"".join(
-        cipher.decrypt_block(ciphertext[i:i + BLOCK_SIZE])
-        for i in range(0, len(ciphertext), BLOCK_SIZE)
-    )
+    decrypt = get_schedule(key).decrypt_block
+    out = bytearray(len(ciphertext))
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        out[i:i + BLOCK_SIZE] = decrypt(ciphertext[i:i + BLOCK_SIZE])
+    return bytes(out)
 
 
 def cbc_encrypt(key: bytes, plaintext: bytes, iv: bytes = ZERO_IV) -> bytes:
     """Standard cipher-block chaining: ``C_i = E(P_i xor C_{i-1})``."""
     _check_blocks(plaintext, "plaintext")
     _check_iv(iv)
-    cipher = DesCipher(key)
+    encrypt = get_schedule(key).encrypt_block
     previous = iv
-    out = bytearray()
+    out = bytearray(len(plaintext))
     for i in range(0, len(plaintext), BLOCK_SIZE):
-        block = cipher.encrypt_block(
-            xor_bytes(plaintext[i:i + BLOCK_SIZE], previous)
-        )
-        out += block
-        previous = block
+        previous = encrypt(xor_bytes(plaintext[i:i + BLOCK_SIZE], previous))
+        out[i:i + BLOCK_SIZE] = previous
     return bytes(out)
 
 
 def cbc_decrypt(key: bytes, ciphertext: bytes, iv: bytes = ZERO_IV) -> bytes:
     _check_blocks(ciphertext, "ciphertext")
     _check_iv(iv)
-    cipher = DesCipher(key)
+    decrypt = get_schedule(key).decrypt_block
     previous = iv
-    out = bytearray()
+    out = bytearray(len(ciphertext))
     for i in range(0, len(ciphertext), BLOCK_SIZE):
         block = ciphertext[i:i + BLOCK_SIZE]
-        out += xor_bytes(cipher.decrypt_block(block), previous)
+        out[i:i + BLOCK_SIZE] = xor_bytes(decrypt(block), previous)
         previous = block
     return bytes(out)
 
@@ -135,13 +136,13 @@ def pcbc_encrypt(key: bytes, plaintext: bytes, iv: bytes = ZERO_IV) -> bytes:
     """
     _check_blocks(plaintext, "plaintext")
     _check_iv(iv)
-    cipher = DesCipher(key)
+    encrypt = get_schedule(key).encrypt_block
     chain = iv
-    out = bytearray()
+    out = bytearray(len(plaintext))
     for i in range(0, len(plaintext), BLOCK_SIZE):
         block = plaintext[i:i + BLOCK_SIZE]
-        encrypted = cipher.encrypt_block(xor_bytes(block, chain))
-        out += encrypted
+        encrypted = encrypt(xor_bytes(block, chain))
+        out[i:i + BLOCK_SIZE] = encrypted
         chain = xor_bytes(block, encrypted)
     return bytes(out)
 
@@ -149,13 +150,13 @@ def pcbc_encrypt(key: bytes, plaintext: bytes, iv: bytes = ZERO_IV) -> bytes:
 def pcbc_decrypt(key: bytes, ciphertext: bytes, iv: bytes = ZERO_IV) -> bytes:
     _check_blocks(ciphertext, "ciphertext")
     _check_iv(iv)
-    cipher = DesCipher(key)
+    decrypt = get_schedule(key).decrypt_block
     chain = iv
-    out = bytearray()
+    out = bytearray(len(ciphertext))
     for i in range(0, len(ciphertext), BLOCK_SIZE):
         block = ciphertext[i:i + BLOCK_SIZE]
-        plain = xor_bytes(cipher.decrypt_block(block), chain)
-        out += plain
+        plain = xor_bytes(decrypt(block), chain)
+        out[i:i + BLOCK_SIZE] = plain
         chain = xor_bytes(plain, block)
     return bytes(out)
 

@@ -31,7 +31,7 @@ from repro.obs.audit import (
     ANOMALY_KINDS, AuditTrail, ExchangeSpan, build_spans,
     correlate_with_wire_log, detectability_digest, render_events,
 )
-from repro.obs.bus import EventBus, capture
+from repro.obs.bus import EventBus, capture, reset_captures
 from repro.obs.events import (
     ClockSkewReject, DecryptFailure, Event, ExchangeComplete,
     LoginAttempt, PolicyReject, PreauthFailure, ReplayCacheHit,
@@ -47,5 +47,5 @@ __all__ = [
     "MetricsSink", "PolicyReject", "PreauthFailure", "ReplayCacheHit",
     "SessionEstablished", "TicketIssued", "WireCrossing", "build_spans",
     "capture", "correlate_with_wire_log", "detectability_digest",
-    "event_from_dict", "read_jsonl", "render_events",
+    "event_from_dict", "read_jsonl", "render_events", "reset_captures",
 ]

@@ -1,0 +1,109 @@
+"""The parallel attack matrix: identical to serial, ops merged exactly.
+
+``run_attack_matrix(parallel=N)`` fans the scenario×column cells over a
+process pool.  Determinism is the whole contract: the rendered matrix —
+outcomes, detect column, DES-op counts — must be byte-identical to a
+serial run's, and the global ``BLOCK_OPS`` meter must end in the same
+state, because E18-style cost accounting reads it after the fact.
+"""
+
+import pytest
+
+from repro.crypto.des import BLOCK_OPS
+from repro.kerberos.config import ProtocolConfig
+from repro.suite import DEFAULT_COLUMNS, SCENARIOS, run_attack_matrix
+
+# A representative slice: replay (hardened trips its cache), harvest and
+# eavesdrop (the password-guessing cells whose DES-op counts exposed the
+# cross-cell memo leak), and minting (a Draft-3 signature attack).
+_SUBSET = [
+    s for s in SCENARIOS
+    if s.name in ("authenticator replay", "TGT harvest + crack",
+                  "eavesdrop + crack", "authenticator minting")
+]
+
+
+@pytest.fixture(scope="module")
+def serial_and_parallel():
+    BLOCK_OPS.reset()
+    serial = run_attack_matrix(scenarios=_SUBSET)
+    serial_ops = BLOCK_OPS.reset()
+    fanned = run_attack_matrix(scenarios=_SUBSET, parallel=4)
+    parallel_ops = BLOCK_OPS.reset()
+    return serial, serial_ops, fanned, parallel_ops
+
+
+def test_parallel_render_is_byte_identical(serial_and_parallel):
+    serial, _, fanned, _ = serial_and_parallel
+    assert serial.render() == fanned.render()
+
+
+def test_parallel_outcomes_and_digests_match_cellwise(serial_and_parallel):
+    serial, _, fanned, _ = serial_and_parallel
+    assert set(serial.cells) == set(fanned.cells)
+    for key, expected in serial.cells.items():
+        got = fanned.cells[key]
+        assert got.succeeded == expected.succeeded, key
+        assert got.detectability == expected.detectability, key
+        assert got.block_ops == expected.block_ops, key
+
+
+def test_global_counter_merged_from_workers(serial_and_parallel):
+    serial, serial_ops, fanned, parallel_ops = serial_and_parallel
+    assert serial_ops == parallel_ops
+    assert serial_ops == sum(
+        cell.block_ops for cell in serial.cells.values()
+    )
+    assert parallel_ops == sum(
+        cell.block_ops for cell in fanned.cells.values()
+    )
+
+
+def test_every_cell_is_metered(serial_and_parallel):
+    serial, _, fanned, _ = serial_and_parallel
+    for matrix in (serial, fanned):
+        assert all(cell.block_ops is not None and cell.block_ops > 0
+                   for cell in matrix.cells.values())
+
+
+def test_cell_order_preserved_under_parallelism(serial_and_parallel):
+    """Render relies on insertion order; the pool must not reorder."""
+    serial, _, fanned, _ = serial_and_parallel
+    assert list(serial.cells) == list(fanned.cells)
+
+
+def test_serial_cells_independent_of_run_order():
+    """A cell's DES-op count is a property of the cell, not of what ran
+    before it in the same process (the guess-memo isolation)."""
+    crack = [s for s in SCENARIOS if s.name == "TGT harvest + crack"]
+    index = _SUBSET.index(crack[0])  # its seed slot inside the subset run
+    columns = [("v4", ProtocolConfig.v4())]
+    alone = run_attack_matrix(columns=columns, scenarios=crack,
+                              seed=1000 + index)
+    full = run_attack_matrix(scenarios=_SUBSET)
+    assert alone.cells[("TGT harvest + crack", "v4")].block_ops == \
+        full.cells[("TGT harvest + crack", "v4")].block_ops
+
+
+def test_parallel_one_is_serial():
+    """parallel=1 (and None) take the in-process path."""
+    subset = _SUBSET[:1]
+    a = run_attack_matrix(scenarios=subset, parallel=1)
+    b = run_attack_matrix(scenarios=subset)
+    assert a.render() == b.render()
+
+
+def test_parallel_respects_custom_columns():
+    subset = [s for s in SCENARIOS if s.name == "authenticator replay"]
+    columns = [("cr", ProtocolConfig.v4().but(challenge_response=True)),
+               ("v4", ProtocolConfig.v4())]
+    serial = run_attack_matrix(columns=columns, scenarios=subset)
+    fanned = run_attack_matrix(columns=columns, scenarios=subset, parallel=2)
+    assert serial.render() == fanned.render()
+    assert not fanned.outcome("authenticator replay", "cr")
+    assert fanned.outcome("authenticator replay", "v4")
+
+
+def test_default_columns_unchanged():
+    assert [label for label, _ in DEFAULT_COLUMNS] == \
+        ["v4", "v5-draft3", "hardened"]
