@@ -24,8 +24,6 @@ def run_profiles():
     for mode in ("pcbc", "cbc"):
         for i, j in SWAPS:
             garbled, _ = garble_profile(mode, KEY, PLAINTEXT, i, j)
-            survives_after = all(index < max(i, j) + (0 if mode == "pcbc" else 2)
-                                 for index in garbled)
             rows.append((
                 mode, f"{i}<->{j}", len(garbled), str(garbled),
                 "yes" if max(garbled) < MESSAGE_BLOCKS - 1 else "no",
@@ -57,7 +55,7 @@ def test_e11_pcbc(benchmark, experiment_output):
     rows = benchmark.pedantic(run_profiles, iterations=1, rounds=1)
     outcomes = run_protocol_level()
     text = render_table(
-        f"E11a: plaintext blocks garbled by a ciphertext swap "
+        "E11a: plaintext blocks garbled by a ciphertext swap "
         f"({MESSAGE_BLOCKS}-block message)",
         ["mode", "swap", "garbled count", "garbled blocks", "tail intact"],
         rows,

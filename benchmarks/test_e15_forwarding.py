@@ -7,7 +7,6 @@ the FORWARDED flag carries no origin, so a cautious server's only option
 is refusing all forwarded tickets.
 """
 
-import pytest
 
 from repro import Testbed, ProtocolConfig
 from repro.analysis import render_table

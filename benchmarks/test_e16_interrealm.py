@@ -39,7 +39,6 @@ def run_depth_sweep():
         echo = bed.add_echo_server("echohost", realm="ACME")
         ws = bed.add_workstation("ws1")
         outcome = bed.login("pat", "pw", ws, realm=names[-1])
-        messages_before = bed.realm.kdc.tgs_requests
         cred = outcome.client.get_service_ticket(echo.principal)
         ticket = Ticket.unseal(
             cred.sealed_ticket,

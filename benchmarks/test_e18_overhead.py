@@ -7,8 +7,7 @@ used"; the handheld scheme costs "simply one extra encryption on each
 end"; DH costs modular exponentiations; everything else is DES-ops only.
 """
 
-from repro import ProtocolConfig
-from repro.analysis import compare_recommendations, measure, render_table
+from repro.analysis import compare_recommendations, render_table
 
 
 def run_comparison():

@@ -36,7 +36,7 @@ def main() -> None:
     print("== login with a handheld authenticator (rec. c) ==")
     device = HandheldDevice.from_password("a long and honest passphrase")
     outcome = bed.login("pat", device, workstation)
-    print(f"logged in; the workstation never saw the password "
+    print("logged in; the workstation never saw the password "
           f"(device answered {device.responses_issued} challenges)")
 
     print("\n== normal service use under the hardened protocol ==")
@@ -58,7 +58,7 @@ def main() -> None:
         rnd, store, bed.realm.database,
         Principal("pat", "email", bed.realm.name),
     )
-    print(f"pat.email provisioned with a truly random key "
+    print("pat.email provisioned with a truly random key "
           f"({len(email_key)} bytes, never typed by a human)")
 
     print("\n== the encryption unit holding the mail server's key ==")

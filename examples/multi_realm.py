@@ -56,7 +56,7 @@ def main() -> None:
         cred.sealed_ticket,
         sales.database.key_of(open_server.principal), config,
     )
-    print(f"transited path recorded in the ticket: "
+    print("transited path recorded in the ticket: "
           f"{parse_transited(ticket.transited)}")
 
     print("\n== the same client against three trust policies ==")
@@ -89,7 +89,7 @@ def main() -> None:
     detour = [e for e in outcome2.client.ccache.entries()
               if "EVIL" in e.server.instance]
     if detour:
-        print(f"  ...but along the way the client was handed: "
+        print("  ...but along the way the client was handed: "
               f"{detour[0].server}")
         print("  (a TGT for a realm it never asked for — routing "
               "integrity is a pure trust assumption)")

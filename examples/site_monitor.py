@@ -60,7 +60,7 @@ def main() -> None:
         service="kerberos", direction="response"
     )
     cracked = offline_dictionary_attack(workload.bed.config, replies, dictionary)
-    print(f"offline dictionary run over the recorded replies: "
+    print("offline dictionary run over the recorded replies: "
           f"{len(cracked.cracked)}/{len(population.users)} users cracked "
           f"({cracked.attempts} guesses)")
     for user, password in sorted(cracked.cracked.items()):

@@ -10,7 +10,11 @@ Commands:
   and print the event log, metrics, and detectability verdict;
 * ``perf``        — micro-benchmark the crypto fast path, the modes, a
   full exchange, and the (serial vs parallel) matrix, writing
-  ``BENCH_crypto.json``.
+  ``BENCH_crypto.json``;
+* ``lint``        — run the protocol-misuse static analyzer over
+  ``src/repro`` against one or all protocol columns, reporting text,
+  JSON, or SARIF 2.1.0 (optionally validated against the live attack
+  matrix with ``--consistency``).
 
 Everything is deterministic; no network, no state left behind (except
 the JSONL file ``audit --jsonl`` writes and the benchmark report
@@ -191,6 +195,22 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(
+        fmt=args.format,
+        column=args.column,
+        baseline=args.baseline,
+        fail_on=args.fail_on,
+        out=args.out,
+        root=args.root,
+        consistency=args.consistency,
+        write_baseline_path=args.write_baseline,
+        parallel=args.parallel,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -235,6 +255,49 @@ def main(argv=None) -> int:
         "--out", default="BENCH_crypto.json", metavar="PATH",
         help="benchmark report path (default: BENCH_crypto.json)",
     )
+    lint = sub.add_parser(
+        "lint", help="statically analyze the tree for protocol misuse"
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--column", default="all",
+        help="protocol column to lint: v4, v5-draft3, hardened, or all "
+             "(default: all)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="accept every current finding into PATH and exit",
+    )
+    lint.add_argument(
+        "--fail-on", choices=["error", "warn", "never"], default="warn",
+        help="exit 1 when a non-baselined finding reaches this severity "
+             "(default: warn)",
+    )
+    lint.add_argument(
+        "--out", metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    lint.add_argument(
+        "--root", metavar="DIR",
+        help="analyze DIR instead of the installed repro package "
+             "(for testing the analyzer itself)",
+    )
+    lint.add_argument(
+        "--consistency", action="store_true",
+        help="also run the attack matrix and assert lint verdicts match "
+             "its outcomes cell by cell (~1 min serial)",
+    )
+    lint.add_argument(
+        "--parallel", type=int, default=None,
+        help="worker processes for the --consistency matrix run",
+    )
     args = parser.parse_args(argv)
     handler = {
         "matrix": _cmd_matrix,
@@ -243,6 +306,7 @@ def main(argv=None) -> int:
         "demo": _cmd_demo,
         "audit": _cmd_audit,
         "perf": _cmd_perf,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

@@ -17,7 +17,7 @@ of the paper's recommended changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.crypto.des import BLOCK_OPS
 from repro.kerberos.config import ProtocolConfig

@@ -30,7 +30,7 @@ those verdicts pinned.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.crypto.bits import xor_bytes
 from repro.crypto.des import BLOCK_SIZE

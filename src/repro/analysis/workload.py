@@ -153,7 +153,7 @@ def adversary_haul(workload: SiteWorkload) -> Haul:
             workload.mail.principal.name, workload.files.principal.name
         ):
             try:
-                request = config.codec.decode(AP_REQ, message.payload)
+                config.codec.decode(AP_REQ, message.payload)
             except Exception:
                 continue
             haul.sealed_tickets_seen += 1

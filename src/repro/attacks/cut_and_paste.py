@@ -41,7 +41,7 @@ from repro.kerberos import messages
 from repro.kerberos.client import KerberosError
 from repro.kerberos.kdc import TGS_SERVICE, tgs_request_checksum_input
 from repro.kerberos.messages import (
-    AP_REP_ENC, AP_REQ, AS_REP, TGS_REP, TGS_REQ, SealError,
+    AP_REP_ENC, AP_REQ, TGS_REP, TGS_REQ, SealError,
     frame_ok, unframe,
 )
 from repro.kerberos.tickets import OPT_ENC_TKT_IN_SKEY, OPT_REUSE_SKEY, Authenticator, Ticket
@@ -222,7 +222,6 @@ def reuse_skey_redirect(
     victim_host,
 ) -> AttackResult:
     """Redirect a PURGE from the file server to the backup server."""
-    config = bed.config
     outcome = bed.login(victim_user, victim_password, victim_host)
 
     # The victim legitimately uses REUSE-SKEY for both services (the
@@ -275,7 +274,7 @@ def reuse_skey_redirect(
         destroyed,
         "archive destroyed by a command the victim sent to the file server"
         if destroyed else
-        f"backup server did not execute the redirect "
+        "backup server did not execute the redirect "
         f"({backup_server.rejection_reasons[-1:]})",
         evidence={"shared_key": True, "archive_destroyed": destroyed},
     )

@@ -172,7 +172,7 @@ def encryption_unit_theft(unit: EncryptionUnit, handles: List) -> AttackResult:
         "encryption-unit-theft",
         False,  # by construction: there is no extraction interface
         f"{attempts} misuse attempts, {refusals} refused by tag checks; "
-        f"0 key bytes extracted; {sum('REFUSED' in l for l in audit)} "
+        f"0 key bytes extracted; {sum('REFUSED' in line for line in audit)} "
         "refusals in the untamperable audit log",
-        evidence={"audit_refusals": [l for l in audit if "REFUSED" in l]},
+        evidence={"audit_refusals": [line for line in audit if "REFUSED" in line]},
     )

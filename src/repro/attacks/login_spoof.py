@@ -13,7 +13,7 @@ response that the KDC will never ask for again.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from repro.attacks.base import AttackResult
 from repro.hardware.handheld import HandheldDevice

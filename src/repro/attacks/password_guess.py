@@ -406,7 +406,7 @@ def dh_active_mitm(
                                       handheld_r=state.get("handheld_r", b"")):
             return AttackResult(
                 "dh-active-mitm", True,
-                f"DH layer stripped by active MITM; password recovered: "
+                "DH layer stripped by active MITM; password recovered: "
                 f"{guess!r}",
                 evidence={"password": guess},
             )

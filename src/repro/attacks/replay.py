@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.attacks.base import AttackResult
-from repro.sim.network import Endpoint, NetworkError, WireMessage
+from repro.sim.network import NetworkError, WireMessage
 from repro.testbed import Testbed
 
 __all__ = [

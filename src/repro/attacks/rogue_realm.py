@@ -21,7 +21,6 @@ path.  Benchmark E25 runs the attack against both settings.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.attacks.base import AttackResult
 from repro.kerberos.client import KerberosClient, KerberosError
@@ -101,7 +100,7 @@ def forge_foreign_client(
         reply = session.call(b"GET secrets")
         return AttackResult(
             "rogue-realm-forgery", True,
-            f"service accepted the rogue realm's word that we are "
+            "service accepted the rogue realm's word that we are "
             f"{claimed}; reply: {reply[:40]!r}",
             evidence={"impersonated": str(claimed)},
         )

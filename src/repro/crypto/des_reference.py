@@ -22,7 +22,7 @@ error cannot hide in only one of the two paths.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.crypto.bits import bytes_to_int, int_to_bytes, permute
 from repro.crypto.des import (

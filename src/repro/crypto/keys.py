@@ -20,7 +20,7 @@ Two of the paper's themes live here:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto import modes
 from repro.crypto.des import (

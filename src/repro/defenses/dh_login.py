@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.attacks.password_guess import dh_passive_break, offline_dictionary_attack
+from repro.attacks.password_guess import offline_dictionary_attack
 from repro.crypto.dh import DhGroup, DhKeyPair, DiscreteLogError, discrete_log
 from repro.crypto.rng import DeterministicRandom
 from repro.defenses.base import DefenseReport

@@ -40,13 +40,12 @@ Design criteria implemented here, one for one:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.crypto.keys import KeyTag
 from repro.crypto.rng import DeterministicRandom
 from repro.kerberos import messages
 from repro.kerberos.config import ProtocolConfig
-from repro.kerberos.messages import SealError
 from repro.kerberos.tickets import Authenticator, Ticket
 
 __all__ = ["UnitError", "KeyHandle", "EncryptionUnit"]

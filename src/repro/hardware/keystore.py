@@ -57,7 +57,7 @@ class KeystoreServer(AppServer):
             removed = self._store.pop((owner, rest.decode()), None)
             return b"OK deleted" if removed is not None else b"ERR nothing"
         if command == b"LIST":
-            names = sorted(l for o, l in self._store if o == owner)
+            names = sorted(label for o, label in self._store if o == owner)
             return b",".join(n.encode() for n in names) or b"(none)"
         return b"ERR unknown command"
 

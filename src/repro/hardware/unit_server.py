@@ -24,14 +24,11 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.crypto.keys import KeyTag
-from repro.crypto.rng import DeterministicRandom
 from repro.hardware.encryption_unit import EncryptionUnit, KeyHandle
-from repro.kerberos import messages
 from repro.kerberos.appserver import AppServer, ServerSession
-from repro.kerberos.config import ProtocolConfig
 from repro.kerberos.messages import (
     AP_REP_ENC, AP_REQ, ERR_BAD_TICKET, ERR_GENERIC, ERR_REPLAY, ERR_SKEW,
-    SealError, frame_error, frame_ok,
+    SealError, frame_ok,
 )
 from repro.kerberos.session import decode_private_body, encode_private_body
 from repro.kerberos.tickets import Authenticator

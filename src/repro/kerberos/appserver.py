@@ -273,7 +273,6 @@ class AppServer:
     # ------------------------------------------------------------------ #
 
     def _handle_data(self, message) -> bytes:
-        config = self.config
         if len(message.payload) < 8:
             return self._reject("bad-data", ERR_GENERIC, "short data message")
         session_id = int.from_bytes(message.payload[:8], "big")

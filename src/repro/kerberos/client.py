@@ -26,7 +26,7 @@ variant.  The notable design points, each traceable to the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.crypto import checksum as ck
 from repro.crypto.checksum import ChecksumType
@@ -49,7 +49,7 @@ from repro.kerberos.session import (
     DIR_CLIENT_TO_SERVER, PrivateChannel, SessionKeys,
 )
 from repro.kerberos.tickets import (
-    FLAG_FORWARDABLE, OPT_CR_RESPONSE, OPT_FORWARD, OPT_MUTUAL_AUTH,
+    FLAG_FORWARDABLE, OPT_CR_RESPONSE, OPT_MUTUAL_AUTH,
     Authenticator,
 )
 from repro.sim.host import Host, StorageKind

@@ -26,7 +26,7 @@ Ablation benchmarks (E18 and friends) flip fields one at a time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.crypto.checksum import ChecksumType

@@ -13,7 +13,7 @@ principals is public, only keys are secret.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 from repro.crypto.keys import string_to_key
 from repro.crypto.rng import DeterministicRandom

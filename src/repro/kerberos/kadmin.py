@@ -18,7 +18,7 @@ future exposure only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.analysis.cracking import COMMON_PASSWORDS

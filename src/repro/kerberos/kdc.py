@@ -435,12 +435,12 @@ class Kdc:
                                     TGS_SERVICE, "no-route",
                                     client=str(tgt.client))
             target = Principal.tgs(self.realm, next_realm)
-            if self.realm != tgt.client.realm:
+            if config.record_transited and self.realm != tgt.client.realm:
                 transited = append_transited(transited, self.realm)
         elif server.is_tgs and server.realm == self.realm and server.instance != self.realm:
             # Explicit request for an inter-realm TGT (krbtgt.NEXT@SELF).
             target = server
-            if self.realm != tgt.client.realm:
+            if config.record_transited and self.realm != tgt.client.realm:
                 transited = append_transited(transited, self.realm)
 
         if seal_key is None:

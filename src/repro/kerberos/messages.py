@@ -42,7 +42,6 @@ from typing import Any, Dict, Tuple
 
 from repro.crypto import checksum as ck
 from repro.crypto import modes
-from repro.crypto.checksum import ChecksumType
 from repro.encoding.codec import CodecError, Field, FieldKind, Schema
 
 __all__ = [

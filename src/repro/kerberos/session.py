@@ -27,8 +27,8 @@ This layer carries the weight of three of the paper's findings:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Set, Tuple
 
 from repro.crypto import checksum as ck
 from repro.crypto.bits import xor_bytes
@@ -245,7 +245,7 @@ class PrivateChannel:
             if config.chain_ivs:
                 raise ChannelError(
                     "iv-chain",
-                    f"message does not decrypt at chain position "
+                    "message does not decrypt at chain position "
                     f"{self._recv_iv_count} (replayed, deleted, or "
                     f"reordered): {exc}",
                 )

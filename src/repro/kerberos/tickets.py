@@ -14,8 +14,7 @@ the appendix attacks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.crypto.checksum import ChecksumType, compute
 from repro.kerberos import messages

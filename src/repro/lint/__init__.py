@@ -1,0 +1,42 @@
+"""``repro.lint`` — a protocol-misuse static analyzer for the tree.
+
+The paper's catalogue (PCBC splicing, CRC-32 as a MAC, untyped V4
+encodings, missing replay caches, unauthenticated time, the misusable
+Draft 3 options) is mechanically recognizable misuse.  This package
+recognizes it *statically*: an AST/dataflow engine
+(:mod:`repro.lint.engine`) models which secrets flow into which
+primitives and where each :class:`repro.kerberos.config.ProtocolConfig`
+knob is consulted; a rule registry (:mod:`repro.lint.rules`) encodes
+one rule per paper finding; reporters (:mod:`repro.lint.reporters`)
+render text, JSON, and SARIF 2.1.0; and a consistency harness
+(:mod:`repro.lint.consistency`) pins every mapped rule's verdict to
+the live ``run_attack_matrix`` cell it predicts.
+
+Entry point: ``python -m repro lint`` (see :mod:`repro.lint.cli`).
+"""
+
+from repro.lint.baseline import (
+    BaselineError, load_baseline, split_by_baseline, write_baseline,
+)
+from repro.lint.consistency import (
+    CellCheck, ConsistencyReport, check_consistency,
+)
+from repro.lint.engine import (
+    CodeModel, analyze_repro, analyze_source, analyze_tree,
+)
+from repro.lint.findings import Finding, Severity, sort_findings
+from repro.lint.reporters import render_json, render_sarif, render_text
+from repro.lint.rules import (
+    CODE_COLUMN, RULES, RULES_BY_ID, Rule, fired_rule_ids,
+    run_all_rules, run_code_rules, run_config_rules,
+)
+
+__all__ = [
+    "BaselineError", "CODE_COLUMN", "CellCheck", "CodeModel",
+    "ConsistencyReport", "Finding", "RULES", "RULES_BY_ID", "Rule",
+    "Severity", "analyze_repro", "analyze_source", "analyze_tree",
+    "check_consistency", "fired_rule_ids", "load_baseline",
+    "render_json", "render_sarif", "render_text", "run_all_rules",
+    "run_code_rules", "run_config_rules", "sort_findings",
+    "split_by_baseline", "write_baseline",
+]

@@ -1,0 +1,110 @@
+"""Baseline files: accepted findings that must not fail the build.
+
+The reproduction's v4 and v5-draft3 columns are *supposed* to lint
+dirty — their findings are the paper's catalogue, reproduced on
+purpose.  ``lint-baseline.json`` at the repo root records those
+fingerprints with a justification each; ``python -m repro lint
+--baseline lint-baseline.json`` then fails only on findings the
+baseline does not cover (a protocol regression, or a new unread-flag
+bug).
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"fingerprint": "RULE::column::file", "rule_id": ..., "reason": ...},
+        ...
+      ]
+    }
+
+Fingerprints come from :attr:`repro.lint.findings.Finding.fingerprint`
+and deliberately exclude line numbers, so baselines survive unrelated
+edits that move an anchor.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding, sort_findings
+
+__all__ = ["BaselineError", "load_baseline", "write_baseline",
+           "split_by_baseline", "baseline_payload"]
+
+_VERSION = 1
+
+#: Justification recorded for findings accepted by ``--write-baseline``.
+DEFAULT_REASON = ("paper-documented weakness, reproduced intentionally "
+                  "by this protocol column")
+
+
+class BaselineError(ValueError):
+    """A baseline file exists but cannot be used."""
+
+
+def baseline_payload(findings: Sequence[Finding],
+                     reason: str = DEFAULT_REASON) -> Dict[str, Any]:
+    """The JSON payload accepting every finding in *findings*."""
+    suppressions: List[Dict[str, str]] = []
+    seen: Set[str] = set()
+    for finding in sort_findings(findings):
+        if finding.fingerprint in seen:
+            continue
+        seen.add(finding.fingerprint)
+        suppressions.append({
+            "fingerprint": finding.fingerprint,
+            "rule_id": finding.rule_id,
+            "column": finding.column,
+            "file": finding.file,
+            "reason": reason,
+        })
+    return {"version": _VERSION, "suppressions": suppressions}
+
+
+def write_baseline(findings: Sequence[Finding], path: Path,
+                   reason: str = DEFAULT_REASON) -> int:
+    """Write a baseline accepting *findings*; returns the entry count."""
+    payload = baseline_payload(findings, reason)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return len(payload["suppressions"])
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """Read a baseline; returns ``{fingerprint: reason}``."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path} is not a version-{_VERSION} baseline"
+        )
+    suppressions = raw.get("suppressions", [])
+    if not isinstance(suppressions, list):
+        raise BaselineError(f"baseline {path}: 'suppressions' must be a list")
+    accepted: Dict[str, str] = {}
+    for entry in suppressions:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise BaselineError(
+                f"baseline {path}: each suppression needs a 'fingerprint'"
+            )
+        accepted[str(entry["fingerprint"])] = str(entry.get("reason", ""))
+    return accepted
+
+
+def split_by_baseline(findings: Sequence[Finding],
+                      accepted: Dict[str, str],
+                      ) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into (new, suppressed) against a loaded baseline."""
+    fresh: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint in accepted:
+            suppressed.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

@@ -1,0 +1,156 @@
+"""Implementation of ``python -m repro lint``.
+
+Thin orchestration over the package: scan the tree, evaluate the rule
+registry against the selected protocol column(s), apply the baseline,
+render in the requested format, optionally run the consistency
+harness, and exit non-zero when non-baselined findings reach the
+``--fail-on`` threshold.
+
+Every finding is also published as a
+:class:`repro.obs.events.LintFinding` event, so a
+:func:`repro.obs.capture` block around :func:`run_lint` observes the
+run exactly like it observes a protocol exchange.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.kerberos.config import ProtocolConfig
+from repro.lint.baseline import (
+    BaselineError, load_baseline, split_by_baseline, write_baseline,
+)
+from repro.lint.engine import CodeModel, analyze_repro, analyze_tree
+from repro.lint.findings import Finding, Severity
+from repro.lint.reporters import render_json, render_sarif, render_text
+from repro.lint.rules import run_all_rules
+
+__all__ = ["run_lint", "resolve_columns", "FORMATS", "FAIL_ON"]
+
+FORMATS: Tuple[str, ...] = ("text", "json", "sarif")
+FAIL_ON: Tuple[str, ...] = ("error", "warn", "never")
+
+_FAIL_RANK: Dict[str, int] = {
+    "error": Severity.ERROR.rank,
+    "warn": Severity.WARNING.rank,
+}
+
+Printer = Callable[[str], None]
+
+
+def resolve_columns(column: str,
+                    ) -> Optional[List[Tuple[str, ProtocolConfig]]]:
+    """Map ``--column`` to (label, config) pairs; None if unknown."""
+    from repro.suite import DEFAULT_COLUMNS
+
+    if column == "all":
+        return list(DEFAULT_COLUMNS)
+    for label, config in DEFAULT_COLUMNS:
+        if label == column:
+            return [(label, config)]
+    return None
+
+
+def _emit_events(findings: Sequence[Finding]) -> None:
+    from repro.obs import EventBus, LintFinding
+
+    bus = EventBus()
+    if not bus.active:   # nobody is capturing: skip event construction
+        return
+    for finding in findings:
+        bus.emit(LintFinding(
+            rule_id=finding.rule_id,
+            severity=finding.severity.value,
+            column=finding.column,
+            file=finding.file,
+            line=finding.line,
+            message=finding.message,
+        ))
+
+
+def _render(fmt: str, fresh: Sequence[Finding],
+            suppressed: Sequence[Finding],
+            labels: Sequence[str]) -> str:
+    if fmt == "json":
+        return render_json(fresh, suppressed, labels)
+    if fmt == "sarif":
+        return render_sarif(fresh, suppressed, labels)
+    return render_text(fresh, suppressed)
+
+
+def run_lint(
+    fmt: str = "text",
+    column: str = "all",
+    baseline: Optional[str] = None,
+    fail_on: str = "warn",
+    out: Optional[str] = None,
+    root: Optional[str] = None,
+    consistency: bool = False,
+    write_baseline_path: Optional[str] = None,
+    parallel: Optional[int] = None,
+    echo: Printer = print,
+) -> int:
+    """The lint command.  Returns a process exit code (0/1/2)."""
+    columns = resolve_columns(column)
+    if columns is None:
+        echo(f"unknown column {column!r}; choose v4, v5-draft3, "
+             "hardened, or all")
+        return 2
+
+    model: CodeModel
+    if root is None:
+        model = analyze_repro()
+    else:
+        model = analyze_tree(Path(root))
+    if model.errors:
+        for error in model.errors:
+            echo(f"parse error: {error}")
+        return 2
+
+    findings = run_all_rules(model, columns)
+    _emit_events(findings)
+
+    if write_baseline_path is not None:
+        count = write_baseline(findings, Path(write_baseline_path))
+        echo(f"wrote {count} suppressions to {write_baseline_path}")
+        return 0
+
+    suppressed: List[Finding] = []
+    fresh = list(findings)
+    if baseline is not None:
+        try:
+            accepted = load_baseline(Path(baseline))
+        except BaselineError as exc:
+            echo(str(exc))
+            return 2
+        fresh, suppressed = split_by_baseline(findings, accepted)
+
+    labels = [label for label, _config in columns]
+    report = _render(fmt, fresh, suppressed, labels)
+    if out is not None:
+        Path(out).write_text(report + "\n", encoding="utf-8")
+        echo(f"wrote {fmt} report to {out} "
+             f"({len(fresh)} findings, {len(suppressed)} baselined)")
+    else:
+        echo(report)
+
+    exit_code = 0
+    threshold = _FAIL_RANK.get(fail_on)
+    if threshold is not None and any(f.severity.rank >= threshold
+                                     for f in fresh):
+        exit_code = 1
+
+    if consistency:
+        from repro.lint.consistency import check_consistency
+
+        echo("")
+        echo("consistency harness: lint verdicts vs. the attack matrix "
+             "(deterministic, ~1 min serial)...")
+        report_obj = check_consistency(columns=columns, model=model,
+                                       parallel=parallel)
+        echo(report_obj.render())
+        if report_obj.disagreements():
+            exit_code = 1
+
+    return exit_code

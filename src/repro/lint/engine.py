@@ -1,0 +1,404 @@
+"""The AST/dataflow engine behind ``python -m repro lint``.
+
+The engine walks a Python source tree (by default ``src/repro``) and
+builds a :class:`CodeModel` — a flat, queryable record of the facts the
+protocol-misuse rules in :mod:`repro.lint.rules` care about:
+
+* **secret flows** — call sites where a secret-looking value (a
+  password, session key, subkey, key share...) reaches a callee, found
+  by an intraprocedural taint pass: parameters and locals with
+  secret-shaped names seed the taint set, assignments propagate it,
+  and any call argument mentioning a tainted name records a
+  :class:`SecretFlow`;
+* **config reads** — every ``<expr>.<field>`` load whose attribute name
+  is a :class:`repro.kerberos.config.ProtocolConfig` field, i.e. the
+  places where the protocol implementation consults a knob;
+* **call sites, function defs, class defs** — enough structure to ask
+  "is ``seal_private`` ever called?", "is there an unauthenticated
+  ``sync_host_clock``?", or "does a codec class declare ``name = 'v4'``
+  without type tags?".
+
+Two subtrees are excluded by default: ``attacks`` (which misuses the
+primitives *on purpose*) and ``lint`` itself (whose rule predicates
+read config fields and would otherwise count as the protocol code
+consulting them).  Unit tests point the engine at throwaway trees of
+minimal vulnerable/fixed snippets instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "SecretFlow", "ConfigRead", "CallSite", "FunctionInfo", "ClassAttr",
+    "ClassInfo", "CodeModel", "is_secret_name", "analyze_source",
+    "analyze_tree", "analyze_repro", "DEFAULT_EXCLUDES",
+]
+
+#: Subtrees skipped when scanning ``src/repro`` (see module docstring).
+DEFAULT_EXCLUDES: Tuple[str, ...] = ("attacks", "lint")
+
+_SECRET_EXACT: FrozenSet[str] = frozenset({
+    "key", "keys", "kc", "password", "passwd", "passphrase", "subkey",
+    "secret",
+})
+
+
+def is_secret_name(name: str) -> bool:
+    """Heuristic: does *name* look like it holds key material?"""
+    lowered = name.lower()
+    return (
+        lowered in _SECRET_EXACT
+        or lowered.endswith("_key")
+        or lowered.endswith("_share")
+        or "password" in lowered
+        or "secret" in lowered
+    )
+
+
+# --------------------------------------------------------------------- #
+# facts
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SecretFlow:
+    """A secret-tainted value reached a call argument."""
+
+    file: str
+    line: int
+    function: str
+    secret: str    # the tainted name that reached the call
+    callee: str    # last dotted component of the called expression
+
+
+@dataclass(frozen=True)
+class ConfigRead:
+    """An attribute load of a ProtocolConfig field name."""
+
+    file: str
+    line: int
+    function: str
+    field: str
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """Any call, by its last dotted name."""
+
+    file: str
+    line: int
+    function: str
+    callee: str
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """A function or method definition."""
+
+    file: str
+    line: int
+    name: str
+    qualname: str
+
+
+@dataclass(frozen=True)
+class ClassAttr:
+    """A class-level attribute: ``name = <constant>`` or ``name: T``."""
+
+    name: str
+    line: int
+    value: str     # repr of the constant value, or "" if not a constant
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """A class definition and its directly declared surface."""
+
+    file: str
+    line: int
+    name: str
+    attrs: Tuple[ClassAttr, ...]
+    methods: Tuple[str, ...]
+
+    def attr(self, name: str) -> Optional[ClassAttr]:
+        for attr in self.attrs:
+            if attr.name == name:
+                return attr
+        return None
+
+
+@dataclass
+class CodeModel:
+    """Everything the rules can ask about a scanned tree."""
+
+    files: List[str] = field(default_factory=list)
+    flows: List[SecretFlow] = field(default_factory=list)
+    config_reads: List[ConfigRead] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    functions: List[FunctionInfo] = field(default_factory=list)
+    classes: List[ClassInfo] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    # -- queries --------------------------------------------------------
+
+    def reads_of(self, field_name: str) -> List[ConfigRead]:
+        return sorted(
+            (r for r in self.config_reads if r.field == field_name),
+            key=lambda r: (r.file, r.line),
+        )
+
+    def calls_of(self, *callees: str) -> List[CallSite]:
+        wanted = set(callees)
+        return sorted(
+            (c for c in self.calls if c.callee in wanted),
+            key=lambda c: (c.file, c.line),
+        )
+
+    def flows_into(self, *callees: str) -> List[SecretFlow]:
+        wanted = set(callees)
+        return sorted(
+            (f for f in self.flows if f.callee in wanted),
+            key=lambda f: (f.file, f.line),
+        )
+
+    def functions_named(self, name: str) -> List[FunctionInfo]:
+        return sorted(
+            (f for f in self.functions if f.name == name),
+            key=lambda f: (f.file, f.line),
+        )
+
+    def classes_with_attr(self, name: str, value: str) -> List[ClassInfo]:
+        matched: List[ClassInfo] = []
+        for info in self.classes:
+            attr = info.attr(name)
+            if attr is not None and attr.value == value:
+                matched.append(info)
+        return sorted(matched, key=lambda c: (c.file, c.line))
+
+
+# --------------------------------------------------------------------- #
+# the walker
+# --------------------------------------------------------------------- #
+
+
+def _config_field_names() -> FrozenSet[str]:
+    from dataclasses import fields as dc_fields
+
+    from repro.kerberos.config import ProtocolConfig
+
+    return frozenset(f.name for f in dc_fields(ProtocolConfig))
+
+
+class _Analyzer(ast.NodeVisitor):
+    """One pass over one module; appends facts to the shared model."""
+
+    def __init__(self, file: str, model: CodeModel,
+                 config_fields: FrozenSet[str]) -> None:
+        self.file = file
+        self.model = model
+        self.config_fields = config_fields
+        self._scopes: List[str] = []
+        self._tainted: List[Set[str]] = [set()]
+
+    # -- scope helpers --------------------------------------------------
+
+    @property
+    def _function(self) -> str:
+        return ".".join(self._scopes) if self._scopes else "<module>"
+
+    def _secret_token(self, expr: ast.expr) -> str:
+        """The tainted name inside *expr*, or "" if it carries none."""
+        tainted = self._tainted[-1]
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name):
+                if sub.id in tainted or is_secret_name(sub.id):
+                    return sub.id
+            elif isinstance(sub, ast.Attribute):
+                if is_secret_name(sub.attr):
+                    return sub.attr
+        return ""
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> List[str]:
+        names: List[str] = []
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                names.append(sub.id)
+        return names
+
+    # -- definitions ----------------------------------------------------
+
+    def _enter_function(self, node: ast.AST, name: str,
+                        args: ast.arguments) -> None:
+        self.model.functions.append(FunctionInfo(
+            file=self.file, line=getattr(node, "lineno", 0), name=name,
+            qualname=".".join(self._scopes + [name]),
+        ))
+        seeded: Set[str] = set()
+        every = (list(args.posonlyargs) + list(args.args)
+                 + list(args.kwonlyargs))
+        if args.vararg is not None:
+            every.append(args.vararg)
+        if args.kwarg is not None:
+            every.append(args.kwarg)
+        for arg in every:
+            if is_secret_name(arg.arg):
+                seeded.add(arg.arg)
+        self._scopes.append(name)
+        self._tainted.append(seeded)
+
+    def _leave_function(self) -> None:
+        self._scopes.pop()
+        self._tainted.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node, node.name, node.args)
+        self.generic_visit(node)
+        self._leave_function()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node, node.name, node.args)
+        self.generic_visit(node)
+        self._leave_function()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        attrs: List[ClassAttr] = []
+        methods: List[str] = []
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                value = (repr(stmt.value.value)
+                         if isinstance(stmt.value, ast.Constant) else "")
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        attrs.append(ClassAttr(
+                            name=target.id, line=stmt.lineno, value=value,
+                        ))
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    value = (repr(stmt.value.value)
+                             if isinstance(stmt.value, ast.Constant)
+                             else "")
+                    attrs.append(ClassAttr(
+                        name=stmt.target.id, line=stmt.lineno, value=value,
+                    ))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(stmt.name)
+        self.model.classes.append(ClassInfo(
+            file=self.file, line=node.lineno, name=node.name,
+            attrs=tuple(attrs), methods=tuple(methods),
+        ))
+        self._scopes.append(node.name)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    # -- taint propagation ----------------------------------------------
+
+    def _propagate(self, targets: Sequence[ast.expr],
+                   value: Optional[ast.expr]) -> None:
+        if value is None:
+            return
+        if self._secret_token(value):
+            tainted = self._tainted[-1]
+            for target in targets:
+                tainted.update(self._target_names(target))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._propagate(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._propagate([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._propagate([node.target], node.value)
+        self.generic_visit(node)
+
+    # -- facts ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = ""
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        if callee:
+            self.model.calls.append(CallSite(
+                file=self.file, line=node.lineno,
+                function=self._function, callee=callee,
+            ))
+            arguments: List[ast.expr] = list(node.args)
+            arguments.extend(kw.value for kw in node.keywords)
+            for argument in arguments:
+                token = self._secret_token(argument)
+                if token:
+                    self.model.flows.append(SecretFlow(
+                        file=self.file, line=node.lineno,
+                        function=self._function, secret=token,
+                        callee=callee,
+                    ))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.ctx, ast.Load)
+                and node.attr in self.config_fields):
+            self.model.config_reads.append(ConfigRead(
+                file=self.file, line=node.lineno,
+                function=self._function, field=node.attr,
+            ))
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------- #
+# entry points
+# --------------------------------------------------------------------- #
+
+
+def analyze_source(source: str, file: str, model: CodeModel,
+                   config_fields: Optional[FrozenSet[str]] = None) -> None:
+    """Analyze one module's source text into *model*."""
+    if config_fields is None:
+        config_fields = _config_field_names()
+    try:
+        tree = ast.parse(source, filename=file)
+    except SyntaxError as exc:
+        model.errors.append(f"{file}: {exc.msg} (line {exc.lineno})")
+        return
+    model.files.append(file)
+    _Analyzer(file, model, config_fields).visit(tree)
+
+
+def analyze_tree(root: Path,
+                 exclude: Sequence[str] = DEFAULT_EXCLUDES,
+                 prefix: str = "") -> CodeModel:
+    """Analyze every ``*.py`` under *root*.
+
+    *exclude* names top-level subdirectories of *root* to skip; *prefix*
+    is prepended to every recorded (root-relative) path so findings can
+    anchor repo-relative (e.g. ``src/repro/``).
+    """
+    model = CodeModel()
+    config_fields = _config_field_names()
+    excluded = set(exclude)
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative.parts and relative.parts[0] in excluded:
+            continue
+        analyze_source(path.read_text(encoding="utf-8"),
+                       prefix + relative.as_posix(), model, config_fields)
+    return model
+
+
+def analyze_repro(exclude: Sequence[str] = DEFAULT_EXCLUDES) -> CodeModel:
+    """Analyze the installed ``repro`` package itself."""
+    import repro
+
+    package_file = repro.__file__
+    if package_file is None:  # pragma: no cover - namespace-package guard
+        raise RuntimeError("cannot locate the repro package on disk")
+    return analyze_tree(Path(package_file).parent, exclude=exclude,
+                        prefix="src/repro/")

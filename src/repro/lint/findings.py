@@ -1,0 +1,82 @@
+"""Findings: what a rule reports when it fires.
+
+A :class:`Finding` is one (rule, protocol column) verdict anchored to a
+``file:line`` in the scanned tree.  Findings are frozen and carry a
+stable :attr:`Finding.fingerprint` — deliberately independent of the
+line number, so a baseline recorded against one revision keeps
+suppressing the same finding after unrelated edits move the anchor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["Severity", "Finding", "sort_findings", "worst_severity"]
+
+
+class Severity(enum.Enum):
+    """SARIF-compatible levels, ordered from chatty to blocking."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self]
+
+
+_RANKS: Dict[Severity, int] = {
+    Severity.NOTE: 0, Severity.WARNING: 1, Severity.ERROR: 2,
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule verdict against one protocol column."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    file: str            # repo-relative anchor path
+    line: int
+    column: str          # protocol column label, or "(code)" for
+                         # config-independent code findings
+    paper_section: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule x column x file.
+
+        The line number is excluded on purpose — unrelated edits above
+        the anchor must not un-suppress a baselined finding.
+        """
+        return f"{self.rule_id}::{self.column}::{self.file}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+            "paper_section": self.paper_section,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Deterministic report order: column, then severity (worst first),
+    then rule ID, then anchor."""
+    return sorted(
+        findings,
+        key=lambda f: (f.column, -f.severity.rank, f.rule_id, f.file, f.line),
+    )
+
+
+def worst_severity(findings: Sequence[Finding]) -> int:
+    """Highest severity rank present (-1 when there are no findings)."""
+    return max((f.severity.rank for f in findings), default=-1)

@@ -1,0 +1,179 @@
+"""Reporters: the same findings as human text, JSON, or SARIF 2.1.0.
+
+All three renderers are deterministic (stable ordering, sorted keys)
+so their output can be golden-file tested and diffed across runs.
+Suppressed (baselined) findings stay visible: the text report counts
+them, the JSON report lists them separately, and the SARIF report marks
+them with an ``external`` suppression — which is how SARIF viewers and
+code-scanning UIs expect accepted findings to be represented.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding, Severity, sort_findings
+from repro.lint.rules import (
+    RULES, UNREAD_FLAG_RULE_ID, UNREAD_FLAG_SECTION,
+)
+
+__all__ = ["TOOL_NAME", "TOOL_VERSION", "render_text", "render_json",
+           "render_sarif"]
+
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "1.0.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+_INFO_URI = "https://github.com/project-repro/repro"
+
+
+def _count(findings: Sequence[Finding], severity: Severity) -> int:
+    return sum(1 for f in findings if f.severity is severity)
+
+
+def _summary_line(findings: Sequence[Finding],
+                  suppressed: Sequence[Finding]) -> str:
+    parts = [f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"]
+    parts.append(f"{_count(findings, Severity.ERROR)} errors")
+    parts.append(f"{_count(findings, Severity.WARNING)} warnings")
+    if suppressed:
+        parts.append(f"{len(suppressed)} baselined")
+    return " (".join([parts[0], ", ".join(parts[1:])]) + ")"
+
+
+def render_text(findings: Sequence[Finding],
+                suppressed: Sequence[Finding] = ()) -> str:
+    """One ``file:line: severity RULE [column] message`` line each."""
+    lines: List[str] = []
+    for finding in sort_findings(findings):
+        lines.append(
+            f"{finding.file}:{finding.line}: {finding.severity.value} "
+            f"{finding.rule_id} [{finding.column}] {finding.message}"
+        )
+    if not findings:
+        lines.append("no findings")
+    lines.append("")
+    lines.append(_summary_line(findings, suppressed))
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                suppressed: Sequence[Finding] = (),
+                columns: Sequence[str] = ()) -> str:
+    """The machine-readable report ``--format json`` prints."""
+    payload: Dict[str, Any] = {
+        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "columns": list(columns),
+        "findings": [f.to_dict() for f in sort_findings(findings)],
+        "suppressed": [f.to_dict() for f in sort_findings(suppressed)],
+        "summary": {
+            "total": len(findings),
+            "errors": _count(findings, Severity.ERROR),
+            "warnings": _count(findings, Severity.WARNING),
+            "notes": _count(findings, Severity.NOTE),
+            "baselined": len(suppressed),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# SARIF 2.1.0
+# --------------------------------------------------------------------- #
+
+
+def _sarif_rules() -> List[Dict[str, Any]]:
+    """Static rule metadata for the SARIF ``tool.driver.rules`` array."""
+    rules: List[Dict[str, Any]] = []
+    for rule in RULES:
+        rules.append({
+            "id": rule.rule_id,
+            "name": rule.rule_id.title().replace("-", ""),
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": rule.severity.value},
+            "properties": {"paperSection": rule.paper_section},
+        })
+    rules.append({
+        "id": UNREAD_FLAG_RULE_ID,
+        "name": "ConfigFlagUnread",
+        "shortDescription": {
+            "text": "ProtocolConfig field read nowhere in the tree",
+        },
+        "fullDescription": {
+            "text": ("A configuration knob that no protocol code "
+                     "consults is a defense that cannot be enforced."),
+        },
+        "defaultConfiguration": {"level": Severity.WARNING.value},
+        "properties": {"paperSection": UNREAD_FLAG_SECTION},
+    })
+    return rules
+
+
+def _rule_index(rules: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    return {str(rule["id"]): index for index, rule in enumerate(rules)}
+
+
+def _sarif_result(finding: Finding, index: Dict[str, int],
+                  suppressed: bool) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": index.get(finding.rule_id, -1),
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.file,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {"startLine": max(finding.line, 1)},
+            },
+        }],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+        "properties": {
+            "column": finding.column,
+            "paperSection": finding.paper_section,
+        },
+    }
+    if suppressed:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "accepted in lint-baseline.json",
+        }]
+    return result
+
+
+def render_sarif(findings: Sequence[Finding],
+                 suppressed: Sequence[Finding] = (),
+                 columns: Sequence[str] = ()) -> str:
+    """A single-run SARIF 2.1.0 log, suitable for code-scanning upload."""
+    rules = _sarif_rules()
+    index = _rule_index(rules)
+    results = [_sarif_result(f, index, suppressed=False)
+               for f in sort_findings(findings)]
+    results.extend(_sarif_result(f, index, suppressed=True)
+                   for f in sort_findings(suppressed))
+    log: Dict[str, Any] = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri": _INFO_URI,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root",
+                }},
+            },
+            "properties": {"columns": list(columns)},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

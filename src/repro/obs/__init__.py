@@ -34,8 +34,9 @@ from repro.obs.audit import (
 from repro.obs.bus import EventBus, capture, reset_captures
 from repro.obs.events import (
     ClockSkewReject, DecryptFailure, Event, ExchangeComplete,
-    LoginAttempt, PolicyReject, PreauthFailure, ReplayCacheHit,
-    SessionEstablished, TicketIssued, WireCrossing, event_from_dict,
+    LintFinding, LoginAttempt, PolicyReject, PreauthFailure,
+    ReplayCacheHit, SessionEstablished, TicketIssued, WireCrossing,
+    event_from_dict,
 )
 from repro.obs.metrics import MetricsRegistry, MetricsSink
 from repro.obs.sinks import CollectorSink, JsonlSink, read_jsonl
@@ -43,7 +44,8 @@ from repro.obs.sinks import CollectorSink, JsonlSink, read_jsonl
 __all__ = [
     "ANOMALY_KINDS", "AuditTrail", "ClockSkewReject", "CollectorSink",
     "DecryptFailure", "Event", "EventBus", "ExchangeComplete",
-    "ExchangeSpan", "JsonlSink", "LoginAttempt", "MetricsRegistry",
+    "ExchangeSpan", "JsonlSink", "LintFinding", "LoginAttempt",
+    "MetricsRegistry",
     "MetricsSink", "PolicyReject", "PreauthFailure", "ReplayCacheHit",
     "SessionEstablished", "TicketIssued", "WireCrossing", "build_spans",
     "capture", "correlate_with_wire_log", "detectability_digest",

@@ -27,7 +27,7 @@ __all__ = [
     "Event", "WireCrossing", "ExchangeComplete", "TicketIssued",
     "LoginAttempt", "SessionEstablished", "DecryptFailure",
     "ReplayCacheHit", "ClockSkewReject", "PreauthFailure", "PolicyReject",
-    "EVENT_KINDS", "event_from_dict",
+    "LintFinding", "EVENT_KINDS", "event_from_dict",
 ]
 
 
@@ -190,13 +190,30 @@ class PolicyReject(Event):
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class LintFinding(Event):
+    """The static analyzer (``python -m repro lint``) reported one
+    finding.  Tooling telemetry, not wire telemetry: it is deliberately
+    *not* an anomaly kind — a lint run must never perturb a scenario's
+    detectability digest."""
+
+    kind: ClassVar[str] = "LintFinding"
+
+    rule_id: str = ""
+    severity: str = ""   # "note", "warning", or "error"
+    column: str = ""     # protocol column the finding is against
+    file: str = ""
+    line: int = 0
+    message: str = ""
+
+
 #: Every concrete event kind, by name — the JSONL round-trip uses this.
 EVENT_KINDS: Dict[str, type] = {
     cls.kind: cls
     for cls in (
         WireCrossing, ExchangeComplete, TicketIssued, LoginAttempt,
         SessionEstablished, DecryptFailure, ReplayCacheHit,
-        ClockSkewReject, PreauthFailure, PolicyReject,
+        ClockSkewReject, PreauthFailure, PolicyReject, LintFinding,
     )
 }
 

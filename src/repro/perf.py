@@ -234,7 +234,7 @@ def render_report(report: Dict[str, Any]) -> str:
         f"attack matrix    serial  {matrix['serial_seconds']:>7.3f}s"
         f"   parallel={matrix['parallel']}  {matrix['parallel_seconds']:>7.3f}s"
         f"   ({matrix['cells']} cells, {matrix['des_block_ops']} DES ops)",
-        f"                 serial/parallel renders byte-identical:"
+        "                 serial/parallel renders byte-identical:"
         f" {matrix['identical_render']}",
     ]
     if "written_to" in report:

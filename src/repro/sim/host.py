@@ -24,7 +24,7 @@ point of benchmark E17.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.sim.clock import HostClock, SimClock

@@ -21,7 +21,7 @@ single over-permissive device node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.sim.host import Host, HostError, StorageKind
 

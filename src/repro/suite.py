@@ -186,35 +186,50 @@ def _scenario_rogue_realm(config: ProtocolConfig, seed: int) -> AttackResult:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One attack narrative, runnable against any configuration."""
+    """One attack narrative, runnable against any configuration.
+
+    ``rule_ids`` names the :mod:`repro.lint` rules that statically
+    predict this scenario: the consistency harness
+    (:func:`repro.lint.consistency.check_consistency`) asserts, for
+    every column, that *some* mapped rule fires iff the attack wins in
+    that cell.  An empty mapping opts the scenario out of the harness.
+    """
 
     name: str
     run: Callable[[ProtocolConfig, int], AttackResult]
     paper_section: str
+    rule_ids: Tuple[str, ...] = ()
 
 
 SCENARIOS: Tuple[Scenario, ...] = (
-    Scenario("authenticator replay", _scenario_replay, "Replay Attacks"),
+    Scenario("authenticator replay", _scenario_replay, "Replay Attacks",
+             rule_ids=("NO-REPLAY-CACHE",)),
     Scenario("time-spoofed stale replay", _scenario_time_spoof,
-             "Secure Time Services"),
+             "Secure Time Services", rule_ids=("TIME-UNAUTH",)),
     Scenario("one-sided address spoof", _scenario_one_sided_spoof,
-             "Replay Attacks [Morr85]"),
+             "Replay Attacks [Morr85]", rule_ids=("NO-REPLAY-CACHE",)),
     Scenario("TGT harvest + crack", _scenario_harvest,
-             "Password-Guessing Attacks"),
+             "Password-Guessing Attacks", rule_ids=("NO-PREAUTH",)),
     Scenario("eavesdrop + crack", _scenario_eavesdrop,
-             "Password-Guessing Attacks"),
-    Scenario("trojaned login", _scenario_login_spoof, "Spoofing Login"),
+             "Password-Guessing Attacks", rule_ids=("PW-EQUIV",)),
+    Scenario("trojaned login", _scenario_login_spoof, "Spoofing Login",
+             rule_ids=("TYPED-PW",)),
     Scenario("authenticator minting", _scenario_minting,
-             "Inter-Session Chosen Plaintext Attacks"),
+             "Inter-Session Chosen Plaintext Attacks",
+             rule_ids=("CPA-PREFIX",)),
     Scenario("ENC-TKT-IN-SKEY cut-and-paste", _scenario_enc_tkt,
-             "Weak Checksums and Cut-and-Paste Attacks"),
+             "Weak Checksums and Cut-and-Paste Attacks",
+             rule_ids=("WEAK-MAC",)),
     Scenario("REUSE-SKEY redirect", _scenario_reuse,
-             "Weak Checksums and Cut-and-Paste Attacks"),
+             "Weak Checksums and Cut-and-Paste Attacks",
+             rule_ids=("SKEY-REUSE",)),
     Scenario("ticket substitution", _scenario_substitution,
-             "Weak Checksums and Cut-and-Paste Attacks"),
-    Scenario("KRB_PRIV splicing", _scenario_splice, "The Encryption Layer"),
+             "Weak Checksums and Cut-and-Paste Attacks",
+             rule_ids=("REPLY-UNBOUND",)),
+    Scenario("KRB_PRIV splicing", _scenario_splice, "The Encryption Layer",
+             rule_ids=("PRIV-NO-INTEGRITY", "PCBC-SPLICE")),
     Scenario("rogue transit realm", _scenario_rogue_realm,
-             "Inter-Realm Authentication"),
+             "Inter-Realm Authentication", rule_ids=("XREALM-FORGE",)),
 )
 
 DEFAULT_COLUMNS: Tuple[Tuple[str, ProtocolConfig], ...] = (

@@ -1,6 +1,5 @@
 """The analysis helpers and the testbed builder itself."""
 
-import pytest
 
 from repro import Testbed, ProtocolConfig
 from repro.analysis import (

@@ -1,6 +1,5 @@
 """The adversarial encryption-layer validation game (paper's method)."""
 
-import pytest
 
 from repro.analysis.validation import (
     EncryptionLayerAdversary, validate_configuration,

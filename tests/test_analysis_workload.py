@@ -1,6 +1,5 @@
 """The site workload generator and the adversary-haul inventory."""
 
-import pytest
 
 from repro import ProtocolConfig
 from repro.analysis.cracking import PasswordPopulation

@@ -1,6 +1,5 @@
 """Key theft from hosts, login spoofing, PCBC splicing."""
 
-import pytest
 
 from repro import Testbed, ProtocolConfig
 from repro.attacks import (

@@ -1,6 +1,5 @@
 """Password-guessing attacks across all three channels."""
 
-import pytest
 
 from repro import Testbed, ProtocolConfig
 from repro.analysis import PasswordPopulation, attack_dictionary

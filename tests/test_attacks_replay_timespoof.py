@@ -1,7 +1,6 @@
 """Replay attacks, time spoofing, and the hijack family — the paper's
 protocol-weakness section as assertions."""
 
-import pytest
 
 from repro import Testbed, ProtocolConfig
 from repro.attacks import (

@@ -1,10 +1,8 @@
 """The rogue transit realm and the inter-realm client check."""
 
-import pytest
 
 from repro import Testbed, ProtocolConfig
 from repro.attacks import forge_foreign_client
-from repro.kerberos.client import KerberosError
 
 
 def deployment(config, seed=1):

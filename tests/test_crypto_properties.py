@@ -5,11 +5,10 @@ implementation bug would silently break and that the protocol design
 leans on (or must avoid leaning on).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.des import BLOCK_SIZE, encrypt_block
+from repro.crypto.des import encrypt_block
 from repro.crypto.md4 import MD4, md4
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.defenses.iv_chain import (
     CHAINED, channel_replay_outcome, comparison_rows, demonstrate,
 )
-from repro.kerberos.config import ProtocolConfig
 
 
 def test_demonstration_effective():

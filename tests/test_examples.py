@@ -6,7 +6,6 @@ exposes a ``main()`` that takes no arguments and prints to stdout.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

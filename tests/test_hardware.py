@@ -29,6 +29,7 @@ def test_unit_has_no_key_export():
     exported = [name for name in dir(unit)
                 if not name.startswith("_") and "key" in name.lower()]
     # Only loading/generating operations exist; none return bytes.
+    assert not any("export" in name or "extract" in name for name in exported)
     handle = unit.generate_session_key("pat")
     assert not isinstance(handle, (bytes, bytearray))
 
@@ -42,7 +43,7 @@ def test_unit_tag_enforcement():
         unit.seal_with(login, b"data")        # login key as session key
     with pytest.raises(UnitError):
         unit.decrypt_kdc_reply(session, b"")  # session key as login key
-    refusals = [l for l in unit.audit_log() if "REFUSED" in l]
+    refusals = [line for line in unit.audit_log() if "REFUSED" in line]
     assert len(refusals) == 2
 
 

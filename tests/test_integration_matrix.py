@@ -13,8 +13,7 @@ from repro.attacks import (
     enc_tkt_in_skey_attack, harvest_tickets, mail_check_capture,
     mint_authenticator_via_mail, offline_dictionary_attack,
     replay_ap_request, reuse_skey_redirect, tamper_private_message,
-    ticket_substitution, trojan_capture,
-)
+    ticket_substitution, )
 
 V4 = ProtocolConfig.v4()
 D3 = ProtocolConfig.v5_draft3()
@@ -121,7 +120,7 @@ def test_matrix_cell(name, attack, expected, column):
     config = CONFIGS[column]
     try:
         outcome = attack(config)
-    except Exception as exc:
+    except Exception:
         # Attacks against configurations that refuse the precondition may
         # surface as protocol errors; that counts as "blocked".
         outcome = False

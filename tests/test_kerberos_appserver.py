@@ -144,7 +144,7 @@ def test_forwarded_ticket_policy():
     outcome = bed.login("pat", "pw", ws, forwardable=True)
     from repro.kerberos.tickets import OPT_FORWARD
     tgt = outcome.client.ccache.tgt()
-    forwarded_tgt = outcome.client.get_service_ticket(
+    outcome.client.get_service_ticket(
         tgt.server, options=OPT_FORWARD, forward_address="10.0.0.50",
     )
     # Use the forwarded TGT to get a service ticket; it inherits nothing

@@ -1,11 +1,10 @@
 """Credential caches and the login programs."""
 
-import pytest
 
 from repro import Testbed, ProtocolConfig
 from repro.hardware import HandheldDevice
 from repro.kerberos.ccache import CredentialCache, Credentials, parse_cache_bytes
-from repro.kerberos.login import LoginProgram, TrojanedLoginProgram
+from repro.kerberos.login import TrojanedLoginProgram
 from repro.kerberos.principal import Principal
 from repro.sim.clock import SimClock
 from repro.sim.host import Host, StorageKind

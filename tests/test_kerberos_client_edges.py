@@ -7,7 +7,7 @@ from repro.kerberos.client import (
     KerberosClient, KerberosError, PasswordSecret,
 )
 from repro.kerberos.principal import Principal
-from repro.kerberos.realm import RealmDirectory, RealmError
+from repro.kerberos.realm import RealmError
 
 
 def make_bed(config=None, seed=1):

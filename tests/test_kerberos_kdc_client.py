@@ -6,13 +6,13 @@ from repro import Testbed, ProtocolConfig
 from repro.hardware import HandheldDevice
 from repro.kerberos import Principal
 from repro.kerberos.client import (
-    HandheldSecret, KerberosClient, KerberosError, PasswordSecret,
+    KerberosClient, KerberosError, PasswordSecret,
 )
 from repro.kerberos.messages import (
     ERR_PREAUTH_REQUIRED, ERR_POLICY, ERR_UNKNOWN_PRINCIPAL,
 )
 from repro.kerberos.tickets import (
-    FLAG_FORWARDABLE, FLAG_FORWARDED, OPT_FORWARD, Ticket,
+    FLAG_FORWARDED, OPT_FORWARD, Ticket,
 )
 
 CONFIG_IDS = ["v4", "v5-draft3", "hardened"]
@@ -136,7 +136,7 @@ def test_forwardable_ticket_flow():
     config = ProtocolConfig.v5_draft3()
     bed = Testbed(config, seed=7)
     bed.add_user("pat", "pw")
-    echo = bed.add_echo_server("echohost")
+    bed.add_echo_server("echohost")
     ws = bed.add_workstation("ws1")
     outcome = bed.login("pat", "pw", ws, forwardable=True)
     tgt = outcome.client.ccache.tgt()

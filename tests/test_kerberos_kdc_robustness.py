@@ -1,12 +1,10 @@
 """KDC edge cases: rate limiting, malformed input, policy corners."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Testbed, ProtocolConfig
 from repro.attacks import harvest_tickets
-from repro.kerberos.client import KerberosError
 from repro.kerberos.kdc import AS_SERVICE, TGS_SERVICE
 from repro.kerberos.messages import TGS_REQ, unframe
 from repro.kerberos.tickets import OPT_ENC_TKT_IN_SKEY, OPT_REUSE_SKEY

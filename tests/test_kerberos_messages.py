@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.crypto.checksum import ChecksumType
 from repro.crypto.rng import DeterministicRandom
-from repro.kerberos import messages
 from repro.kerberos.config import ProtocolConfig
 from repro.kerberos.messages import (
     SealError, decode_error, frame_error, frame_ok, seal, seal_private,
@@ -122,7 +121,6 @@ def test_unframe_empty_rejected():
 def test_nonzero_padding_rejected():
     """Garbage after the checksum must not be silently accepted."""
     config = CONFIGS["v4"]
-    rng = DeterministicRandom(1)
     # Build a sealed message then graft a tampered padded tail by
     # re-encrypting a modified plaintext by hand.
     from repro.crypto import modes

@@ -144,3 +144,26 @@ def test_deep_hierarchy_referral_chain():
         cred.sealed_ticket, sales.database.key_of(echo.principal), config
     )
     assert parse_transited(ticket.transited) == ["ENG.ACME", "ACME"]
+
+
+def test_record_transited_off_leaves_path_empty():
+    """Regression: the KDC referral path must consult
+    ``record_transited`` before appending to the transited field.  The
+    static pass (CONFIG-FLAG-UNREAD) caught the knob being ignored —
+    with recording off, a three-realm chain must yield an empty path."""
+    config = ProtocolConfig.v5_draft3().but(record_transited=False)
+    bed = Testbed(config, seed=5, realm="ACME")
+    eng = bed.add_realm("ENG.ACME")
+    sales = bed.add_realm("SALES.ACME")
+    bed.realms["ACME"].link(eng)
+    bed.realms["ACME"].link(sales)
+    eng.add_user("pat", "pw")
+    echo = bed.add_echo_server("eh", realm="SALES.ACME")
+    ws = bed.add_workstation("ws1")
+    outcome = bed.login("pat", "pw", ws, realm="ENG.ACME")
+    cred = outcome.client.get_service_ticket(echo.principal)
+    ticket = Ticket.unseal(
+        cred.sealed_ticket, sales.database.key_of(echo.principal), config
+    )
+    assert parse_transited(ticket.transited) == []
+    assert ticket.client.realm == "ENG.ACME"

@@ -2,7 +2,7 @@
 
 from repro import Testbed, ProtocolConfig
 from repro.kerberos.tools import (
-    describe_ticket, format_credentials, klist, wire_summary,
+    describe_ticket, klist, wire_summary,
 )
 from repro.kerberos.tickets import FLAG_FORWARDABLE, FLAG_FORWARDED, Ticket
 from repro.kerberos.principal import Principal

@@ -1,0 +1,137 @@
+"""The ``python -m repro lint`` command: exit codes, formats, events."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import resolve_columns, run_lint
+from repro.obs import capture, event_from_dict
+from repro.obs.events import LintFinding
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+VULNERABLE = (
+    "def accept(config, authenticator):\n"
+    "    if config.replay_cache:\n"
+    "        pass\n"
+    "    return config.preauth_required\n"
+)
+
+
+def snippet_tree(tmp_path, source=VULNERABLE):
+    (tmp_path / "proto.py").write_text(source)
+    return str(tmp_path)
+
+
+def run(tmp_path=None, **kwargs):
+    """run_lint with captured output; returns (exit_code, text)."""
+    lines = []
+    kwargs.setdefault("echo", lines.append)
+    if tmp_path is not None:
+        kwargs.setdefault("root", snippet_tree(tmp_path))
+    code = run_lint(**kwargs)
+    return code, "\n".join(lines)
+
+
+def test_resolve_columns():
+    assert [label for label, _ in resolve_columns("all")] == \
+        ["v4", "v5-draft3", "hardened"]
+    assert [label for label, _ in resolve_columns("v4")] == ["v4"]
+    assert resolve_columns("nope") is None
+
+
+def test_unknown_column_exits_2(tmp_path):
+    code, text = run(tmp_path, column="krb5")
+    assert code == 2
+    assert "unknown column" in text
+
+
+def test_parse_error_exits_2(tmp_path):
+    code, text = run(root=snippet_tree(tmp_path, "def broken(:\n"))
+    assert code == 2
+    assert "parse error" in text
+
+
+def test_findings_fail_threshold(tmp_path):
+    code, text = run(tmp_path, column="v4")
+    assert code == 1  # NO-REPLAY-CACHE (error) + NO-PREAUTH (warning)
+    assert "NO-REPLAY-CACHE" in text
+    assert "NO-PREAUTH" in text
+
+
+def test_fail_on_never(tmp_path):
+    code, _text = run(tmp_path, column="v4", fail_on="never")
+    assert code == 0
+
+
+def test_fail_on_error_ignores_warnings(tmp_path):
+    source = "def check(config):\n    return config.preauth_required\n"
+    code, text = run(root=snippet_tree(tmp_path, source), column="v4",
+                     fail_on="error")
+    assert code == 0
+    assert "NO-PREAUTH" in text
+
+
+def test_hardened_column_is_clean(tmp_path):
+    code, text = run(tmp_path, column="hardened")
+    assert code == 0
+    assert "no findings" in text
+
+
+def test_json_format(tmp_path):
+    code, text = run(tmp_path, column="v4", fmt="json")
+    assert code == 1
+    payload = json.loads(text)
+    assert payload["columns"] == ["v4"]
+    assert {f["rule_id"] for f in payload["findings"]} == \
+        {"NO-REPLAY-CACHE", "NO-PREAUTH"}
+
+
+def test_out_writes_report(tmp_path):
+    out = tmp_path / "report.sarif"
+    code, text = run(tmp_path, column="v4", fmt="sarif", out=str(out),
+                     fail_on="never")
+    assert code == 0
+    assert "wrote sarif report" in text
+    assert json.loads(out.read_text())["version"] == "2.1.0"
+
+
+def test_write_baseline_then_suppress(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    code, text = run(tmp_path, column="v4",
+                     write_baseline_path=str(baseline))
+    assert code == 0
+    assert "wrote 2 suppressions" in text
+
+    code, text = run(root=str(tmp_path), column="v4",
+                     baseline=str(baseline))
+    assert code == 0
+    assert "2 baselined" in text
+
+
+def test_bad_baseline_exits_2(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    code, text = run(tmp_path, column="v4", baseline=str(bad))
+    assert code == 2
+
+
+def test_findings_published_as_events(tmp_path):
+    with capture() as cap:
+        run(tmp_path, column="v4", fail_on="never")
+    lint_events = [e for e in cap.events if isinstance(e, LintFinding)]
+    assert {e.rule_id for e in lint_events} == \
+        {"NO-REPLAY-CACHE", "NO-PREAUTH"}
+    event = lint_events[0]
+    assert event.column == "v4"
+    assert event.line > 0
+    clone = event_from_dict(event.to_dict())
+    assert isinstance(clone, LintFinding)
+    assert clone.rule_id == event.rule_id
+
+
+def test_repo_baseline_covers_the_tree():
+    """The checked-in baseline accepts exactly the paper's findings: a
+    full run over the real tree with it is finding-free and exits 0."""
+    code, text = run(baseline=str(REPO_ROOT / "lint-baseline.json"))
+    assert code == 0, text
+    assert "no findings" in text

@@ -6,7 +6,6 @@ trusting parties, and that protocol hardening cannot save an
 application that drops to cleartext ("no steel doors in paper walls").
 """
 
-import pytest
 
 from repro import Testbed, ProtocolConfig
 from repro.attacks import (
@@ -14,7 +13,7 @@ from repro.attacks import (
     spoof_time_and_replay,
 )
 from repro.kerberos.appserver import PlaintextSessionServer
-from repro.kerberos.client import KerberosClient, KerberosError, PasswordSecret
+from repro.kerberos.client import KerberosClient
 from repro.kerberos.principal import Principal
 from repro.sim.network import Endpoint
 from repro.sim.timesvc import UnauthenticatedTimeService

@@ -7,7 +7,7 @@ from repro import Testbed, ProtocolConfig
 from repro.attacks import kmem_theft
 from repro.kerberos.appserver import BulletinServer
 from repro.kerberos.client import KerberosError
-from repro.sim.host import HostError, StorageKind
+from repro.sim.host import StorageKind
 from repro.sim.process import Process
 
 
@@ -68,7 +68,7 @@ def test_kmem_excludes_wiped_regions():
 
 def test_process_region_access_follows_host_rules():
     _bed, host = kmem_bed(seed=6)
-    victim_cache = f"ccache:victim"
+    victim_cache = "ccache:victim"
     assert Process(host, "victim").read_region(victim_cache)
     assert Process(host, "anyone", is_root=True).read_region(victim_cache)
 

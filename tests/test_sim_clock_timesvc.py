@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.clock import MINUTE, SECOND, HostClock, SimClock
 from repro.sim.host import Host
-from repro.sim.network import Adversary, Endpoint, Network
+from repro.sim.network import Adversary, Network
 from repro.sim.timesvc import (
     AuthenticatedTimeService, TimeSyncError, UnauthenticatedTimeService,
     sync_host_clock, sync_host_clock_authenticated,
