@@ -14,7 +14,12 @@ Commands:
 * ``lint``        — run the protocol-misuse static analyzer over
   ``src/repro`` against one or all protocol columns, reporting text,
   JSON, or SARIF 2.1.0 (optionally validated against the live attack
-  matrix with ``--consistency``).
+  matrix with ``--consistency``; ``--jobs N`` parallelises the scan);
+* ``check``       — re-derive the attack matrix symbolically with the
+  bounded Dolev-Yao model checker: attack traces in the paper's
+  notation for vulnerable cells, exhausted searches with named closing
+  defenses for safe ones (``--consistency`` pins checker == lint ==
+  live matrix for every mapped cell).
 
 Everything is deterministic; no network, no state left behind (except
 the JSONL file ``audit --jsonl`` writes and the benchmark report
@@ -208,6 +213,21 @@ def _cmd_lint(args) -> int:
         consistency=args.consistency,
         write_baseline_path=args.write_baseline,
         parallel=args.parallel,
+        jobs=args.jobs,
+    )
+
+
+def _cmd_check(args) -> int:
+    from repro.check.cli import run_check
+
+    return run_check(
+        fmt=args.format,
+        column=args.column,
+        out=args.out,
+        consistency=args.consistency,
+        parallel=args.parallel,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
     )
 
 
@@ -298,6 +318,45 @@ def main(argv=None) -> int:
         "--parallel", type=int, default=None,
         help="worker processes for the --consistency matrix run",
     )
+    lint.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the per-file source scan "
+             "(byte-identical output)",
+    )
+    check = sub.add_parser(
+        "check", help="re-derive the attack matrix with the bounded "
+                      "Dolev-Yao model checker"
+    )
+    check.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (default: text)",
+    )
+    check.add_argument(
+        "--column", default="all",
+        help="protocol column to check: v4, v5-draft3, hardened, or all "
+             "(default: all)",
+    )
+    check.add_argument(
+        "--out", metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    check.add_argument(
+        "--consistency", action="store_true",
+        help="also run the live attack matrix and the linter, asserting "
+             "all three verdicts agree cell by cell (~1 min serial)",
+    )
+    check.add_argument(
+        "--parallel", type=int, default=None,
+        help="worker processes for the --consistency matrix run",
+    )
+    check.add_argument(
+        "--max-rounds", type=int, default=64,
+        help="bound on knowledge-closure rounds per cell (default: 64)",
+    )
+    check.add_argument(
+        "--seed", type=int, default=1000,
+        help="base seed for the --consistency matrix run (default: 1000)",
+    )
     args = parser.parse_args(argv)
     handler = {
         "matrix": _cmd_matrix,
@@ -307,6 +366,7 @@ def main(argv=None) -> int:
         "audit": _cmd_audit,
         "perf": _cmd_perf,
         "lint": _cmd_lint,
+        "check": _cmd_check,
     }[args.command]
     return handler(args)
 

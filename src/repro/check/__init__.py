@@ -1,0 +1,40 @@
+"""A bounded Dolev-Yao model checker for the reproduced protocols.
+
+Where :mod:`repro.lint` asks "does the code contain the construct the
+paper warns about, under a vulnerable configuration?", this package asks
+the complementary question in the symbolic-analysis tradition the paper
+seeded (BAN logic, Dolev & Yao): *enumerate* what a network intruder can
+derive from the message flow itself, and either rediscover each attack
+as a concrete derivation — rendered in the paper's Table 1 notation —
+or exhaust the bounded search and report which defense closed it.
+
+Layers:
+
+* :mod:`repro.check.terms` — the term algebra ({Tc,s}Ks as data);
+* :mod:`repro.check.extract` — model extraction from the implementation's
+  own message schemas, annotations, and :class:`ProtocolConfig`;
+* :mod:`repro.check.engine` — knowledge-set closure with provenance;
+* :mod:`repro.check.properties` — the twelve per-exchange goals, one per
+  attack-matrix scenario;
+* :mod:`repro.check.witness` — derivation DAG -> numbered attack trace;
+* :mod:`repro.check.report` — text/JSON/SARIF rendering (sharing the
+  :mod:`repro.lint.reporters` machinery and fingerprint scheme);
+* :mod:`repro.check.consistency` — the tri-consistency harness pinning
+  checker verdict == lint verdict == live attack outcome per cell;
+* :mod:`repro.check.cli` — ``python -m repro check``.
+"""
+
+from repro.check.engine import Derivation, Knowledge, Rule, SearchResult, close
+from repro.check.extract import ExtractionError, ProtocolModel, extract_model
+from repro.check.properties import PROPERTIES, PROPERTIES_BY_ID, Problem, Property
+from repro.check.report import CheckCell, evaluate_matrix
+from repro.check.terms import Atom, Goal, Key, Sealed, Secret, Term, Tup, render
+from repro.check.witness import build_witness
+
+__all__ = [
+    "Atom", "Secret", "Key", "Tup", "Sealed", "Goal", "Term", "render",
+    "Derivation", "Knowledge", "Rule", "SearchResult", "close",
+    "ExtractionError", "ProtocolModel", "extract_model",
+    "Problem", "Property", "PROPERTIES", "PROPERTIES_BY_ID",
+    "CheckCell", "evaluate_matrix", "build_witness",
+]

@@ -1,0 +1,220 @@
+"""Bounded knowledge-set closure under the Dolev-Yao intruder rules.
+
+The intruder ``z`` owns the network: everything seeded is something z
+recorded or already possesses.  Each round closes the knowledge set
+under the generic capabilities —
+
+* **split** — a recorded concatenation separates into its fields;
+* **decrypt** — ``{m}K`` plus ``K`` yields ``m``;
+* **dictionary** — verifiable ciphertext under a password-derived
+  (``guessable``) key yields the key, the paper's offline guessing
+  attack;
+* **seal** — goal-directed construction: if some rule *requires* a
+  sealed term and z knows both its key and its body, z can build it
+  (this is what keeps construction finite: z only seals what some
+  acceptance rule would look at);
+
+— and under the per-property **protocol rules**: honest-party behaviours
+and intruder message manipulations (replay, field splicing, oracle
+queries), each optionally *gated* on configuration-derived facts.  A
+rule whose premises are derivable but whose gate is closed records the
+gate's reason: that list is the negative evidence a "search exhausted"
+verdict reports, naming exactly the defense that stopped the attack.
+
+The search is bounded by ``max_rounds``; every run either derives the
+goal (with full provenance, see :mod:`repro.check.witness`) or reaches
+a fixpoint — ``exhausted=True`` — which, the term universe being finite
+(subterms of seeds, rule products, and goal-directed constructions),
+means *no* derivation of the goal exists under the modelled rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.check.terms import Sealed, Term, Tup
+
+__all__ = ["Derivation", "Rule", "Knowledge", "SearchResult", "close"]
+
+#: A gate: (open?, reason the step fails when closed).
+Gate = Tuple[bool, str]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """How one term entered the knowledge set."""
+
+    rule: str
+    premises: Tuple[Term, ...] = ()
+    note: str = ""
+    sender: str = ""     # set for message steps: "z -> s: ..."
+    receiver: str = ""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One protocol step the intruder can trigger or perform.
+
+    ``requires`` are premises that must already be known; ``produces``
+    enter the knowledge set when the rule fires.  ``gates`` are
+    configuration-derived preconditions: the rule fires only when every
+    gate is open, and each closed gate's reason is recorded as negative
+    evidence once the premises are met.
+    """
+
+    name: str
+    requires: Tuple[Term, ...]
+    produces: Tuple[Term, ...]
+    note: str = ""
+    sender: str = ""
+    receiver: str = ""
+    gates: Tuple[Gate, ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        return all(open_ for open_, _reason in self.gates)
+
+    def blocked_reasons(self) -> List[str]:
+        return [reason for open_, reason in self.gates if not open_]
+
+
+class Knowledge:
+    """The intruder's knowledge set, with derivation provenance.
+
+    Insertion-ordered; the first derivation of a term is kept, so the
+    witness walks the earliest (shortest-round) derivation found.
+    """
+
+    def __init__(self) -> None:
+        self._terms: Dict[Term, Derivation] = {}
+
+    def add(self, term: Term, derivation: Derivation) -> bool:
+        """Record *term*; returns True when it is new."""
+        if term in self._terms:
+            return False
+        self._terms[term] = derivation
+        return True
+
+    def knows(self, term: Term) -> bool:
+        return term in self._terms
+
+    def knows_all(self, terms: Sequence[Term]) -> bool:
+        return all(term in self._terms for term in terms)
+
+    def derivation(self, term: Term) -> Derivation:
+        return self._terms[term]
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one bounded closure run."""
+
+    goal: Term
+    violated: bool
+    knowledge: Knowledge
+    rounds: int
+    exhausted: bool                       # fixpoint reached inside the bound
+    blocked: List[str] = field(default_factory=list)  # closed-gate reasons hit
+
+
+def _collect_seal_targets(rules: Sequence[Rule], goal: Term) -> List[Sealed]:
+    """Sealed terms worth constructing: those some rule (or the goal)
+    would actually look at."""
+    targets: List[Sealed] = []
+    seen = set()
+    candidates: List[Term] = [goal]
+    for rule in rules:
+        candidates.extend(rule.requires)
+    for term in candidates:
+        if isinstance(term, Sealed) and term not in seen:
+            seen.add(term)
+            targets.append(term)
+    return targets
+
+
+def close(
+    seeds: Sequence[Tuple[Term, str]],
+    rules: Sequence[Rule],
+    goal: Term,
+    max_rounds: int = 64,
+) -> SearchResult:
+    """Close the intruder's knowledge from *seeds* under *rules*.
+
+    Stops as soon as the goal is derived, at a fixpoint (``exhausted``),
+    or after *max_rounds* (neither violated nor exhausted: the bound was
+    the limit, which the CLI treats as an error worth raising).
+    """
+    knowledge = Knowledge()
+    for term, note in seeds:
+        knowledge.add(term, Derivation("seed", note=note))
+
+    blocked: List[str] = []
+    seal_targets = _collect_seal_targets(rules, goal)
+    rounds = 0
+    exhausted = False
+
+    while rounds < max_rounds:
+        rounds += 1
+        grew = False
+
+        # Generic Dolev-Yao closure over what is currently known.
+        for term in list(knowledge):
+            if isinstance(term, Tup):
+                for item in term.items:
+                    grew |= knowledge.add(item, Derivation(
+                        "split", (term,), "z separates the recorded fields",
+                    ))
+            elif isinstance(term, Sealed):
+                if knowledge.knows(term.key):
+                    grew |= knowledge.add(term.body, Derivation(
+                        "decrypt", (term, term.key),
+                        f"z decrypts with {term.key.label}",
+                    ))
+                if term.key.guessable:
+                    grew |= knowledge.add(term.key, Derivation(
+                        "dictionary", (term,),
+                        "verifiable ciphertext under a password-derived "
+                        "key: offline dictionary attack recovers it",
+                    ))
+
+        # Goal-directed construction of sealed terms.
+        for target in seal_targets:
+            if (not knowledge.knows(target)
+                    and knowledge.knows(target.key)
+                    and knowledge.knows(target.body)):
+                grew |= knowledge.add(target, Derivation(
+                    "seal", (target.body, target.key),
+                    f"z seals the composed fields under {target.key.label}",
+                ))
+
+        # Protocol rules: honest parties and intruder manipulations.
+        for rule in rules:
+            if not knowledge.knows_all(rule.requires):
+                continue
+            if not rule.enabled:
+                for reason in rule.blocked_reasons():
+                    if reason not in blocked:
+                        blocked.append(reason)
+                continue
+            for produced in rule.produces:
+                grew |= knowledge.add(produced, Derivation(
+                    rule.name, rule.requires, rule.note,
+                    rule.sender, rule.receiver,
+                ))
+
+        if knowledge.knows(goal):
+            return SearchResult(goal, True, knowledge, rounds, False, blocked)
+        if not grew:
+            exhausted = True
+            break
+
+    return SearchResult(
+        goal, knowledge.knows(goal), knowledge, rounds, exhausted, blocked,
+    )

@@ -1,0 +1,174 @@
+"""Derive the symbolic protocol model from the implementation itself.
+
+The checker does not ship a hand-written abstraction of the protocol.
+It reads the same artefacts the implementation runs on:
+
+* the schema registry in :mod:`repro.kerberos.messages`
+  (``ALL_SCHEMAS``) plus its two model annotations — ``SEALED_PARTS``
+  (which key class seals each encrypted structure, under which seal
+  flavour) and ``CLEARTEXT_GUARDS`` (the cut-and-paste surface);
+* the field-role tables in :mod:`repro.kerberos.tickets`;
+* the :class:`~repro.kerberos.config.ProtocolConfig` for the column
+  under analysis, including the checksum specs it selects;
+* the source text of ``messages.py``, parsed with :mod:`ast`, to anchor
+  every finding at the line where the relevant schema (or seal flavour)
+  is declared — the same file/line discipline :mod:`repro.lint` uses.
+
+Every cross-reference is validated; a drifted annotation (a sealed part
+naming a schema that no longer exists, a guard listing a field a schema
+lost) raises :class:`ExtractionError` rather than silently checking a
+model of a protocol the code no longer implements.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.crypto.checksum import spec_for
+from repro.kerberos import messages, tickets
+from repro.kerberos.config import DEFENSE_NOTES, ProtocolConfig
+
+__all__ = ["ExtractionError", "ProtocolModel", "extract_model"]
+
+_KEY_CLASSES = frozenset({"client", "service", "session", "tgs"})
+_SEAL_FLAVOURS = frozenset({"seal", "seal_private"})
+
+
+class ExtractionError(Exception):
+    """The model annotations and the implementation disagree."""
+
+
+@dataclass(frozen=True)
+class ProtocolModel:
+    """Everything the properties need to know about one protocol column."""
+
+    column: str
+    config: ProtocolConfig
+    sealed_parts: Dict[str, Tuple[str, str]]
+    cleartext_guards: Dict[str, Tuple[str, ...]]
+    # Derived facts the property gates read.
+    reply_key_guessable: bool          # KDC reply sealed under password key?
+    seal_checksum_keyed: bool          # interior seal digest needs the key?
+    tgs_checksum_collision_proof: bool  # TGS_REQ cleartext guard forgeable?
+    priv_integrity: bool               # KRB_PRIV routed through the full seal?
+    priv_layout: str                   # "v4" or "v5draft"
+    key_material_fields: Tuple[str, ...]  # sealed fields holding key material
+    # Finding anchors: logical name -> line in anchor_file.
+    anchor_file: str
+    anchors: Dict[str, int]
+
+    def defense_note(self, knob: str) -> str:
+        """The paper-grounded reason the *knob* defense closes a step."""
+        try:
+            return DEFENSE_NOTES[knob]
+        except KeyError:
+            raise ExtractionError(f"no defense note for config knob {knob!r}")
+
+
+def _schema_anchors() -> Tuple[str, Dict[str, int]]:
+    """Line numbers of every ``NAME = _schema(...)`` declaration, plus the
+    ``seal_private`` definition, in ``messages.py``."""
+    source_path = Path(inspect.getsourcefile(messages) or "")
+    if not source_path.is_file():
+        raise ExtractionError("cannot locate repro.kerberos.messages source")
+    tree = ast.parse(source_path.read_text(), filename=str(source_path))
+
+    by_var: Dict[str, int] = {}
+    anchors: Dict[str, int] = {}
+    for node in tree.body:
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id == "_schema"):
+            by_var[node.targets[0].id] = node.lineno
+        elif isinstance(node, ast.FunctionDef) and node.name == "seal_private":
+            anchors["seal_private"] = node.lineno
+
+    for schema in messages.ALL_SCHEMAS:
+        var_name = schema.name.upper().replace("-", "_")
+        if var_name not in by_var:
+            raise ExtractionError(
+                f"schema {schema.name!r} has no _schema() declaration "
+                f"named {var_name} in messages.py"
+            )
+        anchors[schema.name] = by_var[var_name]
+    if "seal_private" not in anchors:
+        raise ExtractionError("messages.py no longer defines seal_private")
+
+    anchor_file = "src/repro/kerberos/" + source_path.name
+    return anchor_file, anchors
+
+
+def _validate_annotations() -> None:
+    names = {schema.name for schema in messages.ALL_SCHEMAS}
+    fields = {
+        schema.name: {f.name for f in schema.fields}
+        for schema in messages.ALL_SCHEMAS
+    }
+
+    for part, (key_class, flavour) in messages.SEALED_PARTS.items():
+        if part != "krb-priv" and part not in names:
+            raise ExtractionError(
+                f"SEALED_PARTS names unknown schema {part!r}")
+        if key_class not in _KEY_CLASSES:
+            raise ExtractionError(
+                f"SEALED_PARTS[{part!r}] has unknown key class {key_class!r}")
+        if flavour not in _SEAL_FLAVOURS:
+            raise ExtractionError(
+                f"SEALED_PARTS[{part!r}] has unknown seal flavour {flavour!r}")
+
+    for part, guarded in messages.CLEARTEXT_GUARDS.items():
+        if part not in names:
+            raise ExtractionError(
+                f"CLEARTEXT_GUARDS names unknown schema {part!r}")
+        missing = [f for f in guarded if f not in fields[part]]
+        if missing:
+            raise ExtractionError(
+                f"CLEARTEXT_GUARDS[{part!r}] lists fields {missing} the "
+                f"schema does not have"
+            )
+
+    for table, schema_name in (
+        (tickets.TICKET_FIELD_ROLES, messages.TICKET.name),
+        (tickets.AUTHENTICATOR_FIELD_ROLES, messages.AUTHENTICATOR.name),
+    ):
+        missing = [f for f in table if f not in fields[schema_name]]
+        if missing:
+            raise ExtractionError(
+                f"field-role table for {schema_name!r} lists fields "
+                f"{missing} the schema does not have"
+            )
+
+
+def extract_model(config: ProtocolConfig, column: str) -> ProtocolModel:
+    """Build the symbolic model of *config*, anchored for reporting."""
+    _validate_annotations()
+    anchor_file, anchors = _schema_anchors()
+
+    seal_spec = spec_for(config.seal_checksum)
+    tgs_spec = spec_for(config.tgs_req_checksum)
+    key_material = tuple(sorted(
+        name for name, role in tickets.TICKET_FIELD_ROLES.items()
+        if role == "key-material"
+    ))
+
+    return ProtocolModel(
+        column=column,
+        config=config,
+        sealed_parts=dict(messages.SEALED_PARTS),
+        cleartext_guards=dict(messages.CLEARTEXT_GUARDS),
+        reply_key_guessable=not config.dh_login,
+        seal_checksum_keyed=seal_spec.keyed,
+        tgs_checksum_collision_proof=tgs_spec.collision_proof,
+        priv_integrity=config.private_message_integrity,
+        priv_layout=config.krb_priv_layout,
+        key_material_fields=key_material,
+        anchor_file=anchor_file,
+        anchors=anchors,
+    )

@@ -1,0 +1,609 @@
+"""The twelve properties: one bounded-search problem per matrix scenario.
+
+Each :class:`Property` mirrors one row of the attack matrix
+(:data:`repro.suite.SCENARIOS`, linked by ``property_id``) and one
+:mod:`repro.lint` rule family (same severity, same paper section).  Its
+``build`` function turns a :class:`~repro.check.extract.ProtocolModel`
+into a :class:`Problem` — intruder seeds, protocol rules, and the goal
+term — such that the bounded closure:
+
+* **derives the goal** exactly in the cells where the live attack wins
+  (the derivation, rendered by :mod:`repro.check.witness`, is the attack
+  narrative in Table 1 notation); and
+* **exhausts the search** in the cells where the attack is blocked,
+  with the closed gates quoting
+  :data:`~repro.kerberos.config.DEFENSE_NOTES` — the model's account of
+  *which* defense stopped it.
+
+The gates are read off the extracted model (configuration knobs and
+checksum specs), never hard-coded per column: flipping a knob in
+:class:`ProtocolConfig` moves the verdict, which is what the
+tri-consistency harness (:mod:`repro.check.consistency`) pins against
+the live matrix and the linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.check.extract import ProtocolModel
+from repro.check.terms import Atom, Goal, Key, Sealed, Term, Tup
+from repro.check.engine import Rule
+from repro.lint.findings import Severity
+
+__all__ = ["Problem", "Property", "PROPERTIES", "PROPERTIES_BY_ID"]
+
+Seed = Tuple[Term, str]
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One search instance: what z starts with, what the protocol does,
+    and the violation to look for."""
+
+    seeds: Tuple[Seed, ...]
+    rules: Tuple[Rule, ...]
+    goal: Term
+    headline: str    # one-line finding message when the goal is derived
+
+
+@dataclass(frozen=True)
+class Property:
+    """One per-exchange security goal, mapped to a matrix scenario."""
+
+    property_id: str
+    scenario: str          # Scenario.name in repro.suite
+    kind: str              # "authentication" | "confidentiality" | "integrity"
+    title: str
+    paper_section: str
+    severity: Severity
+    anchor: str            # logical anchor name in ProtocolModel.anchors
+    build: Callable[[ProtocolModel], Problem]
+
+
+def _gate(model: ProtocolModel, open_: bool, knob: str) -> Tuple[bool, str]:
+    return (open_, model.defense_note(knob))
+
+
+# --------------------------------------------------------------------- #
+# replay-family properties (paper: Replay Attacks / Secure Time Services)
+# --------------------------------------------------------------------- #
+
+
+def _build_replay(model: ProtocolModel) -> Problem:
+    config = model.config
+    ap_req = Tup((
+        Sealed(Atom("Tc,s"), Key("Ks")),
+        Sealed(Atom("Ac"), Key("Kc,s")),
+    ))
+    goal = Goal("accepts-as", "s", "c, from a replayed authenticator")
+    replay = Rule(
+        "replay-authenticator",
+        requires=(ap_req,),
+        produces=(goal,),
+        note="the copy is inside the clock-skew window, so the timestamp "
+             "check passes",
+        sender="z", receiver="s",
+        gates=(
+            _gate(model, not config.replay_cache, "replay_cache"),
+            _gate(model, not config.challenge_response, "challenge_response"),
+        ),
+    )
+    return Problem(
+        seeds=((ap_req, "c's AP_REQ to s, copied off the wire"),),
+        rules=(replay,),
+        goal=goal,
+        headline="a recorded authenticator replays verbatim within the "
+                 "skew window",
+    )
+
+
+def _build_time(model: ProtocolModel) -> Problem:
+    config = model.config
+    ap_req = Tup((
+        Sealed(Atom("Tc,s"), Key("Ks")),
+        Sealed(Atom("Ac"), Key("Kc,s")),
+    ))
+    stale_clock = Atom("clock(s) := t0, dragged back by a forged time reply")
+    goal = Goal("accepts-as", "s", "c, from an expired authenticator made "
+                                   "fresh again")
+    spoof_time = Rule(
+        "spoof-time-service",
+        requires=(),
+        produces=(stale_clock,),
+        note="the host synchronises from an unauthenticated time service, "
+             "so z answers the query itself",
+        sender="z", receiver="s",
+    )
+    replay = Rule(
+        "replay-stale-authenticator",
+        requires=(ap_req, stale_clock),
+        produces=(goal,),
+        note="against the dragged-back clock the old timestamp is current",
+        sender="z", receiver="s",
+        gates=(
+            _gate(model, not config.replay_cache, "replay_cache"),
+            _gate(model, not config.challenge_response, "challenge_response"),
+        ),
+    )
+    return Problem(
+        seeds=((ap_req, "c's AP_REQ to s, recorded at time t0 and held"),),
+        rules=(spoof_time, replay),
+        goal=goal,
+        headline="an unauthenticated time service reopens the freshness "
+                 "window for stale authenticators",
+    )
+
+
+def _build_addr(model: ProtocolModel) -> Problem:
+    config = model.config
+    ap_req = Tup((
+        Sealed(Atom("Tc,s"), Key("Ks")),
+        Sealed(Atom("Ac"), Key("Kc,s")),
+    ))
+    goal = Goal("accepts-as", "s", "c, from z's host with c's source address")
+    replay = Rule(
+        "replay-from-spoofed-source",
+        requires=(ap_req,),
+        produces=(goal,),
+        note="the address in ticket and authenticator is c's, so z sends "
+             "from a spoofed source and sequence-guesses the one-sided "
+             "TCP conversation [Morr85]",
+        sender="z", receiver="s",
+        gates=(
+            _gate(model, not config.replay_cache, "replay_cache"),
+            _gate(model, not config.challenge_response, "challenge_response"),
+        ),
+    )
+    return Problem(
+        seeds=((ap_req, "c's AP_REQ to s, copied off the wire"),),
+        rules=(replay,),
+        goal=goal,
+        headline="address binding does not stop a replay sent from a "
+                 "spoofed source",
+    )
+
+
+# --------------------------------------------------------------------- #
+# password-family properties (paper: Password-Guessing / Spoofing Login)
+# --------------------------------------------------------------------- #
+
+
+def _build_harvest(model: ProtocolModel) -> Problem:
+    config = model.config
+    reply_key = (Key("Kc", guessable=True) if model.reply_key_guessable
+                 else Key("Kdh(c)"))
+    request = Atom("AS_REQ naming c (no proof of identity attached)")
+    reply = Sealed(Atom("Kc,tgs, tgs, lifetime"), reply_key)
+    goal = Key("Kc", guessable=True)
+    oracle = Rule(
+        "as-answers-anyone",
+        requires=(request,),
+        produces=(reply,),
+        note="the AS replies to any request with material sealed under "
+             "the named principal's key",
+        sender="as", receiver="z",
+        gates=(_gate(model, not config.preauth_required, "preauth_required"),),
+    )
+    return Problem(
+        seeds=((request, "z composes a login request for the victim"),),
+        rules=(oracle,),
+        goal=goal,
+        headline="the AS exchange hands out dictionary-attackable blobs "
+                 "for any named principal",
+    )
+
+
+def _build_eavesdrop(model: ProtocolModel) -> Problem:
+    config = model.config
+    reply_key = (Key("Kc", guessable=True) if model.reply_key_guessable
+                 else Key("Kdh(c)"))
+    reply = Sealed(Atom("Kc,tgs, tgs, lifetime"), reply_key)
+    goal = Key("Kc", guessable=True)
+    crack = Rule(
+        "offline-dictionary",
+        requires=(reply,),
+        produces=(goal,),
+        note="the recorded reply is verifiable ciphertext: each candidate "
+             "password is checked offline against it",
+        gates=(_gate(model, not config.dh_login, "dh_login"),),
+    )
+    return Problem(
+        seeds=((reply, "c's genuine login reply, copied off the wire"),),
+        rules=(crack,),
+        goal=goal,
+        headline="a wiretapped login reply is password-equivalent "
+                 "verifiable ciphertext",
+    )
+
+
+def _build_login(model: ProtocolModel) -> Problem:
+    config = model.config
+    prompt = Atom("c types at a workstation z controls")
+    credential = Atom("the value c typed at login")
+    goal = Goal("logs-in-as", "z", "c, replaying the captured credential "
+                                   "later")
+    capture = Rule(
+        "trojan-captures-credential",
+        requires=(prompt,),
+        produces=(credential,),
+        note="the trojaned login program records the keystrokes before "
+             "running the real exchange",
+        sender="c", receiver="z",
+    )
+    reuse = Rule(
+        "replay-credential",
+        requires=(credential,),
+        produces=(goal,),
+        note="the typed password is the long-lived secret itself, valid "
+             "until changed",
+        sender="z", receiver="as",
+        gates=(_gate(model, not config.handheld_login, "handheld_login"),),
+    )
+    return Problem(
+        seeds=((prompt, "z trojaned the public workstation's login"),),
+        rules=(capture, reuse),
+        goal=goal,
+        headline="a trojaned login captures a credential that stays valid "
+                 "indefinitely",
+    )
+
+
+# --------------------------------------------------------------------- #
+# chosen-plaintext property (paper: Inter-Session Chosen Plaintext)
+# --------------------------------------------------------------------- #
+
+
+def _build_mint(model: ProtocolModel) -> Problem:
+    config = model.config
+    chosen = Atom("M*, mail whose leading bytes are an authenticator body "
+                  "naming c")
+    victim_ticket = Sealed(Atom("Tc,s"), Key("Ks"))
+    delivered = Sealed(chosen, Key("Kc,s"), integrity=False)
+    minted = Sealed(Atom("Ac*, the minted authenticator"), Key("Kc,s"))
+    goal = Goal("accepts-as", "s", "c, from an authenticator z never could "
+                                   "have sealed")
+    oracle = Rule(
+        "service-encrypts-chosen-plaintext",
+        requires=(chosen,),
+        produces=(delivered,),
+        note="the mail server delivers z's message to c over the KRB_PRIV "
+             "channel, encrypting z's bytes under c's session key",
+        sender="s", receiver="c",
+    )
+    cut = Rule(
+        "cut-ciphertext-prefix",
+        requires=(delivered,),
+        produces=(minted,),
+        note="DATA leads the KRB_PRIV layout, so a ciphertext prefix cut "
+             "at a block boundary seals exactly z's leading bytes; the "
+             "unkeyed interior checksum is z-computable",
+        gates=(
+            _gate(model, model.priv_layout == "v5draft", "krb_priv_layout"),
+            _gate(model, not model.seal_checksum_keyed, "seal_checksum"),
+        ),
+    )
+    present = Rule(
+        "present-minted-authenticator",
+        requires=(victim_ticket, minted),
+        produces=(goal,),
+        note="the minted authenticator rides c's recorded ticket",
+        sender="z", receiver="s",
+        gates=(
+            _gate(model, not config.challenge_response, "challenge_response"),
+            _gate(model, not config.negotiate_session_key,
+                  "negotiate_session_key"),
+        ),
+    )
+    return Problem(
+        seeds=(
+            (chosen, "z composes the chosen plaintext and mails it to c"),
+            (victim_ticket, "c's ticket for s, copied off the wire"),
+        ),
+        rules=(oracle, cut, present),
+        goal=goal,
+        headline="a service that encrypts chosen plaintext becomes an "
+                 "authenticator-minting oracle",
+    )
+
+
+# --------------------------------------------------------------------- #
+# cut-and-paste properties (paper: Weak Checksums and Cut-and-Paste)
+# --------------------------------------------------------------------- #
+
+
+def _build_splice(model: ProtocolModel) -> Problem:
+    config = model.config
+    victim_req = Tup((
+        Sealed(Atom("Tc,tgs"), Key("Ktgs")),
+        Sealed(Atom("Ac"), Key("Kc,tgs")),
+        Atom("cleartext request fields, guarded only by a checksum"),
+    ))
+    own_tgt = Sealed(Atom("Tz,tgs"), Key("Ktgs"))
+    rewritten = Atom("TGS_REQ*, c's request with ENC-TKT-IN-SKEY set, "
+                     "Tz,tgs enclosed, and the checksum steered back via "
+                     "authorization-data")
+    new_key = Key("Kc,s*")
+    reply = Sealed(Tup((new_key, Atom("s, lifetime"))), Key("Kz,tgs"))
+    rewrite = Rule(
+        "rewrite-cleartext-fields",
+        requires=(victim_req, own_tgt),
+        produces=(rewritten,),
+        note="the guard checksum is linear, so z chooses authorization-"
+             "data bytes that steer it back to the recorded value",
+        sender="z", receiver="tgs",
+        gates=(
+            _gate(model, not model.tgs_checksum_collision_proof,
+                  "tgs_req_checksum"),
+        ),
+    )
+    issue = Rule(
+        "tgs-issues-under-enclosed-key",
+        requires=(rewritten,),
+        produces=(reply,),
+        note="ENC-TKT-IN-SKEY seals the reply under the session key of "
+             "the *enclosed* ticket — which is z's",
+        sender="tgs", receiver="z",
+        gates=(
+            _gate(model, config.allow_enc_tkt_in_skey,
+                  "allow_enc_tkt_in_skey"),
+            _gate(model, not config.enc_tkt_cname_check,
+                  "enc_tkt_cname_check"),
+        ),
+    )
+    return Problem(
+        seeds=(
+            (victim_req, "c's TGS_REQ, copied off the wire"),
+            (own_tgt, "z's own legitimately obtained TGT"),
+            (Key("Kz,tgs"), "the session key of z's own TGT"),
+        ),
+        rules=(rewrite, issue),
+        goal=new_key,
+        headline="a spliced ENC-TKT-IN-SKEY request leaks the victim's "
+                 "new session key to z",
+    )
+
+
+def _build_redirect(model: ProtocolModel) -> Problem:
+    config = model.config
+    request = Atom("c's TGS_REQ for bs with REUSE-SKEY set")
+    shared = Atom("Tc,fs and Tc,bs carry the same multi-session key")
+    command = Sealed(Atom("D, a command intended for fs"), Key("Kc,multi"))
+    goal = Goal("executes", "bs", "a command c sealed for fs")
+    issue = Rule(
+        "kdc-issues-shared-key",
+        requires=(request,),
+        produces=(shared,),
+        note="REUSE-SKEY duplicates one session key across services",
+        sender="tgs", receiver="c",
+        gates=(_gate(model, config.allow_reuse_skey, "allow_reuse_skey"),),
+    )
+    redirect = Rule(
+        "redirect-sealed-command",
+        requires=(shared, command),
+        produces=(goal,),
+        note="bs unseals with the shared key and finds a well-formed "
+             "command; nothing marks which service it was meant for",
+        sender="z", receiver="bs",
+        gates=(
+            _gate(model, not config.negotiate_session_key,
+                  "negotiate_session_key"),
+        ),
+    )
+    return Problem(
+        seeds=(
+            (request, "c's option-bearing request, copied off the wire"),
+            (command, "c's sealed command to fs, copied off the wire"),
+        ),
+        rules=(issue, redirect),
+        goal=goal,
+        headline="one multi-session key lets sealed traffic for one "
+                 "service replay against another",
+    )
+
+
+def _build_subst(model: ProtocolModel) -> Problem:
+    config = model.config
+    reply = Tup((
+        Sealed(Atom("Tc,s"), Key("Ks")),
+        Sealed(Atom("Kc,s, nonce, lifetime"), Key("Kc,tgs")),
+    ))
+    other_ticket = Sealed(Atom("Tc,s'"), Key("Ks'"))
+    swapped = Atom("TGS_REP*, the reply with its cleartext ticket swapped")
+    goal = Goal("accepts", "c", "a reply whose ticket is not the one the "
+                                "KDC sealed it with")
+    swap = Rule(
+        "substitute-cleartext-ticket",
+        requires=(reply, other_ticket),
+        produces=(swapped,),
+        note="the ticket travels outside the encrypted part, so z swaps "
+             "it in transit",
+        sender="z", receiver="c",
+    )
+    accept = Rule(
+        "client-accepts-swapped-reply",
+        requires=(swapped,),
+        produces=(goal,),
+        note="nothing inside the sealed part names the ticket beside it; "
+             "c discovers the swap only at first use",
+        gates=(
+            _gate(model, not config.kdc_reply_ticket_checksum,
+                  "kdc_reply_ticket_checksum"),
+        ),
+    )
+    return Problem(
+        seeds=(
+            (reply, "the KDC's reply to c, intercepted in transit"),
+            (other_ticket, "a different sealed ticket z recorded earlier"),
+        ),
+        rules=(swap, accept),
+        goal=goal,
+        headline="the KDC reply does not bind the cleartext ticket it "
+                 "carries",
+    )
+
+
+# --------------------------------------------------------------------- #
+# encryption-layer property (paper: The Encryption Layer)
+# --------------------------------------------------------------------- #
+
+
+def _build_priv(model: ProtocolModel) -> Problem:
+    msg1 = Sealed(Atom("D1"), Key("Kc,s"), integrity=False)
+    msg2 = Sealed(Atom("D2"), Key("Kc,s"), integrity=False)
+    spliced = Atom("C*, ciphertext with block pairs exchanged between the "
+                   "two messages")
+    goal = Goal("accepts", "s", "a private message z rearranged")
+    if model.config.cipher_mode == "pcbc":
+        mode_note = ("PCBC's error propagation cancels over an exchanged "
+                     "adjacent block pair: the tail decrypts intact")
+    else:
+        mode_note = ("CBC garbles only the block after each splice point: "
+                     "the rest decrypts intact")
+    splice = Rule(
+        "splice-ciphertext-blocks",
+        requires=(msg1, msg2),
+        produces=(spliced,),
+        note=mode_note,
+        sender="z", receiver="s",
+    )
+    accept = Rule(
+        "accept-spliced-private-message",
+        requires=(spliced,),
+        produces=(goal,),
+        note="the privacy-only seal carries no interior checksum, so the "
+             "receiver cannot tell splice damage from data",
+        gates=(
+            _gate(model, not model.priv_integrity,
+                  "private_message_integrity"),
+        ),
+    )
+    return Problem(
+        seeds=(
+            (msg1, "one KRB_PRIV message on c's channel, copied"),
+            (msg2, "a second KRB_PRIV message on the same channel, copied"),
+        ),
+        rules=(splice, accept),
+        goal=goal,
+        headline="privacy-only sealing leaves private messages spliceable",
+    )
+
+
+# --------------------------------------------------------------------- #
+# inter-realm property (paper: Inter-Realm Authentication)
+# --------------------------------------------------------------------- #
+
+
+def _build_xrealm(model: ProtocolModel) -> Problem:
+    config = model.config
+    inter_key = Key("Kinter")
+    forged_body = Atom("Tz*, a cross-realm TGT body naming admin@VICTIM")
+    forged = Sealed(forged_body, inter_key)
+    goal = Goal("issues", "tgs(VICTIM)", "tickets for admin@VICTIM to the "
+                                         "rogue realm's creature")
+    accept = Rule(
+        "tgs-honours-foreign-client",
+        requires=(forged,),
+        produces=(goal,),
+        note="the ticket unseals correctly under the inter-realm key, and "
+             "the client name inside is taken at face value",
+        sender="z", receiver="tgs",
+        gates=(
+            _gate(model, not config.verify_interrealm_client,
+                  "verify_interrealm_client"),
+        ),
+    )
+    return Problem(
+        seeds=(
+            (inter_key, "z operates realm EVIL.VICTIM, which shares an "
+                        "inter-realm key with VICTIM"),
+            (forged_body, "z composes the ticket body, naming whomever it "
+                          "likes"),
+        ),
+        rules=(accept,),
+        goal=goal,
+        headline="a rogue realm holding an inter-realm key can name "
+                 "principals of realms it never touched",
+    )
+
+
+# --------------------------------------------------------------------- #
+# the registry
+# --------------------------------------------------------------------- #
+
+
+PROPERTIES: Tuple[Property, ...] = (
+    Property(
+        "AUTH-REPLAY", "authenticator replay", "authentication",
+        "authenticators must not be accepted twice",
+        "Replay Attacks", Severity.ERROR, "authenticator", _build_replay,
+    ),
+    Property(
+        "AUTH-TIME", "time-spoofed stale replay", "authentication",
+        "freshness must survive a lying time source",
+        "Secure Time Services", Severity.ERROR, "authenticator", _build_time,
+    ),
+    Property(
+        "AUTH-ADDR", "one-sided address spoof", "authentication",
+        "address binding must not be the only replay defense",
+        "Replay Attacks [Morr85]", Severity.ERROR, "authenticator",
+        _build_addr,
+    ),
+    Property(
+        "CONF-HARVEST", "TGT harvest + crack", "confidentiality",
+        "the AS must not hand out password-equivalent material",
+        "Password-Guessing Attacks", Severity.WARNING, "as-req",
+        _build_harvest,
+    ),
+    Property(
+        "CONF-EAVESDROP", "eavesdrop + crack", "confidentiality",
+        "login replies must not verify password guesses",
+        "Password-Guessing Attacks", Severity.WARNING, "as-rep",
+        _build_eavesdrop,
+    ),
+    Property(
+        "CONF-LOGIN", "trojaned login", "confidentiality",
+        "a captured login credential must not stay valid",
+        "Spoofing Login", Severity.WARNING, "as-req", _build_login,
+    ),
+    Property(
+        "AUTH-MINT", "authenticator minting", "authentication",
+        "no service may encrypt its way into minting authenticators",
+        "Inter-Session Chosen Plaintext Attacks", Severity.ERROR,
+        "seal_private", _build_mint,
+    ),
+    Property(
+        "AUTH-SPLICE", "ENC-TKT-IN-SKEY cut-and-paste", "authentication",
+        "request options must not be rewritable in transit",
+        "Weak Checksums and Cut-and-Paste Attacks", Severity.ERROR,
+        "tgs-req", _build_splice,
+    ),
+    Property(
+        "AUTH-REDIRECT", "REUSE-SKEY redirect", "authentication",
+        "sealed traffic must name the service it is for",
+        "Weak Checksums and Cut-and-Paste Attacks", Severity.ERROR,
+        "tgs-req", _build_redirect,
+    ),
+    Property(
+        "INT-SUBST", "ticket substitution", "integrity",
+        "a KDC reply must bind the ticket it carries",
+        "Weak Checksums and Cut-and-Paste Attacks", Severity.WARNING,
+        "tgs-rep", _build_subst,
+    ),
+    Property(
+        "INT-PRIV", "KRB_PRIV splicing", "integrity",
+        "private messages must detect ciphertext rearrangement",
+        "The Encryption Layer", Severity.ERROR, "seal_private", _build_priv,
+    ),
+    Property(
+        "AUTH-XREALM", "rogue transit realm", "authentication",
+        "an inter-realm key must only speak for its own principals",
+        "Inter-Realm Authentication", Severity.ERROR, "ticket",
+        _build_xrealm,
+    ),
+)
+
+PROPERTIES_BY_ID: Dict[str, Property] = {
+    prop.property_id: prop for prop in PROPERTIES
+}

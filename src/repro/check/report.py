@@ -1,0 +1,215 @@
+"""Evaluate every property against every column, and render the result.
+
+The checker's outputs deliberately line up with the rest of the repo:
+
+* the **text** report opens with the same ``ATTACK WINS`` / ``blocked``
+  matrix shape :class:`repro.suite.MatrixResult` renders, then prints
+  each violated cell's derivation trace and each safe cell's negative
+  evidence (the search exhausted, plus the closed gates that stopped
+  the intruder);
+* violated cells become :class:`repro.lint.findings.Finding` objects —
+  same severity scale, same ``rule x column x file`` fingerprint scheme
+  — anchored at the schema declaration the property is about;
+* **JSON** and **SARIF** go through the shared
+  :mod:`repro.lint.reporters` machinery under this tool's own name.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_matrix
+from repro.check.engine import SearchResult, close
+from repro.check.extract import extract_model
+from repro.check.properties import PROPERTIES, Problem, Property
+from repro.check.witness import build_witness
+from repro.kerberos.config import ProtocolConfig
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.reporters import render_sarif as _render_sarif_shared
+
+__all__ = ["CHECK_TOOL_NAME", "CHECK_TOOL_VERSION", "CheckCell",
+           "evaluate_matrix", "check_sarif_rules", "render_text",
+           "render_json", "render_sarif"]
+
+CHECK_TOOL_NAME = "repro-check"
+CHECK_TOOL_VERSION = "1.0.0"
+
+
+@dataclass
+class CheckCell:
+    """One property evaluated against one protocol column."""
+
+    prop: Property
+    column: str
+    problem: Problem
+    result: SearchResult
+    file: str    # anchor: where the relevant schema is declared
+    line: int
+
+    @property
+    def violated(self) -> bool:
+        return self.result.violated
+
+    @property
+    def verdict(self) -> str:
+        return "ATTACK WINS" if self.violated else "blocked"
+
+    def trace(self) -> List[str]:
+        """The numbered derivation (empty for a safe cell)."""
+        if not self.violated:
+            return []
+        return build_witness(self.result)
+
+    def finding(self) -> Optional[Finding]:
+        """A lint-compatible finding for a violated cell (else None)."""
+        if not self.violated:
+            return None
+        return Finding(
+            rule_id=self.prop.property_id,
+            severity=self.prop.severity,
+            message=f"{self.problem.headline} (config: {self.column})",
+            file=self.file,
+            line=self.line,
+            column=self.column,
+            paper_section=self.prop.paper_section,
+        )
+
+
+def evaluate_matrix(
+    columns: Optional[Sequence[Tuple[str, ProtocolConfig]]] = None,
+    max_rounds: int = 64,
+    properties: Sequence[Property] = PROPERTIES,
+) -> List[CheckCell]:
+    """Run the bounded search for every property x column cell."""
+    if columns is None:
+        from repro.suite import DEFAULT_COLUMNS
+        columns = DEFAULT_COLUMNS
+    cells: List[CheckCell] = []
+    for prop in properties:
+        for label, config in columns:
+            model = extract_model(config, label)
+            problem = prop.build(model)
+            result = close(problem.seeds, problem.rules, problem.goal,
+                           max_rounds=max_rounds)
+            cells.append(CheckCell(
+                prop=prop, column=label, problem=problem, result=result,
+                file=model.anchor_file, line=model.anchors[prop.anchor],
+            ))
+    return cells
+
+
+def _column_order(cells: Sequence[CheckCell]) -> List[str]:
+    order: List[str] = []
+    for cell in cells:
+        if cell.column not in order:
+            order.append(cell.column)
+    return order
+
+
+def render_text(cells: Sequence[CheckCell]) -> str:
+    """The verdict matrix, then per-cell traces and negative evidence."""
+    columns = _column_order(cells)
+    by_key = {(c.prop.property_id, c.column): c for c in cells}
+    property_ids: List[str] = []
+    for cell in cells:
+        if cell.prop.property_id not in property_ids:
+            property_ids.append(cell.prop.property_id)
+
+    rows = [
+        [pid] + [by_key[(pid, col)].verdict for col in columns]
+        for pid in property_ids
+    ]
+    lines = [render_matrix(
+        "bounded model check: property x protocol verdicts",
+        "property", list(columns), rows,
+    ), ""]
+
+    for cell in cells:
+        header = (f"{cell.prop.property_id} x {cell.column} — "
+                  f"{cell.prop.title}")
+        if cell.violated:
+            lines.append(f"{header}: VIOLATED "
+                         f"(derived in {cell.result.rounds} rounds)")
+            lines.extend(f"  {step}" for step in cell.trace())
+        else:
+            if cell.result.exhausted:
+                lines.append(f"{header}: safe (search exhausted after "
+                             f"{cell.result.rounds} rounds)")
+            else:
+                lines.append(f"{header}: UNDECIDED (round bound hit after "
+                             f"{cell.result.rounds} rounds)")
+            for reason in cell.result.blocked:
+                lines.append(f"  closed: {reason}")
+        lines.append("")
+    violations = sum(1 for c in cells if c.violated)
+    lines.append(f"{len(cells)} cells checked, {violations} violated")
+    return "\n".join(lines)
+
+
+def render_json(cells: Sequence[CheckCell]) -> str:
+    """Machine-readable verdicts, traces, and lint-compatible findings."""
+    present = [f for f in (cell.finding() for cell in cells)
+               if f is not None]
+    findings = [f.to_dict() for f in sort_findings(present)]
+    payload: Dict[str, Any] = {
+        "tool": {"name": CHECK_TOOL_NAME, "version": CHECK_TOOL_VERSION},
+        "columns": _column_order(cells),
+        "verdicts": [
+            {
+                "property": cell.prop.property_id,
+                "scenario": cell.prop.scenario,
+                "column": cell.column,
+                "violated": cell.violated,
+                "exhausted": cell.result.exhausted,
+                "rounds": cell.result.rounds,
+                "trace": cell.trace(),
+                "closed_gates": list(cell.result.blocked),
+            }
+            for cell in cells
+        ],
+        "findings": findings,
+        "summary": {
+            "cells": len(cells),
+            "violated": sum(1 for c in cells if c.violated),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def check_sarif_rules(
+    properties: Sequence[Property] = PROPERTIES,
+) -> List[Dict[str, Any]]:
+    """SARIF ``tool.driver.rules`` metadata for the property registry."""
+    return [
+        {
+            "id": prop.property_id,
+            "name": prop.property_id.title().replace("-", ""),
+            "shortDescription": {"text": prop.title},
+            "fullDescription": {
+                "text": (f"{prop.kind} property re-deriving the "
+                         f"'{prop.scenario}' attack-matrix scenario via "
+                         "bounded Dolev-Yao search"),
+            },
+            "defaultConfiguration": {"level": prop.severity.value},
+            "properties": {
+                "paperSection": prop.paper_section,
+                "scenario": prop.scenario,
+            },
+        }
+        for prop in properties
+    ]
+
+
+def render_sarif(cells: Sequence[CheckCell]) -> str:
+    """SARIF 2.1.0 via the shared lint renderer, under this tool's name."""
+    findings = [c.finding() for c in cells]
+    return _render_sarif_shared(
+        [f for f in findings if f is not None],
+        suppressed=(),
+        columns=_column_order(cells),
+        tool_name=CHECK_TOOL_NAME,
+        tool_version=CHECK_TOOL_VERSION,
+        rules=check_sarif_rules(),
+    )

@@ -1,0 +1,99 @@
+"""The term algebra: protocol values as frozen, hashable data.
+
+Terms render in the paper's Table 1 notation — ``{Tc,s}Ks`` is
+``Sealed(Atom("Tc,s"), Key("Ks"))`` — so a derivation found by the
+engine prints as the paper would write the attack.  Everything is
+frozen and hashable: the knowledge set is a dict keyed by term, and
+equality-by-structure is what lets a goal-directed construction rule
+recognise that it just built the term an acceptance rule requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+__all__ = ["Atom", "Secret", "Key", "Tup", "Sealed", "Goal", "Term", "render"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A public, attacker-composable value: a principal name, an option
+    bit, a plaintext the intruder can write down."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class Secret:
+    """A value the intruder must *derive* — never seeded as known."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class Key:
+    """A key, labelled as the paper writes it (Kc, Ktgs, Kc,s ...).
+
+    ``guessable`` marks password-derived keys: any verifiable ciphertext
+    under a guessable key is an offline dictionary-attack oracle.
+    """
+
+    label: str
+    guessable: bool = False
+
+
+@dataclass(frozen=True)
+class Tup:
+    """A concatenation of fields travelling together."""
+
+    items: Tuple["Term", ...]
+
+
+@dataclass(frozen=True)
+class Sealed:
+    """``{body}K`` — *body* encrypted under *key*.
+
+    ``integrity=True`` is the full seal (length + interior checksum);
+    ``integrity=False`` is the privacy-only ``seal_private`` flavour the
+    Draft KRB_PRIV format effectively had.
+    """
+
+    body: "Term"
+    key: Key
+    integrity: bool = True
+
+
+@dataclass(frozen=True)
+class Goal:
+    """A protocol-state violation: *actor* treats *about* as *kind*.
+
+    Goals live in the knowledge set like any other term; a property is
+    violated when the closure derives its goal (or, for confidentiality
+    goals, the protected :class:`Key` itself).
+    """
+
+    kind: str    # "accepts-as", "issues", "executes", "logs-in-as", ...
+    actor: str
+    about: str
+
+
+Term = Union[Atom, Secret, Key, Tup, Sealed, Goal]
+
+
+def render(term: Term) -> str:
+    """Paper notation for *term* (Table 1 style)."""
+    if isinstance(term, (Atom, Secret)):
+        return term.label
+    if isinstance(term, Key):
+        return term.label
+    if isinstance(term, Tup):
+        return ", ".join(render(item) for item in term.items)
+    if isinstance(term, Sealed):
+        rendered = "{" + render(term.body) + "}" + term.key.label
+        if not term.integrity:
+            rendered += " (privacy-only)"
+        return rendered
+    if isinstance(term, Goal):
+        return f"{term.actor} {term.kind} {term.about}"
+    raise TypeError(f"not a term: {term!r}")

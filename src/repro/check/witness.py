@@ -1,0 +1,62 @@
+"""Turn a successful search into the paper's attack narrative.
+
+A violated property comes back from the engine as a goal term plus the
+provenance of everything the intruder derived.  :func:`build_witness`
+walks that derivation DAG depth-first (premises before conclusions,
+each step printed once) and renders a numbered trace in the style of
+the paper's message tables: seeds as recordings, message rules as
+``z -> s:`` lines, derivations as what z computes.
+
+The trace for the replay cell, for instance, reads::
+
+    1. z records: {Tc,s}Ks, {Ac}Kc,s (c's AP_REQ to s, copied off the wire)
+    2. z -> s: s accepts-as c, from a replayed authenticator [replay-...]
+    3. goal reached: s accepts-as c, from a replayed authenticator
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.check.engine import SearchResult
+from repro.check.terms import Term, render
+
+__all__ = ["build_witness"]
+
+
+def _emit(term: Term, result: SearchResult, lines: List[str],
+          done: Set[Term]) -> None:
+    if term in done:
+        return
+    done.add(term)
+    derivation = result.knowledge.derivation(term)
+    for premise in derivation.premises:
+        _emit(premise, result, lines, done)
+    suffix = f" ({derivation.note})" if derivation.note else ""
+    if derivation.rule == "seed":
+        lines.append(f"z records: {render(term)}{suffix}")
+    elif derivation.sender or derivation.receiver:
+        lines.append(
+            f"{derivation.sender} -> {derivation.receiver}: "
+            f"{render(term)} [{derivation.rule}]{suffix}"
+        )
+    else:
+        lines.append(f"z derives: {render(term)} [{derivation.rule}]{suffix}")
+
+
+def build_witness(result: SearchResult, title: str = "") -> List[str]:
+    """Numbered attack trace for a violated property.
+
+    Raises ``ValueError`` for a non-violated result: there is nothing to
+    witness when the search exhausted without reaching the goal.
+    """
+    if not result.violated:
+        raise ValueError("no witness: the goal was not derived")
+    lines: List[str] = []
+    done: Set[Term] = set()
+    _emit(result.goal, result, lines, done)
+    lines.append(f"goal reached: {render(result.goal)}")
+    numbered = [f"{i}. {line}" for i, line in enumerate(lines, start=1)]
+    if title:
+        numbered.insert(0, title)
+    return numbered

@@ -321,7 +321,7 @@ class _OpCounter:
     """Global count of DES block operations — the currency in which the
     paper's cost discussions are denominated (benchmark E18)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.count = 0
 
     def reset(self) -> int:
@@ -387,7 +387,7 @@ class KeySchedule:
 
     __slots__ = ("key", "subkeys", "_enc_rounds", "_dec_rounds")
 
-    def __init__(self, key: bytes):
+    def __init__(self, key: bytes) -> None:
         self.key = bytes(key)
         self.subkeys = derive_subkeys(self.key)
         self._enc_rounds = _split_rounds(self.subkeys)
@@ -473,7 +473,7 @@ class DesCipher:
 
     __slots__ = ("key", "_schedule")
 
-    def __init__(self, key: bytes):
+    def __init__(self, key: bytes) -> None:
         self._schedule = get_schedule(key)
         self.key = self._schedule.key
 

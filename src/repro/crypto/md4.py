@@ -44,7 +44,7 @@ class MD4:
     digest_size = 16
     block_size = 64
 
-    def __init__(self, data: bytes = b""):
+    def __init__(self, data: bytes = b"") -> None:
         self._state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476]
         self._buffer = b""
         self._length = 0

@@ -30,10 +30,13 @@ layer, not the protocol layer.
 
 from __future__ import annotations
 
+from typing import Protocol
+
 from repro.crypto.bits import xor_bytes
 from repro.crypto.des import BLOCK_SIZE, DesError, get_schedule
 
 __all__ = [
+    "SupportsRandomBytes",
     "ZERO_IV",
     "pad_zero",
     "pad_random",
@@ -48,6 +51,13 @@ __all__ = [
 ]
 
 ZERO_IV = bytes(BLOCK_SIZE)
+
+
+class SupportsRandomBytes(Protocol):
+    """The slice of :class:`repro.crypto.rng.DeterministicRandom` the
+    padding and confounder helpers need."""
+
+    def random_bytes(self, length: int) -> bytes: ...
 
 
 def _check_blocks(data: bytes, what: str) -> None:
@@ -74,7 +84,7 @@ def pad_zero(data: bytes) -> bytes:
     return data + bytes(BLOCK_SIZE - remainder)
 
 
-def pad_random(data: bytes, rng) -> bytes:
+def pad_random(data: bytes, rng: SupportsRandomBytes) -> bytes:
     """Pad with random bytes from *rng* up to a block boundary."""
     remainder = len(data) % BLOCK_SIZE
     if remainder == 0:
@@ -161,7 +171,7 @@ def pcbc_decrypt(key: bytes, ciphertext: bytes, iv: bytes = ZERO_IV) -> bytes:
     return bytes(out)
 
 
-def add_confounder(plaintext: bytes, rng) -> bytes:
+def add_confounder(plaintext: bytes, rng: SupportsRandomBytes) -> bytes:
     """Prepend one random block, the V5 draft's anti-replay confounder."""
     return rng.random_bytes(BLOCK_SIZE) + plaintext
 

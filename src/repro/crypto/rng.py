@@ -14,7 +14,7 @@ this generator.
 from __future__ import annotations
 
 import random
-from typing import Sequence, TypeVar
+from typing import List, Sequence, TypeVar
 
 from repro.crypto.des import is_weak_key, set_odd_parity
 
@@ -26,7 +26,7 @@ T = TypeVar("T")
 class DeterministicRandom:
     """A seeded random source with crypto-shaped convenience methods."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self._random = random.Random(seed)
 
     def random_bytes(self, length: int) -> bytes:
@@ -49,7 +49,7 @@ class DeterministicRandom:
     def choice(self, items: Sequence[T]) -> T:
         return self._random.choice(items)
 
-    def shuffle(self, items: list) -> None:
+    def shuffle(self, items: List[T]) -> None:
         self._random.shuffle(items)
 
     def random(self) -> float:

@@ -20,7 +20,7 @@ adversarial inputs), not a toy framing.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 __all__ = [
     "DerError",
@@ -119,7 +119,7 @@ def _decode_length(data: bytes, offset: int) -> Tuple[int, int]:
     return value, offset + count
 
 
-def decode(data: bytes, offset: int = 0):
+def decode(data: bytes, offset: int = 0) -> Tuple[int, Any, int]:
     """Decode one TLV starting at *offset*.
 
     Returns ``(tag, value, next_offset)`` where *value* is:
@@ -159,9 +159,9 @@ def decode(data: bytes, offset: int = 0):
     raise DerError(f"unsupported tag 0x{tag:02x}")
 
 
-def decode_all(data: bytes) -> List[tuple]:
+def decode_all(data: bytes) -> List[Tuple[int, Any]]:
     """Decode a concatenation of TLVs, rejecting trailing garbage."""
-    items = []
+    items: List[Tuple[int, Any]] = []
     offset = 0
     while offset < len(data):
         tag, value, offset = decode(data, offset)

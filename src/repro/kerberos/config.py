@@ -27,13 +27,59 @@ Ablation benchmarks (E18 and friends) flip fields one at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import Any, Dict
 
 from repro.crypto.checksum import ChecksumType
 from repro.encoding.codec import V4Codec, V5Codec
 from repro.sim.clock import MICROSECOND, MILLISECOND, MINUTE
 
-__all__ = ["ProtocolConfig"]
+__all__ = ["ProtocolConfig", "DEFENSE_NOTES"]
+
+#: Model annotations for :mod:`repro.check`: for each defense knob, the
+#: paper-grounded reason the corresponding attacker step stops working
+#: when the knob is ON (or, for the two Draft 3 options, OFF).  The
+#: bounded Dolev-Yao engine quotes these lines as negative evidence when
+#: a gated rule's premises are derivable but the gate is closed, so every
+#: "search exhausted" verdict names the defense that closed it.
+DEFENSE_NOTES: Dict[str, str] = {
+    "replay_cache": (
+        "the server's replay cache detects the duplicate authenticator"),
+    "challenge_response": (
+        "challenge/response removes the replayable token from the exchange"),
+    "preauth_required": (
+        "the AS demands proof of Kc before replying under it"),
+    "dh_login": (
+        "the reply is sealed under the negotiated exponential key, "
+        "not the password-derived Kc"),
+    "handheld_login": (
+        "the typed value is a one-time {R}Kc response, dead after first use"),
+    "negotiate_session_key": (
+        "a fresh true session key is negotiated inside the exchange"),
+    "enc_tkt_cname_check": (
+        "the TGS matches the enclosed ticket's client name against "
+        "the authenticator"),
+    "allow_enc_tkt_in_skey": (
+        "the ENC-TKT-IN-SKEY option is disabled outright"),
+    "allow_reuse_skey": "the KDC refuses the REUSE-SKEY option",
+    "kdc_reply_ticket_checksum": (
+        "the encrypted reply part carries a collision-proof checksum "
+        "of the sealed ticket"),
+    "private_message_integrity": (
+        "KRB_PRIV routes through the integrity seal; a splice fails "
+        "the interior checksum"),
+    "verify_interrealm_client": (
+        "the TGS refuses cross-realm clients from realms the issuing "
+        "path does not speak for"),
+    "tgs_req_checksum": (
+        "the request checksum is collision-proof; the rewritten "
+        "cleartext cannot be steered back to the original value"),
+    "seal_checksum": (
+        "the seal checksum is keyed; the interior digest is not "
+        "attacker-computable"),
+    "krb_priv_layout": (
+        "the v4 KRB_PRIV layout leads with a length field, so no "
+        "ciphertext prefix parses as a sealed structure"),
+}
 
 
 @dataclass(frozen=True)

@@ -162,6 +162,48 @@ CHALLENGE_ENC = _schema(
     ("challenge", _U), ("subkey", _B),
 )
 
+# --- model annotations (consumed by repro.check.extract) ---------------------
+
+#: Every schema declared above, for registry-level queries (the model
+#: extractor cross-checks the annotation tables against this).
+ALL_SCHEMAS: Tuple[Schema, ...] = (
+    TICKET, AUTHENTICATOR, AS_REQ, KDC_REP_ENC, AS_REP, TGS_REQ, TGS_REP,
+    AP_REQ, AP_REP_ENC, KRB_SAFE, KRB_ERROR, CHALLENGE_ENC,
+)
+
+#: Which key class seals each encrypted structure, and which seal flavour
+#: protects it.  Key classes: ``"client"`` — the key the KDC reply is
+#: sealed under (password-derived ``Kc``, or the DH-negotiated key when
+#: ``dh_login`` is on); ``"service"``/``"tgs"`` — long-term server keys;
+#: ``"session"`` — the per-exchange ``Kc,s``.  The flavours are the two
+#: entry points above: ``"seal"`` (integrity checksum inside) and
+#: ``"seal_private"`` (privacy only).  ``repro.check.extract`` validates
+#: this table against the schema registry and builds the symbolic
+#: protocol model from it.
+SEALED_PARTS: Dict[str, Tuple[str, str]] = {
+    TICKET.name: ("service", "seal"),
+    AUTHENTICATOR.name: ("session", "seal"),
+    KDC_REP_ENC.name: ("client", "seal"),
+    AP_REP_ENC.name: ("session", "seal"),
+    CHALLENGE_ENC.name: ("session", "seal"),
+    "krb-priv": ("session", "seal_private"),
+}
+
+#: Attacker-visible fields that only a checksum can bind to the rest of
+#: the message — the cut-and-paste surface.  A TGS_REQ's cleartext fields
+#: are guarded by ``tgs_req_checksum`` (forgeable when it is CRC-32); a
+#: KDC reply's cleartext ticket is bound only when
+#: ``kdc_reply_ticket_checksum`` puts its digest inside the sealed part.
+CLEARTEXT_GUARDS: Dict[str, Tuple[str, ...]] = {
+    TGS_REQ.name: ("server", "options", "additional_ticket",
+                   "authorization_data"),
+    AS_REP.name: ("ticket",),
+    TGS_REP.name: ("ticket",),
+}
+
+__all__ += ["ALL_SCHEMAS", "SEALED_PARTS", "CLEARTEXT_GUARDS"]
+
+
 # Error codes (KRB_ERROR.code).
 ERR_GENERIC = 1
 ERR_UNKNOWN_PRINCIPAL = 2

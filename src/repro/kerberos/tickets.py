@@ -15,6 +15,7 @@ the appendix attacks.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Dict
 
 from repro.crypto.checksum import ChecksumType, compute
 from repro.kerberos import messages
@@ -25,8 +26,35 @@ __all__ = [
     "FLAG_FORWARDABLE", "FLAG_FORWARDED", "FLAG_DUPLICATE_SKEY",
     "OPT_ENC_TKT_IN_SKEY", "OPT_REUSE_SKEY", "OPT_MUTUAL_AUTH",
     "OPT_FORWARD", "OPT_CR_RESPONSE",
+    "TICKET_FIELD_ROLES", "AUTHENTICATOR_FIELD_ROLES",
     "Ticket", "Authenticator",
 ]
+
+#: Model annotations for :mod:`repro.check.extract`: the role each sealed
+#: field plays in the security argument.  ``key-material`` fields are
+#: what confidentiality properties protect; ``principal`` fields are what
+#: authentication goals bind; ``freshness`` fields feed the replay
+#: windows; ``binding`` fields tie the structure to something outside it.
+TICKET_FIELD_ROLES: Dict[str, str] = {
+    "server": "principal",
+    "client": "principal",
+    "address": "binding",
+    "issued_at": "freshness",
+    "lifetime": "freshness",
+    "session_key": "key-material",
+    "flags": "options",
+    "transited": "trust-path",
+}
+
+AUTHENTICATOR_FIELD_ROLES: Dict[str, str] = {
+    "client": "principal",
+    "address": "binding",
+    "timestamp": "freshness",
+    "req_checksum": "binding",
+    "ticket_checksum": "binding",
+    "seq": "freshness",
+    "subkey": "key-material",
+}
 
 # Ticket flags.
 FLAG_FORWARDABLE = 1 << 0

@@ -89,9 +89,14 @@ def run_lint(
     consistency: bool = False,
     write_baseline_path: Optional[str] = None,
     parallel: Optional[int] = None,
+    jobs: Optional[int] = None,
     echo: Printer = print,
 ) -> int:
-    """The lint command.  Returns a process exit code (0/1/2)."""
+    """The lint command.  Returns a process exit code (0/1/2).
+
+    ``jobs=N`` fans the per-file scan out over N worker processes
+    (byte-identical output; see :func:`repro.lint.engine.analyze_tree`).
+    """
     columns = resolve_columns(column)
     if columns is None:
         echo(f"unknown column {column!r}; choose v4, v5-draft3, "
@@ -100,9 +105,9 @@ def run_lint(
 
     model: CodeModel
     if root is None:
-        model = analyze_repro()
+        model = analyze_repro(jobs=jobs)
     else:
-        model = analyze_tree(Path(root))
+        model = analyze_tree(Path(root), jobs=jobs)
     if model.errors:
         for error in model.errors:
             echo(f"parse error: {error}")

@@ -18,11 +18,18 @@ protocol-misuse rules in :mod:`repro.lint.rules` care about:
   ``sync_host_clock``?", or "does a codec class declare ``name = 'v4'``
   without type tags?".
 
-Two subtrees are excluded by default: ``attacks`` (which misuses the
-primitives *on purpose*) and ``lint`` itself (whose rule predicates
+Three subtrees are excluded by default: ``attacks`` (which misuses the
+primitives *on purpose*), ``lint`` itself, and ``check`` (the model
+checker) — the latter two because their predicates and property gates
 read config fields and would otherwise count as the protocol code
-consulting them).  Unit tests point the engine at throwaway trees of
-minimal vulnerable/fixed snippets instead.
+consulting them, shifting every finding's anchor.  Unit tests point the
+engine at throwaway trees of minimal vulnerable/fixed snippets instead.
+
+Scanning is embarrassingly parallel per file: with ``jobs=N`` the
+entry points fan the per-file analyses out over a process pool and
+merge the partial models back in sorted-file order, so the resulting
+:class:`CodeModel` — and every report rendered from it — is
+byte-identical to a serial run's.
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ __all__ = [
 ]
 
 #: Subtrees skipped when scanning ``src/repro`` (see module docstring).
-DEFAULT_EXCLUDES: Tuple[str, ...] = ("attacks", "lint")
+DEFAULT_EXCLUDES: Tuple[str, ...] = ("attacks", "lint", "check")
 
 _SECRET_EXACT: FrozenSet[str] = frozenset({
     "key", "keys", "kc", "password", "passwd", "passphrase", "subkey",
@@ -372,28 +379,68 @@ def analyze_source(source: str, file: str, model: CodeModel,
     _Analyzer(file, model, config_fields).visit(tree)
 
 
+def _merge_model(into: CodeModel, part: CodeModel) -> None:
+    """Append one file's partial model; caller controls the order."""
+    into.files.extend(part.files)
+    into.flows.extend(part.flows)
+    into.config_reads.extend(part.config_reads)
+    into.calls.extend(part.calls)
+    into.functions.extend(part.functions)
+    into.classes.extend(part.classes)
+    into.errors.extend(part.errors)
+
+
+def _file_worker(payload: Tuple[str, str, FrozenSet[str]]) -> CodeModel:
+    """Process-pool entry point: analyze one file into a fresh model."""
+    path, recorded, config_fields = payload
+    model = CodeModel()
+    analyze_source(Path(path).read_text(encoding="utf-8"), recorded, model,
+                   config_fields)
+    return model
+
+
 def analyze_tree(root: Path,
                  exclude: Sequence[str] = DEFAULT_EXCLUDES,
-                 prefix: str = "") -> CodeModel:
+                 prefix: str = "",
+                 jobs: Optional[int] = None) -> CodeModel:
     """Analyze every ``*.py`` under *root*.
 
     *exclude* names top-level subdirectories of *root* to skip; *prefix*
     is prepended to every recorded (root-relative) path so findings can
     anchor repo-relative (e.g. ``src/repro/``).
+
+    With ``jobs=N`` (N > 1) the per-file analyses fan out over a process
+    pool of N workers; the partial models are merged back in the same
+    sorted-file order the serial walk uses, so the result is identical.
     """
     model = CodeModel()
     config_fields = _config_field_names()
     excluded = set(exclude)
+    targets: List[Tuple[str, str]] = []
     for path in sorted(root.rglob("*.py")):
         relative = path.relative_to(root)
         if relative.parts and relative.parts[0] in excluded:
             continue
-        analyze_source(path.read_text(encoding="utf-8"),
-                       prefix + relative.as_posix(), model, config_fields)
+        targets.append((str(path), prefix + relative.as_posix()))
+
+    if jobs is not None and jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [(path, recorded, config_fields)
+                    for path, recorded in targets]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for part in pool.map(_file_worker, payloads):
+                _merge_model(model, part)
+        return model
+
+    for path, recorded in targets:
+        analyze_source(Path(path).read_text(encoding="utf-8"), recorded,
+                       model, config_fields)
     return model
 
 
-def analyze_repro(exclude: Sequence[str] = DEFAULT_EXCLUDES) -> CodeModel:
+def analyze_repro(exclude: Sequence[str] = DEFAULT_EXCLUDES,
+                  jobs: Optional[int] = None) -> CodeModel:
     """Analyze the installed ``repro`` package itself."""
     import repro
 
@@ -401,4 +448,4 @@ def analyze_repro(exclude: Sequence[str] = DEFAULT_EXCLUDES) -> CodeModel:
     if package_file is None:  # pragma: no cover - namespace-package guard
         raise RuntimeError("cannot locate the repro package on disk")
     return analyze_tree(Path(package_file).parent, exclude=exclude,
-                        prefix="src/repro/")
+                        prefix="src/repro/", jobs=jobs)

@@ -6,12 +6,18 @@ Suppressed (baselined) findings stay visible: the text report counts
 them, the JSON report lists them separately, and the SARIF report marks
 them with an ``external`` suppression — which is how SARIF viewers and
 code-scanning UIs expect accepted findings to be represented.
+
+The JSON and SARIF renderers take the tool identity (and, for SARIF,
+the rule-metadata array) as parameters, defaulting to this linter's:
+:mod:`repro.check.report` drives the same machinery under its own name,
+so both tools emit structurally identical logs with the shared
+``rule x column x file`` fingerprint scheme.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lint.findings import Finding, Severity, sort_findings
 from repro.lint.rules import (
@@ -60,10 +66,12 @@ def render_text(findings: Sequence[Finding],
 
 def render_json(findings: Sequence[Finding],
                 suppressed: Sequence[Finding] = (),
-                columns: Sequence[str] = ()) -> str:
+                columns: Sequence[str] = (),
+                tool_name: str = TOOL_NAME,
+                tool_version: str = TOOL_VERSION) -> str:
     """The machine-readable report ``--format json`` prints."""
     payload: Dict[str, Any] = {
-        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "tool": {"name": tool_name, "version": tool_version},
         "columns": list(columns),
         "findings": [f.to_dict() for f in sort_findings(findings)],
         "suppressed": [f.to_dict() for f in sort_findings(suppressed)],
@@ -147,9 +155,17 @@ def _sarif_result(finding: Finding, index: Dict[str, int],
 
 def render_sarif(findings: Sequence[Finding],
                  suppressed: Sequence[Finding] = (),
-                 columns: Sequence[str] = ()) -> str:
-    """A single-run SARIF 2.1.0 log, suitable for code-scanning upload."""
-    rules = _sarif_rules()
+                 columns: Sequence[str] = (),
+                 tool_name: str = TOOL_NAME,
+                 tool_version: str = TOOL_VERSION,
+                 rules: Optional[List[Dict[str, Any]]] = None) -> str:
+    """A single-run SARIF 2.1.0 log, suitable for code-scanning upload.
+
+    *rules* overrides the ``tool.driver.rules`` metadata array (default:
+    this linter's registry) so other tools can reuse the renderer.
+    """
+    if rules is None:
+        rules = _sarif_rules()
     index = _rule_index(rules)
     results = [_sarif_result(f, index, suppressed=False)
                for f in sort_findings(findings)]
@@ -161,8 +177,8 @@ def render_sarif(findings: Sequence[Finding],
         "runs": [{
             "tool": {
                 "driver": {
-                    "name": TOOL_NAME,
-                    "version": TOOL_VERSION,
+                    "name": tool_name,
+                    "version": tool_version,
                     "informationUri": _INFO_URI,
                     "rules": rules,
                 },

@@ -193,43 +193,56 @@ class Scenario:
     (:func:`repro.lint.consistency.check_consistency`) asserts, for
     every column, that *some* mapped rule fires iff the attack wins in
     that cell.  An empty mapping opts the scenario out of the harness.
+
+    ``property_id`` names the :mod:`repro.check` property whose bounded
+    Dolev-Yao search re-derives the same cell symbolically; the
+    tri-consistency harness (:func:`repro.check.consistency.
+    check_tri_consistency`) pins checker == lint == live outcome for
+    every mapped cell.  Empty opts the scenario out of that harness.
     """
 
     name: str
     run: Callable[[ProtocolConfig, int], AttackResult]
     paper_section: str
     rule_ids: Tuple[str, ...] = ()
+    property_id: str = ""
 
 
 SCENARIOS: Tuple[Scenario, ...] = (
     Scenario("authenticator replay", _scenario_replay, "Replay Attacks",
-             rule_ids=("NO-REPLAY-CACHE",)),
+             rule_ids=("NO-REPLAY-CACHE",), property_id="AUTH-REPLAY"),
     Scenario("time-spoofed stale replay", _scenario_time_spoof,
-             "Secure Time Services", rule_ids=("TIME-UNAUTH",)),
+             "Secure Time Services", rule_ids=("TIME-UNAUTH",),
+             property_id="AUTH-TIME"),
     Scenario("one-sided address spoof", _scenario_one_sided_spoof,
-             "Replay Attacks [Morr85]", rule_ids=("NO-REPLAY-CACHE",)),
+             "Replay Attacks [Morr85]", rule_ids=("NO-REPLAY-CACHE",),
+             property_id="AUTH-ADDR"),
     Scenario("TGT harvest + crack", _scenario_harvest,
-             "Password-Guessing Attacks", rule_ids=("NO-PREAUTH",)),
+             "Password-Guessing Attacks", rule_ids=("NO-PREAUTH",),
+             property_id="CONF-HARVEST"),
     Scenario("eavesdrop + crack", _scenario_eavesdrop,
-             "Password-Guessing Attacks", rule_ids=("PW-EQUIV",)),
+             "Password-Guessing Attacks", rule_ids=("PW-EQUIV",),
+             property_id="CONF-EAVESDROP"),
     Scenario("trojaned login", _scenario_login_spoof, "Spoofing Login",
-             rule_ids=("TYPED-PW",)),
+             rule_ids=("TYPED-PW",), property_id="CONF-LOGIN"),
     Scenario("authenticator minting", _scenario_minting,
              "Inter-Session Chosen Plaintext Attacks",
-             rule_ids=("CPA-PREFIX",)),
+             rule_ids=("CPA-PREFIX",), property_id="AUTH-MINT"),
     Scenario("ENC-TKT-IN-SKEY cut-and-paste", _scenario_enc_tkt,
              "Weak Checksums and Cut-and-Paste Attacks",
-             rule_ids=("WEAK-MAC",)),
+             rule_ids=("WEAK-MAC",), property_id="AUTH-SPLICE"),
     Scenario("REUSE-SKEY redirect", _scenario_reuse,
              "Weak Checksums and Cut-and-Paste Attacks",
-             rule_ids=("SKEY-REUSE",)),
+             rule_ids=("SKEY-REUSE",), property_id="AUTH-REDIRECT"),
     Scenario("ticket substitution", _scenario_substitution,
              "Weak Checksums and Cut-and-Paste Attacks",
-             rule_ids=("REPLY-UNBOUND",)),
+             rule_ids=("REPLY-UNBOUND",), property_id="INT-SUBST"),
     Scenario("KRB_PRIV splicing", _scenario_splice, "The Encryption Layer",
-             rule_ids=("PRIV-NO-INTEGRITY", "PCBC-SPLICE")),
+             rule_ids=("PRIV-NO-INTEGRITY", "PCBC-SPLICE"),
+             property_id="INT-PRIV"),
     Scenario("rogue transit realm", _scenario_rogue_realm,
-             "Inter-Realm Authentication", rule_ids=("XREALM-FORGE",)),
+             "Inter-Realm Authentication", rule_ids=("XREALM-FORGE",),
+             property_id="AUTH-XREALM"),
 )
 
 DEFAULT_COLUMNS: Tuple[Tuple[str, ProtocolConfig], ...] = (

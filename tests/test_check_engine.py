@@ -1,0 +1,109 @@
+"""Unit tests for the bounded Dolev-Yao closure engine."""
+
+import pytest
+
+from repro.check.engine import Derivation, Knowledge, Rule, close
+from repro.check.terms import Atom, Goal, Key, Sealed, Tup, render
+from repro.check.witness import build_witness
+
+K = Key("Kc,s")
+GOAL = Goal("accepts-as", "s", "c")
+
+
+def test_split_decomposes_recorded_tuples():
+    pair = Tup((Atom("a"), Atom("b")))
+    result = close([(pair, "recorded")], [], Atom("a"))
+    assert result.violated
+    assert result.knowledge.knows(Atom("b"))
+    assert result.knowledge.derivation(Atom("a")).rule == "split"
+
+
+def test_decrypt_needs_the_key():
+    sealed = Sealed(Atom("m"), K)
+    without = close([(sealed, "recorded")], [], Atom("m"))
+    assert not without.violated and without.exhausted
+    with_key = close([(sealed, "recorded"), (K, "stolen")], [], Atom("m"))
+    assert with_key.violated
+    assert with_key.knowledge.derivation(Atom("m")).rule == "decrypt"
+
+
+def test_dictionary_attack_only_on_guessable_keys():
+    weak = Key("Kc", guessable=True)
+    cracked = close([(Sealed(Atom("m"), weak), "recorded")], [], weak)
+    assert cracked.violated
+    assert cracked.knowledge.derivation(weak).rule == "dictionary"
+    strong = close([(Sealed(Atom("m"), K), "recorded")], [], K)
+    assert not strong.violated and strong.exhausted
+
+
+def test_goal_directed_seal_construction():
+    """z seals a term only when some rule would look at it."""
+    forged = Sealed(Atom("body"), K)
+    rule = Rule("present", requires=(forged,), produces=(GOAL,),
+                sender="z", receiver="s")
+    result = close([(Atom("body"), "composed"), (K, "shared")], [rule], GOAL)
+    assert result.violated
+    assert result.knowledge.derivation(forged).rule == "seal"
+    # Without any rule requiring the sealed term, it is never built.
+    idle = close([(Atom("body"), "composed"), (K, "shared")], [], GOAL)
+    assert not idle.violated and idle.exhausted
+
+
+def test_closed_gate_records_reason_only_when_premises_met():
+    rule = Rule("replay", requires=(Atom("msg"),), produces=(GOAL,),
+                gates=((False, "the replay cache rejects it"),))
+    unmet = close([], [rule], GOAL)
+    assert unmet.blocked == []
+    met = close([(Atom("msg"), "recorded")], [rule], GOAL)
+    assert not met.violated and met.exhausted
+    assert met.blocked == ["the replay cache rejects it"]
+
+
+def test_open_gates_let_the_rule_fire():
+    rule = Rule("replay", requires=(Atom("msg"),), produces=(GOAL,),
+                gates=((True, "unused"),))
+    result = close([(Atom("msg"), "recorded")], [rule], GOAL)
+    assert result.violated and result.blocked == []
+
+
+def test_round_bound_is_neither_violated_nor_exhausted():
+    # A chain a0 -> a1 -> ... longer than the bound.  Rules are listed in
+    # reverse so each round can extend the chain by only one link.
+    rules = [Rule(f"step{i}", requires=(Atom(f"a{i}"),),
+                  produces=(Atom(f"a{i + 1}"),)) for i in reversed(range(10))]
+    result = close([(Atom("a0"), "seed")], rules, Atom("a10"), max_rounds=3)
+    assert not result.violated and not result.exhausted
+    assert result.rounds == 3
+
+
+def test_knowledge_keeps_first_derivation():
+    knowledge = Knowledge()
+    assert knowledge.add(Atom("x"), Derivation("seed", note="first"))
+    assert not knowledge.add(Atom("x"), Derivation("seed", note="second"))
+    assert knowledge.derivation(Atom("x")).note == "first"
+    assert len(knowledge) == 1
+
+
+def test_render_uses_paper_notation():
+    assert render(Sealed(Atom("Tc,s"), Key("Ks"))) == "{Tc,s}Ks"
+    assert render(Tup((Atom("a"), Atom("b")))) == "a, b"
+    assert render(Sealed(Atom("m"), K, integrity=False)) == (
+        "{m}Kc,s (privacy-only)")
+    assert render(GOAL) == "s accepts-as c"
+
+
+def test_witness_walks_the_derivation():
+    sealed = Sealed(Atom("Ac"), K)
+    rule = Rule("replay", requires=(sealed,), produces=(GOAL,),
+                note="within clock skew", sender="z", receiver="s")
+    result = close([(sealed, "recorded off the wire")], [rule], GOAL)
+    lines = build_witness(result)
+    assert lines[0].startswith("1. z records: {Ac}Kc,s")
+    assert "z -> s" in lines[1] and "[replay]" in lines[1]
+    assert lines[-1].endswith("goal reached: s accepts-as c")
+
+
+def test_witness_refuses_safe_results():
+    result = close([], [], GOAL)
+    with pytest.raises(ValueError):
+        build_witness(result)

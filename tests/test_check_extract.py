@@ -1,0 +1,60 @@
+"""The model extractor: implementation artefacts -> symbolic model."""
+
+import pytest
+
+from repro.check.extract import ExtractionError, extract_model
+from repro.kerberos import messages
+from repro.kerberos.config import ProtocolConfig
+
+
+def test_extracted_flags_track_the_configuration():
+    v4 = extract_model(ProtocolConfig.v4(), "v4")
+    hardened = extract_model(ProtocolConfig.hardened(), "hardened")
+    # Password-derived reply keys are exactly the no-DH-login columns.
+    assert v4.reply_key_guessable
+    assert not hardened.reply_key_guessable
+    assert not v4.priv_integrity
+    assert hardened.priv_integrity
+    # v4 guards the TGS request with CRC32; hardened uses MD4.
+    assert not v4.tgs_checksum_collision_proof
+    assert hardened.tgs_checksum_collision_proof
+
+
+def test_v5_draft_priv_layout_is_extracted():
+    d3 = extract_model(ProtocolConfig.v5_draft3(), "v5-draft3")
+    assert d3.priv_layout == "v5draft"
+    assert not d3.seal_checksum_keyed  # the draft's weak unkeyed digest
+
+
+def test_anchors_cover_every_schema_and_the_seal():
+    model = extract_model(ProtocolConfig.v4(), "v4")
+    assert model.anchor_file == "src/repro/kerberos/messages.py"
+    for schema in messages.ALL_SCHEMAS:
+        assert model.anchors[schema.name] > 0
+    assert model.anchors["seal_private"] > 0
+
+
+def test_key_material_fields_come_from_role_tables():
+    model = extract_model(ProtocolConfig.v4(), "v4")
+    assert "session_key" in model.key_material_fields
+
+
+def test_defense_note_rejects_unknown_knobs():
+    model = extract_model(ProtocolConfig.v4(), "v4")
+    assert model.defense_note("replay_cache")
+    with pytest.raises(ExtractionError):
+        model.defense_note("no-such-knob")
+
+
+def test_drifted_sealed_parts_annotation_is_fatal(monkeypatch):
+    monkeypatch.setitem(messages.SEALED_PARTS, "ghost-schema",
+                        ("client", "seal"))
+    with pytest.raises(ExtractionError):
+        extract_model(ProtocolConfig.v4(), "v4")
+
+
+def test_drifted_cleartext_guard_is_fatal(monkeypatch):
+    monkeypatch.setitem(messages.CLEARTEXT_GUARDS, "ticket",
+                        ("no-such-field",))
+    with pytest.raises(ExtractionError):
+        extract_model(ProtocolConfig.v4(), "v4")

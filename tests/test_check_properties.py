@@ -1,0 +1,93 @@
+"""The property catalogue re-derives the paper's attack matrix."""
+
+from repro.check.properties import PROPERTIES, PROPERTIES_BY_ID
+from repro.check.report import evaluate_matrix
+from repro.lint.findings import Severity
+
+#: The paper's matrix, cell by cell: which (property, column) pairs the
+#: bounded search must find an attack for.  Everything else must come
+#: back "safe" with the search exhausted.
+EXPECTED_VIOLATED = {
+    "AUTH-REPLAY": ("v4", "v5-draft3"),
+    "AUTH-TIME": ("v4", "v5-draft3"),
+    "AUTH-ADDR": ("v4", "v5-draft3"),
+    "CONF-HARVEST": ("v4", "v5-draft3"),
+    "CONF-EAVESDROP": ("v4", "v5-draft3"),
+    "CONF-LOGIN": ("v4", "v5-draft3"),
+    "AUTH-MINT": ("v5-draft3",),          # needs the draft's PRIV layout
+    "AUTH-SPLICE": ("v5-draft3",),        # needs ENC-TKT-IN-SKEY
+    "AUTH-REDIRECT": ("v5-draft3",),      # needs REUSE-SKEY
+    "INT-SUBST": ("v4", "v5-draft3"),
+    "INT-PRIV": ("v4", "v5-draft3"),
+    "AUTH-XREALM": ("v4", "v5-draft3"),
+}
+
+
+def test_catalogue_shape():
+    assert len(PROPERTIES) == 12
+    assert set(PROPERTIES_BY_ID) == set(EXPECTED_VIOLATED)
+    for prop in PROPERTIES:
+        assert prop.kind in ("authentication", "confidentiality", "integrity")
+        assert prop.paper_section
+        assert prop.anchor
+
+
+def test_severities_mirror_the_lint_rules():
+    warnings = {p.property_id for p in PROPERTIES
+                if p.severity is Severity.WARNING}
+    assert warnings == {
+        "CONF-HARVEST", "CONF-EAVESDROP", "CONF-LOGIN", "INT-SUBST",
+    }
+
+
+def test_matrix_matches_the_paper():
+    cells = evaluate_matrix()
+    assert len(cells) == 36
+    verdicts = {(c.prop.property_id, c.column): c.violated for c in cells}
+    for property_id, columns in EXPECTED_VIOLATED.items():
+        for column in ("v4", "v5-draft3", "hardened"):
+            expected = column in columns
+            assert verdicts[(property_id, column)] == expected, (
+                property_id, column)
+
+
+def test_safe_cells_exhaust_the_search():
+    """A 'safe' verdict is only earned at a fixpoint inside the bound."""
+    for cell in evaluate_matrix():
+        if not cell.violated:
+            assert cell.result.exhausted, (cell.prop.property_id, cell.column)
+
+
+def test_hardened_cells_name_their_closing_defense():
+    for cell in evaluate_matrix(columns=None):
+        if cell.column == "hardened":
+            assert not cell.violated
+            assert cell.result.blocked, cell.prop.property_id
+
+
+def test_violated_cells_carry_paper_notation_traces():
+    for cell in evaluate_matrix():
+        if cell.violated:
+            trace = cell.trace()
+            assert trace[0].startswith("1. ")
+            assert "goal reached:" in trace[-1]
+
+
+def test_replay_trace_reads_like_table_1():
+    cells = evaluate_matrix()
+    replay = next(c for c in cells
+                  if c.prop.property_id == "AUTH-REPLAY" and c.column == "v4")
+    text = "\n".join(replay.trace())
+    assert "{Ac}Kc,s" in text          # the sealed authenticator
+    assert "z -> s" in text            # the intruder presents it
+
+
+def test_findings_only_for_violations():
+    for cell in evaluate_matrix():
+        finding = cell.finding()
+        if cell.violated:
+            assert finding is not None
+            assert finding.rule_id == cell.prop.property_id
+            assert cell.column in finding.message
+        else:
+            assert finding is None

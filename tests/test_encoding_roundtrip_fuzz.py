@@ -1,0 +1,79 @@
+"""Seeded round-trip fuzzing for the two wire codecs.
+
+For every real protocol schema we generate random well-formed field
+values from a fixed seed, assert that both codecs round-trip them
+exactly, and then assert that *every* strict prefix of the encoding is
+rejected with :class:`CodecError` — the paper's recommendation (b)
+promise that "it is no longer possible for an attacker to truncate a
+message, and present the shortened form as a valid encrypted message",
+plus the V4 codec's explicit length bookkeeping.
+
+Deterministic on purpose: a failure reproduces from the seed alone.
+"""
+
+import random
+
+import pytest
+
+from repro.encoding.codec import CodecError, FieldKind, Schema, V4Codec, V5Codec
+from repro.kerberos.messages import ALL_SCHEMAS
+
+SEED = 20260806  # single fixed fuzz seed; failures reproduce from it alone
+ROUNDS_PER_SCHEMA = 25
+
+
+def _random_value(rng: random.Random, kind: FieldKind):
+    if kind is FieldKind.UINT:
+        # Bias toward interesting widths: 0, one byte, 4 bytes, near 2^63.
+        width = rng.choice([0, 1, 8, 32, 63])
+        return rng.getrandbits(width)
+    if kind is FieldKind.BYTES:
+        length = rng.choice([0, 1, 7, 8, 9, rng.randint(0, 64)])
+        return bytes(rng.getrandbits(8) for _ in range(length))
+    # Strings exercise multi-byte UTF-8 as well as ASCII principal names.
+    alphabet = "abcXYZ0129._-@/é世"
+    return "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 24)))
+
+
+def _random_values(rng: random.Random, schema: Schema):
+    return {field.name: _random_value(rng, field.kind) for field in schema.fields}
+
+
+@pytest.mark.parametrize("codec", [V4Codec, V5Codec], ids=["v4", "v5"])
+@pytest.mark.parametrize("schema", ALL_SCHEMAS, ids=[s.name for s in ALL_SCHEMAS])
+def test_roundtrip_random_values(codec, schema):
+    rng = random.Random(f"{SEED}:{codec.name}:{schema.name}")
+    for _ in range(ROUNDS_PER_SCHEMA):
+        values = _random_values(rng, schema)
+        wire = codec.encode(schema, values)
+        assert codec.decode(schema, wire) == values
+
+
+@pytest.mark.parametrize("codec", [V4Codec, V5Codec], ids=["v4", "v5"])
+@pytest.mark.parametrize("schema", ALL_SCHEMAS, ids=[s.name for s in ALL_SCHEMAS])
+def test_every_truncation_raises_cleanly(codec, schema):
+    rng = random.Random(f"{SEED + 1}:{codec.name}:{schema.name}")
+    values = _random_values(rng, schema)
+    wire = codec.encode(schema, values)
+    for cut in range(len(wire)):
+        with pytest.raises(CodecError):
+            codec.decode(schema, wire[:cut])
+
+
+@pytest.mark.parametrize("codec", [V4Codec, V5Codec], ids=["v4", "v5"])
+@pytest.mark.parametrize("schema", ALL_SCHEMAS, ids=[s.name for s in ALL_SCHEMAS])
+def test_trailing_garbage_raises_cleanly(codec, schema):
+    rng = random.Random(f"{SEED + 2}:{codec.name}:{schema.name}")
+    values = _random_values(rng, schema)
+    wire = codec.encode(schema, values)
+    for extra in (b"\x00", b"\xff", bytes(8)):
+        with pytest.raises(CodecError):
+            codec.decode(schema, wire + extra)
+
+
+def test_fuzz_is_deterministic():
+    """The generator itself is a function of the seed alone."""
+    schema = ALL_SCHEMAS[0]
+    first = _random_values(random.Random(SEED), schema)
+    second = _random_values(random.Random(SEED), schema)
+    assert first == second

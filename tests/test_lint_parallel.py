@@ -1,0 +1,51 @@
+"""Parallel lint scanning must be invisible in the output."""
+
+import io
+
+from repro.lint.cli import run_lint
+from repro.lint.engine import analyze_repro, analyze_tree
+
+
+def capture(**kwargs):
+    buffer = io.StringIO()
+    code = run_lint(echo=lambda line: buffer.write(line + "\n"), **kwargs)
+    return code, buffer.getvalue()
+
+
+def test_parallel_model_matches_serial():
+    serial = analyze_repro()
+    fanned = analyze_repro(jobs=4)
+    assert fanned.files == serial.files
+    assert fanned.flows == serial.flows
+    assert fanned.config_reads == serial.config_reads
+    assert fanned.calls == serial.calls
+
+
+def test_jobs_output_is_byte_identical():
+    for fmt in ("text", "json", "sarif"):
+        code_serial, out_serial = capture(fmt=fmt)
+        code_parallel, out_parallel = capture(fmt=fmt, jobs=4)
+        assert code_serial == code_parallel
+        assert out_serial == out_parallel, fmt
+
+
+def test_jobs_one_takes_the_serial_path():
+    assert analyze_repro(jobs=1).files == analyze_repro().files
+
+
+def test_check_subtree_is_excluded_from_the_scan():
+    """The checker reads config fields; scanning it would shift every
+    lint anchor and invalidate the committed baseline."""
+    model = analyze_repro()
+    assert not any(f.startswith("src/repro/check/") for f in model.files)
+    assert any(f.startswith("src/repro/kerberos/") for f in model.files)
+
+
+def test_analyze_tree_jobs_forwarding(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "a.py").write_text("import os\n")
+    (pkg / "b.py").write_text("x = 1\n")
+    serial = analyze_tree(pkg, prefix="pkg/")
+    fanned = analyze_tree(pkg, prefix="pkg/", jobs=2)
+    assert serial.files == fanned.files == ["pkg/a.py", "pkg/b.py"]
