@@ -1,0 +1,50 @@
+"""E28 — the sharded KDC service layer under open-loop load.
+
+Not a paper claim: Bellovin & Merritt assume "the" Kerberos server.
+E28 guards the reproduction's scale-out story instead: with the
+principal database partitioned over three shards and one shard downed
+for the middle third of the calendar, clients must ride out the outage
+with bounded retries, TGS traffic must fail over, and — the property
+the whole sharding design exists to preserve — every recorded
+authenticator replayed byte-identically must still be rejected by the
+per-shard bounded caches.
+"""
+
+from repro.analysis import render_table
+from repro.load import run_load
+
+
+def run_load_report():
+    return run_load(shards=3, clients=8, requests=120, seed=0,
+                    faults=True, out_path=None)
+
+
+def test_e28_kdc_load(benchmark, experiment_output):
+    report = benchmark.pedantic(run_load_report, iterations=1, rounds=1)
+    latency = report["latency_us"]["unit"]
+    throughput = report["throughput"]
+    degradation = report["degradation"]
+    probe = report["replay_probe"]
+    table = [
+        ("units completed", f"{throughput['completed']}"),
+        ("units failed", f"{throughput['failed']}"),
+        ("throughput (units/sim-s)", f"{throughput['ops_per_sim_s']:.2f}"),
+        ("unit latency p50 (us)", f"{latency['p50']:,}"),
+        ("unit latency p95 (us)", f"{latency['p95']:,}"),
+        ("unit latency p99 (us)", f"{latency['p99']:,}"),
+        ("client retries", str(degradation["client_retries"])),
+        ("TGS failovers", str(degradation["tgs_failovers"])),
+        ("unavailable replies", str(degradation["unavailable_replies"])),
+        ("replays rejected",
+         f"{probe['rejected']}/{probe['attempted']}"),
+    ]
+    experiment_output("e28_kdc_load", render_table(
+        "E28: sharded KDC under load (3 shards, mid-run outage)",
+        ["measure", "value"], table,
+    ))
+
+    assert throughput["completed"] + throughput["failed"] == 120
+    assert throughput["completed"] > throughput["failed"]
+    assert latency["p50"] <= latency["p95"] <= latency["p99"]
+    assert probe["attempted"] > 0
+    assert probe["rejected"] == probe["attempted"], probe

@@ -19,11 +19,16 @@ Commands:
   bounded Dolev-Yao model checker: attack traces in the paper's
   notation for vulnerable cells, exhausted searches with named closing
   defenses for safe ones (``--consistency`` pins checker == lint ==
-  live matrix for every mapped cell).
+  live matrix for every mapped cell);
+* ``serve``       — inspect the sharded KDC service layer: shard map,
+  key placement, and request routing for a cluster of N shards;
+* ``load``        — drive the sharded KDC with an open-loop workload
+  from K simulated clients (optionally with a mid-run shard outage),
+  writing latency percentiles and throughput to ``BENCH_kdc.json``.
 
-Everything is deterministic; no network, no state left behind (except
-the JSONL file ``audit --jsonl`` writes and the benchmark report
-``perf`` writes).
+Everything is deterministic; no (real) network, no state left behind
+except the files explicitly written: ``audit --jsonl``'s event log and
+the benchmark reports of ``perf`` and ``load``.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ _EXPERIMENTS = [
     ("E25", "rogue transit realm", "test_e25_rogue_realm.py"),
     ("E26", "hardened-profile ablation", "test_e26_ablation.py"),
     ("E27", "crypto fast path + parallel matrix", "test_e27_crypto_perf.py"),
+    ("E28", "sharded KDC under load", "test_e28_kdc_load.py"),
 ]
 
 
@@ -231,7 +237,63 @@ def _cmd_check(args) -> int:
     )
 
 
-def main(argv=None) -> int:
+def _cmd_serve(args) -> int:
+    from repro import Testbed, ProtocolConfig
+    from repro.kerberos.principal import Principal
+
+    config = ProtocolConfig.v5_draft3().but(replay_cache=True)
+    bed = Testbed(config, seed=args.seed, shards=args.shards,
+                  workers_per_shard=args.workers)
+    names = [f"user{i}" for i in range(args.users)]
+    for name in names:
+        bed.add_user(name, f"pw-{name}")
+    bed.add_mail_server("mailhost")
+    cluster = bed.realm.cluster
+
+    print(f"realm {bed.realm.name}: {args.shards} shards, "
+          f"{args.workers} workers each, seed {args.seed}")
+    print(f"frontend   {cluster.frontend_host.address}  "
+          "(the only address in the realm directory)")
+    by_shard = {shard.index: [] for shard in cluster.shards}
+    for name in names:
+        principal = Principal(name, "", bed.realm.name)
+        by_shard[cluster.database.home_shard(principal)].append(name)
+    for shard in cluster.shards:
+        users = ", ".join(by_shard[shard.index]) or "(none)"
+        print(f"  shard {shard.index}  {shard.host.address:<12} "
+              f"cache {shard.replay_cache.capacity:>5}  users: {users}")
+    print()
+    print("replicated to every shard: "
+          + ", ".join(sorted(
+              str(p) for p in cluster.database.shards[0].principals()
+              if p.is_tgs or p.instance)))
+    print()
+    print("routing: AS_REQ by client principal (partitioned keys), "
+          "TGS_REQ by authenticator")
+    print("bytes (replay affinity: a byte-identical replay revisits "
+          "the cache that saw it).")
+    return 0
+
+
+def _cmd_load(args) -> int:
+    from repro.load import render_report, run_load
+
+    label = " (--quick)" if args.quick else ""
+    print(f"driving the sharded KDC{label}...\n")
+    report = run_load(
+        shards=args.shards, clients=args.clients, requests=args.requests,
+        workers_per_shard=args.workers, seed=args.seed,
+        faults=not args.no_faults, quick=args.quick, out_path=args.out,
+        interarrival_us=args.interarrival,
+    )
+    print(render_report(report))
+    probe = report["replay_probe"]
+    ok = probe["attempted"] == 0 or probe["rejected"] == probe["attempted"]
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (also introspected by ``repro.clidoc``)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduction of Bellovin & Merritt, USENIX Winter 1991.",
@@ -357,7 +419,71 @@ def main(argv=None) -> int:
         "--seed", type=int, default=1000,
         help="base seed for the --consistency matrix run (default: 1000)",
     )
-    args = parser.parse_args(argv)
+    serve = sub.add_parser(
+        "serve", help="inspect the sharded KDC service layer's topology"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=3,
+        help="number of KDC shards (default: 3, minimum 2)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads modelled per shard (default: 2)",
+    )
+    serve.add_argument(
+        "--users", type=int, default=8,
+        help="example principals to place on the shard map (default: 8)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="testbed seed (default: 0)",
+    )
+    load = sub.add_parser(
+        "load", help="drive the sharded KDC with an open-loop workload"
+    )
+    load.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizes: at most 4 clients and 36 requests",
+    )
+    load.add_argument(
+        "--shards", type=int, default=3,
+        help="number of KDC shards (default: 3, minimum 2)",
+    )
+    load.add_argument(
+        "--clients", type=int, default=8,
+        help="simulated client principals (default: 8)",
+    )
+    load.add_argument(
+        "--requests", type=int, default=240,
+        help="login->ticket->AP units to drive (default: 240)",
+    )
+    load.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads modelled per shard (default: 2)",
+    )
+    load.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for keys, jitter, and arrival times (default: 0)",
+    )
+    load.add_argument(
+        "--no-faults", action="store_true",
+        help="skip the mid-run shard outage (latency floor instead of "
+             "degradation behaviour)",
+    )
+    load.add_argument(
+        "--interarrival", type=int, default=None, metavar="US",
+        help="mean microseconds between request arrivals (default: 6000; "
+             "lower saturates the cluster)",
+    )
+    load.add_argument(
+        "--out", default="BENCH_kdc.json", metavar="PATH",
+        help="benchmark report path (default: BENCH_kdc.json)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
     handler = {
         "matrix": _cmd_matrix,
         "notation": _cmd_notation,
@@ -367,6 +493,8 @@ def main(argv=None) -> int:
         "perf": _cmd_perf,
         "lint": _cmd_lint,
         "check": _cmd_check,
+        "serve": _cmd_serve,
+        "load": _cmd_load,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,156 @@
+"""Keep ``docs/cli.md`` in lockstep with the argparse tree.
+
+The option tables in the CLI reference are generated, not hand-written:
+each subcommand's table lives between a pair of HTML-comment markers
+
+.. code-block:: markdown
+
+    <!-- cli:lint:begin -->
+    ...generated table...
+    <!-- cli:lint:end -->
+
+and this module regenerates the region from
+:func:`repro.__main__.build_parser` — the same parser object the CLI
+actually runs.  ``python -m repro.clidoc --check`` (CI's docs job)
+fails when the document has drifted from the code;
+``python -m repro.clidoc --write`` refreshes it.
+
+Prose, examples, and anything outside the markers are left untouched,
+so the reference stays a document, not a dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Dict, List, Optional
+
+__all__ = ["command_tables", "render_table", "apply", "main"]
+
+_MARKER = re.compile(
+    r"<!-- cli:(?P<name>[a-z-]+):begin -->\n"
+    r"(?P<body>.*?)"
+    r"<!-- cli:(?P=name):end -->",
+    re.DOTALL,
+)
+
+
+def _subparsers(parser: argparse.ArgumentParser) -> Dict[str, argparse.ArgumentParser]:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise ValueError("parser has no subcommands")
+
+
+def _option_cell(action: argparse.Action) -> str:
+    if not action.option_strings:  # positional
+        return f"`{action.dest}`"
+    longest = max(action.option_strings, key=len)
+    if isinstance(action, (argparse._StoreTrueAction, argparse._StoreFalseAction)):
+        return f"`{longest}`"
+    metavar = action.metavar or action.dest.upper().replace("-", "_")
+    return f"`{longest} {metavar}`"
+
+
+def _default_cell(action: argparse.Action) -> str:
+    if not action.option_strings:
+        return "required"
+    if isinstance(action, (argparse._StoreTrueAction, argparse._StoreFalseAction)):
+        return "off"
+    if action.default is None:
+        return "—"
+    return f"`{action.default}`"
+
+
+def render_table(sub: argparse.ArgumentParser) -> str:
+    """One subcommand's arguments as a markdown table (or a stub)."""
+    actions = [a for a in sub._actions
+               if not isinstance(a, argparse._HelpAction)]
+    if not actions:
+        return "*(no options)*\n"
+    lines = ["| argument | default | description |", "|---|---|---|"]
+    for action in actions:
+        help_text = (action.help or "").replace("\n", " ")
+        help_text = re.sub(r"\s+", " ", help_text).strip()
+        lines.append(
+            f"| {_option_cell(action)} | {_default_cell(action)} "
+            f"| {help_text} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def command_tables() -> Dict[str, str]:
+    """Generated table text for every ``python -m repro`` subcommand."""
+    from repro.__main__ import build_parser
+
+    return {name: render_table(sub)
+            for name, sub in _subparsers(build_parser()).items()}
+
+
+def apply(text: str) -> str:
+    """Return *text* with every marked region regenerated."""
+    tables = command_tables()
+
+    def replace(match: "re.Match[str]") -> str:
+        name = match.group("name")
+        if name not in tables:
+            raise KeyError(
+                f"docs marker 'cli:{name}' has no matching subcommand"
+            )
+        return (f"<!-- cli:{name}:begin -->\n"
+                + tables.pop(name)
+                + f"<!-- cli:{name}:end -->")
+
+    updated = _MARKER.sub(replace, text)
+    if tables:
+        missing = ", ".join(sorted(tables))
+        raise KeyError(f"subcommands missing from docs/cli.md: {missing}")
+    return updated
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.clidoc",
+        description="Regenerate (or verify) docs/cli.md option tables "
+                    "from the live argparse tree.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="exit 1 if the document has drifted")
+    mode.add_argument("--write", action="store_true",
+                      help="rewrite the marked regions in place")
+    parser.add_argument(
+        "--path", default=None, metavar="FILE",
+        help="document to process (default: docs/cli.md next to the "
+             "repository's src/ tree)",
+    )
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.path) if args.path else \
+        pathlib.Path(__file__).resolve().parents[2] / "docs" / "cli.md"
+    original = path.read_text(encoding="utf-8")
+    try:
+        updated = apply(original)
+    except KeyError as exc:
+        print(f"clidoc: {exc.args[0]}")
+        return 2
+
+    if args.write:
+        if updated != original:
+            path.write_text(updated, encoding="utf-8")
+            print(f"clidoc: rewrote {path}")
+        else:
+            print(f"clidoc: {path} already current")
+        return 0
+    if updated != original:
+        print(f"clidoc: {path} has drifted from the argparse tree; "
+              "run `python -m repro.clidoc --write`")
+        return 1
+    print(f"clidoc: {path} matches the argparse tree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ principals is public, only keys are secret.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.crypto.keys import string_to_key
 from repro.crypto.rng import DeterministicRandom
@@ -82,3 +82,10 @@ class KdcDatabase:
 
     def users(self) -> List[Principal]:
         return [p for p in self.principals() if not p.instance and not p.is_tgs]
+
+    def entries(self) -> List[Tuple[Principal, bytes]]:
+        """Every (principal, key) pair, sorted — the replication feed
+        :mod:`repro.serve` uses to copy service/TGS keys onto every
+        shard.  Key material leaves this object *only* here and via
+        :meth:`key_of`; both are KDC-side interfaces."""
+        return sorted(self._keys.items())

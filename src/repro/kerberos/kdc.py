@@ -99,6 +99,7 @@ class Kdc:
         config: ProtocolConfig,
         rng: DeterministicRandom,
         directory: Optional[RealmDirectory] = None,
+        replay_cache: Optional[ReplayCache] = None,
     ):
         self.realm = realm
         self.database = database
@@ -109,7 +110,9 @@ class Kdc:
         self.tgs_principal = Principal.tgs(realm)
         if not database.knows(self.tgs_principal):
             database.add_tgs()
-        self.replay_cache = ReplayCache()
+        # Injectable so the sharded service layer can substitute a
+        # bounded LruReplayCache per shard (repro.serve).
+        self.replay_cache = replay_cache if replay_cache is not None else ReplayCache()
         # Defender-side telemetry rides the host's network fabric.
         self.bus = host.network.bus
         # Per-source AS request history for rate limiting (timestamps of

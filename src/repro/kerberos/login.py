@@ -56,12 +56,16 @@ class LoginProgram:
         directory: RealmDirectory,
         rng: DeterministicRandom,
         cache_kind: StorageKind = StorageKind.LOCAL_DISK,
+        retry_policy=None,
     ):
         self.host = host
         self.config = config
         self.directory = directory
         self.rng = rng
         self.cache_kind = cache_kind
+        # Optional RetryPolicy handed to the client; lets a login ride
+        # out a degraded KDC service layer (repro.serve) with backoff.
+        self.retry_policy = retry_policy
 
     def login(
         self,
@@ -77,6 +81,7 @@ class LoginProgram:
             self.host, user, self.config, self.directory, self.rng,
             cache_kind=self.cache_kind,
         )
+        client.retry_policy = self.retry_policy
         bus = self.host.network.bus
         try:
             credentials = client.kinit(secret, forwardable=forwardable)

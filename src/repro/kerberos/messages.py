@@ -52,7 +52,7 @@ __all__ = [
     "ERR_PREAUTH_REQUIRED", "ERR_PREAUTH_FAILED", "ERR_REPLAY",
     "ERR_SKEW", "ERR_BAD_TICKET", "ERR_METHOD", "ERR_POLICY",
     "ERR_UNKNOWN_PRINCIPAL", "ERR_BAD_ADDRESS", "ERR_GENERIC",
-    "ERR_TRANSIT_POLICY",
+    "ERR_TRANSIT_POLICY", "ERR_UNAVAILABLE",
 ]
 
 _S = FieldKind.STRING
@@ -216,6 +216,8 @@ ERR_METHOD = 8          # "use the challenge/response alternative"
 ERR_POLICY = 9
 ERR_BAD_ADDRESS = 10
 ERR_TRANSIT_POLICY = 11
+ERR_UNAVAILABLE = 12    # service-layer degradation: the shard holding
+                        # this principal is down; retry after backoff
 
 
 # --- the encryption layer ----------------------------------------------------

@@ -21,6 +21,7 @@ happily accept stale authenticators (E4).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.crypto.checksum import ChecksumType, compute
@@ -28,8 +29,8 @@ from repro.kerberos.config import ProtocolConfig
 from repro.kerberos.tickets import Authenticator, Ticket
 from repro.obs.events import ClockSkewReject, Event, PolicyReject, ReplayCacheHit
 
-__all__ = ["ValidationError", "ReplayCache", "validate_authenticator",
-           "validation_event"]
+__all__ = ["ValidationError", "ReplayCache", "LruReplayCache",
+           "validate_authenticator", "validation_event"]
 
 
 class ValidationError(RuntimeError):
@@ -95,6 +96,52 @@ class ReplayCache:
         dead = [k for k, ts in self._entries.items() if ts < now - horizon]
         for k in dead:
             del self._entries[k]
+
+
+class LruReplayCache(ReplayCache):
+    """A :class:`ReplayCache` with a hard capacity bound.
+
+    The unbounded cache is faithful to the paper's proposal, but a KDC
+    shard serving a whole site cannot let the authenticator store grow
+    with traffic: time-based expiry alone leaves the cache proportional
+    to *offered load within the window*, which an attacker (or a busy
+    morning) controls.  This variant keeps at most *capacity* live
+    entries in LRU order: a lookup refreshes an entry's recency, an
+    insert over capacity evicts the least-recently-seen entry first.
+
+    The deliberate trade-off — the one that makes the defense
+    *operational* rather than perfect — is that an eviction forgets an
+    authenticator before its freshness window has closed, so a replay of
+    the evicted authenticator would be accepted again.  ``evictions``
+    counts how often that window opened; a deployment sizes ``capacity``
+    so the count stays zero at expected load (benchmark E28 measures
+    both sides).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        super().__init__()
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, int, bytes], int]" = OrderedDict()
+        self.hits = 0        # replays caught
+        self.evictions = 0   # fresh entries forgotten to stay bounded
+
+    def check_and_store(
+        self, client: str, timestamp: int, fingerprint: bytes,
+        now: int, horizon: int,
+    ) -> bool:
+        self._expire(now, horizon)
+        key = (client, timestamp, fingerprint)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return False
+        self._entries[key] = timestamp
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
 
 
 def validate_authenticator(

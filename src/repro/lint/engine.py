@@ -18,12 +18,17 @@ protocol-misuse rules in :mod:`repro.lint.rules` care about:
   ``sync_host_clock``?", or "does a codec class declare ``name = 'v4'``
   without type tags?".
 
-Three subtrees are excluded by default: ``attacks`` (which misuses the
-primitives *on purpose*), ``lint`` itself, and ``check`` (the model
-checker) — the latter two because their predicates and property gates
-read config fields and would otherwise count as the protocol code
-consulting them, shifting every finding's anchor.  Unit tests point the
-engine at throwaway trees of minimal vulnerable/fixed snippets instead.
+Several subtrees are excluded by default: ``attacks`` (which misuses
+the primitives *on purpose*); ``lint`` itself and ``check`` (the model
+checker), because their predicates and property gates read config
+fields and would otherwise count as the protocol code consulting them,
+shifting every finding's anchor; and the operational layer — ``serve``
+(the sharded KDC service), ``load`` (its load harness), and the
+``__main__`` CLI front door — which composes the protocol engine
+rather than implementing protocol, and whose dispatch/reporting paths
+would likewise move anchors.  Unit tests
+point the engine at throwaway trees of minimal vulnerable/fixed
+snippets instead.
 
 Scanning is embarrassingly parallel per file: with ``jobs=N`` the
 entry points fan the per-file analyses out over a process pool and
@@ -46,7 +51,8 @@ __all__ = [
 ]
 
 #: Subtrees skipped when scanning ``src/repro`` (see module docstring).
-DEFAULT_EXCLUDES: Tuple[str, ...] = ("attacks", "lint", "check")
+DEFAULT_EXCLUDES: Tuple[str, ...] = ("attacks", "lint", "check", "serve",
+                                     "load", "__main__")
 
 _SECRET_EXACT: FrozenSet[str] = frozenset({
     "key", "keys", "kc", "password", "passwd", "passphrase", "subkey",
@@ -405,7 +411,8 @@ def analyze_tree(root: Path,
                  jobs: Optional[int] = None) -> CodeModel:
     """Analyze every ``*.py`` under *root*.
 
-    *exclude* names top-level subdirectories of *root* to skip; *prefix*
+    *exclude* names top-level subdirectories (``check``) or top-level
+    modules (``load``, matching ``load.py``) of *root* to skip; *prefix*
     is prepended to every recorded (root-relative) path so findings can
     anchor repo-relative (e.g. ``src/repro/``).
 
@@ -420,6 +427,8 @@ def analyze_tree(root: Path,
     for path in sorted(root.rglob("*.py")):
         relative = path.relative_to(root)
         if relative.parts and relative.parts[0] in excluded:
+            continue
+        if len(relative.parts) == 1 and relative.stem in excluded:
             continue
         targets.append((str(path), prefix + relative.as_posix()))
 

@@ -35,8 +35,8 @@ from repro.obs.bus import EventBus, capture, reset_captures
 from repro.obs.events import (
     ClockSkewReject, DecryptFailure, Event, ExchangeComplete,
     LintFinding, LoginAttempt, PolicyReject, PreauthFailure,
-    ReplayCacheHit, SessionEstablished, TicketIssued, WireCrossing,
-    event_from_dict,
+    ReplayCacheHit, RequestRetried, SessionEstablished, ShardUnavailable,
+    TicketIssued, WireCrossing, event_from_dict,
 )
 from repro.obs.metrics import MetricsRegistry, MetricsSink
 from repro.obs.sinks import CollectorSink, JsonlSink, read_jsonl
@@ -47,7 +47,8 @@ __all__ = [
     "ExchangeSpan", "JsonlSink", "LintFinding", "LoginAttempt",
     "MetricsRegistry",
     "MetricsSink", "PolicyReject", "PreauthFailure", "ReplayCacheHit",
-    "SessionEstablished", "TicketIssued", "WireCrossing", "build_spans",
+    "RequestRetried", "SessionEstablished", "ShardUnavailable",
+    "TicketIssued", "WireCrossing", "build_spans",
     "capture", "correlate_with_wire_log", "detectability_digest",
     "event_from_dict", "read_jsonl", "render_events", "reset_captures",
 ]

@@ -27,7 +27,8 @@ __all__ = [
     "Event", "WireCrossing", "ExchangeComplete", "TicketIssued",
     "LoginAttempt", "SessionEstablished", "DecryptFailure",
     "ReplayCacheHit", "ClockSkewReject", "PreauthFailure", "PolicyReject",
-    "LintFinding", "EVENT_KINDS", "event_from_dict",
+    "ShardUnavailable", "RequestRetried", "LintFinding",
+    "EVENT_KINDS", "event_from_dict",
 ]
 
 
@@ -191,6 +192,36 @@ class PolicyReject(Event):
 
 
 @dataclass(frozen=True)
+class ShardUnavailable(Event):
+    """The service layer could not reach a KDC shard and degraded the
+    request instead of serving it.  Availability telemetry, not an
+    anomaly kind: a crashed shard pages the operator, but it is not
+    evidence of a protocol attack, and it must never perturb a
+    scenario's detectability digest."""
+
+    kind: ClassVar[str] = "ShardUnavailable"
+
+    service: str = ""    # "kerberos" or "tgs"
+    shard: int = 0
+    address: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RequestRetried(Event):
+    """A client retried a timed-out or degraded exchange after backoff.
+    Client-side availability telemetry (same reasoning as
+    :class:`ShardUnavailable`: ops signal, not attack evidence)."""
+
+    kind: ClassVar[str] = "RequestRetried"
+
+    service: str = ""
+    attempt: int = 0     # 1 = first retry
+    backoff_us: int = 0  # how long the client waited before this retry
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class LintFinding(Event):
     """The static analyzer (``python -m repro lint``) reported one
     finding.  Tooling telemetry, not wire telemetry: it is deliberately
@@ -213,7 +244,8 @@ EVENT_KINDS: Dict[str, type] = {
     for cls in (
         WireCrossing, ExchangeComplete, TicketIssued, LoginAttempt,
         SessionEstablished, DecryptFailure, ReplayCacheHit,
-        ClockSkewReject, PreauthFailure, PolicyReject, LintFinding,
+        ClockSkewReject, PreauthFailure, PolicyReject,
+        ShardUnavailable, RequestRetried, LintFinding,
     )
 }
 

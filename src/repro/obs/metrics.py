@@ -25,7 +25,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.obs.events import (
     ClockSkewReject, DecryptFailure, Event, ExchangeComplete,
     LoginAttempt, PolicyReject, PreauthFailure, ReplayCacheHit,
-    SessionEstablished, TicketIssued, WireCrossing,
+    RequestRetried, SessionEstablished, ShardUnavailable, TicketIssued,
+    WireCrossing,
 )
 
 __all__ = ["Counter", "Histogram", "MetricsRegistry", "MetricsSink"]
@@ -206,3 +207,10 @@ class MetricsSink:
             registry.counter("login_attempts").inc(ok=event.ok)
         elif isinstance(event, SessionEstablished):
             registry.counter("sessions_established").inc(service=event.service)
+        elif isinstance(event, ShardUnavailable):
+            registry.counter("shard_unavailable").inc(
+                service=event.service, shard=event.shard
+            )
+        elif isinstance(event, RequestRetried):
+            registry.counter("request_retries").inc(service=event.service)
+            registry.histogram("retry_backoff_us").observe(event.backoff_us)

@@ -19,6 +19,11 @@ trajectory of the repository is populated run over run.  Unlike
 everything else in the package the timings are, of course, not
 deterministic; the *shape* of the report is, and the identity check
 inside it must always hold.
+
+The service-layer companion — latency percentiles and throughput for
+the sharded KDC under an open-loop workload, written to
+``BENCH_kdc.json`` — lives in :mod:`repro.load`
+(``python -m repro load``).
 """
 
 from __future__ import annotations

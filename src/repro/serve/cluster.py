@@ -1,0 +1,386 @@
+"""A sharded, fault-injectable KDC service layer over the existing engine.
+
+The paper's replicated-server remark — Kerberos sites ran *slave* KDCs
+because "the Kerberos server must be available in real time" — is the
+seed of this module.  :class:`KdcCluster` scales one realm's KDC out to
+N shards without touching the protocol engine: each shard is a complete
+:class:`repro.kerberos.kdc.Kdc` with its own host, its own slice of the
+principal database, and its own bounded
+:class:`repro.kerberos.validation.LruReplayCache`.  A thin frontend
+routes each request to a shard over the same adversary-tapped network
+fabric everything else uses.
+
+Partitioning (:class:`ClusterDatabase`):
+
+* **User keys are partitioned** — each password-derived key lives on
+  exactly one shard (home shard = CRC-32 of the principal string).
+  This is the scale-out win, and the availability cost the load harness
+  measures: while a shard is down, *its* users cannot authenticate.
+* **Service, TGS, and inter-realm keys are replicated** to every shard.
+  A TGS request can then be served anywhere, which is what makes
+  failover possible at all.
+
+Routing (:mod:`repro.serve.sharding`): AS requests by client principal
+(the key only its home shard holds), TGS requests by a fingerprint of
+the authenticator bytes — so an exact replay lands on the shard whose
+replay cache remembers the original.
+
+Degradation: a downed shard (``Network.fail_host``) makes the
+frontend's internal hop raise :class:`repro.sim.network.NetworkError`.
+For AS requests there is no replica holding the user's key, so the
+client gets a framed ``ERR_UNAVAILABLE`` and is expected to retry with
+backoff (:class:`repro.kerberos.client.RetryPolicy`).  For TGS requests
+the frontend *fails over* to the next healthy shard — correct for
+issuance (TGS keys are replicated) but deliberately honest about the
+cost: the replayed-authenticator dedup domain shifts with the route, so
+during a failover window a replay can land on a cache that never saw
+the original.  The ``failovers`` counter and the emitted
+:class:`repro.obs.events.ShardUnavailable` events keep that trade-off
+visible to the defender.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.crypto.des import BLOCK_OPS, get_schedule
+from repro.crypto.keys import string_to_key
+from repro.crypto.rng import DeterministicRandom
+from repro.kerberos.config import ProtocolConfig
+from repro.kerberos.database import KdcDatabase
+from repro.kerberos.kdc import AS_SERVICE, TGS_SERVICE, Kdc
+from repro.kerberos.messages import (
+    AS_REQ, ERR_UNAVAILABLE, TGS_REQ, frame_error,
+)
+from repro.kerberos.principal import Principal
+from repro.kerberos.realm import RealmDirectory
+from repro.kerberos.validation import LruReplayCache
+from repro.obs.events import ShardUnavailable
+from repro.serve.pool import WorkerPool
+from repro.serve.sharding import shard_of
+from repro.sim.clock import SimClock
+from repro.sim.host import Host
+from repro.sim.network import Endpoint, Network, NetworkError
+
+__all__ = ["ClusterDatabase", "ShardServer", "KdcCluster"]
+
+
+class ClusterDatabase:
+    """The :class:`KdcDatabase` interface over N per-shard databases.
+
+    User keys are partitioned to their home shard; everything a TGS
+    exchange can need (service keys, the realm's own ``krbtgt`` key,
+    inter-realm keys) is replicated to all shards.  Replicated keys are
+    the cluster's hot set, so their DES schedules are derived at install
+    time through :func:`repro.crypto.des.get_schedule` — by the time
+    traffic arrives, every shard serves them from the schedule cache.
+    """
+
+    def __init__(self, realm: str, rng: DeterministicRandom, shard_count: int):
+        if shard_count < 1:
+            raise ValueError("a cluster needs at least one shard")
+        self.realm = realm
+        self.shard_count = shard_count
+        # Keys come from the cluster's own stream so provisioning is
+        # deterministic regardless of which shard they land on.
+        self._rng = rng.fork("cluster-keys")
+        self.shards: List[KdcDatabase] = [
+            KdcDatabase(realm, rng.fork(f"shard{i}"))
+            for i in range(shard_count)
+        ]
+
+    # -- placement ------------------------------------------------------
+
+    @staticmethod
+    def _partitioned(principal: Principal) -> bool:
+        """User principals (no instance, not krbtgt) are partitioned;
+        service/TGS/inter-realm principals are replicated."""
+        return not principal.is_tgs and not principal.instance
+
+    def home_shard(self, principal: Principal) -> int:
+        return shard_of(str(principal), self.shard_count)
+
+    def _install(self, principal: Principal, key: bytes) -> None:
+        if self._partitioned(principal):
+            self.shards[self.home_shard(principal)].set_key(principal, key)
+        else:
+            for db in self.shards:
+                db.set_key(principal, key)
+            get_schedule(key)  # replicated == hot: prewarm the fast path
+
+    # -- registration (KdcDatabase interface) ---------------------------
+
+    def add_user(self, name: str, password: str, instance: str = "") -> Principal:
+        principal = Principal(name, instance, self.realm)
+        self._install(principal, string_to_key(password))
+        return principal
+
+    def add_service(self, service: str, hostname: str) -> Principal:
+        principal = Principal.service(service, hostname, self.realm)
+        self._install(principal, self._rng.random_key())
+        return principal
+
+    def add_tgs(self) -> Principal:
+        principal = Principal.tgs(self.realm)
+        self._install(principal, self._rng.random_key())
+        return principal
+
+    def add_interrealm(self, other_realm: str, key: bytes) -> Principal:
+        principal = Principal.tgs(self.realm, other_realm)
+        self._install(principal, key)
+        return principal
+
+    def set_key(self, principal: Principal, key: bytes) -> None:
+        self._install(principal, key)
+
+    # -- lookup (KdcDatabase interface) ---------------------------------
+
+    def _shard_for_lookup(self, principal: Principal) -> KdcDatabase:
+        if self._partitioned(principal):
+            return self.shards[self.home_shard(principal)]
+        return self.shards[0]
+
+    def key_of(self, principal: Principal) -> bytes:
+        return self._shard_for_lookup(principal).key_of(principal)
+
+    def knows(self, principal: Principal) -> bool:
+        return self._shard_for_lookup(principal).knows(principal)
+
+    def principals(self) -> List[Principal]:
+        merged = set()
+        for db in self.shards:
+            merged.update(db.principals())
+        return sorted(merged)
+
+    def users(self) -> List[Principal]:
+        return [p for p in self.principals() if not p.instance and not p.is_tgs]
+
+    def entries(self) -> "List[tuple[Principal, bytes]]":
+        merged: Dict[Principal, bytes] = {}
+        for db in self.shards:
+            merged.update(dict(db.entries()))
+        return sorted(merged.items())
+
+
+class ShardServer:
+    """One shard: a host, its database slice, a full Kdc, and a pool."""
+
+    def __init__(
+        self, index: int, host: Host, database: KdcDatabase, kdc: Kdc,
+        replay_cache: LruReplayCache, pool: WorkerPool,
+    ):
+        self.index = index
+        self.host = host
+        self.database = database
+        self.kdc = kdc
+        self.replay_cache = replay_cache
+        self.pool = pool
+        self.served: Dict[str, int] = {AS_SERVICE: 0, TGS_SERVICE: 0}
+        self.failover_serves = 0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "shard": self.index,
+            "address": self.host.address,
+            "served": dict(self.served),
+            "failover_serves": self.failover_serves,
+            "replay_cache": {
+                "capacity": self.replay_cache.capacity,
+                "entries": len(self.replay_cache),
+                "hits": self.replay_cache.hits,
+                "evictions": self.replay_cache.evictions,
+            },
+            "pool": self.pool.stats(),
+        }
+
+
+class KdcCluster:
+    """Frontend + N shard KDCs for one realm.
+
+    Clients are oblivious: the realm directory points at the frontend
+    address, which serves the same ``kerberos``/``tgs`` endpoints a
+    single :class:`Kdc` would.  Internally every request takes one more
+    hop (frontend -> shard) over the same adversary-tapped network, so
+    the wire log shows cluster-internal traffic too — the paper's
+    threat model does not stop at the machine-room door.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        clock: SimClock,
+        config: ProtocolConfig,
+        rng: DeterministicRandom,
+        realm: str,
+        directory: RealmDirectory,
+        frontend_address: str,
+        shard_addresses: List[str],
+        workers_per_shard: int = 2,
+        replay_capacity: int = 4096,
+    ):
+        if len(shard_addresses) < 1:
+            raise ValueError("a cluster needs at least one shard address")
+        self.network = network
+        self._clock = clock
+        self.config = config
+        self.realm = realm
+        self.directory = directory
+        self.database = ClusterDatabase(
+            realm, rng.fork(f"db:{realm}"), len(shard_addresses)
+        )
+        # One krbtgt key, replicated everywhere, *before* the shard Kdcs
+        # come up (Kdc.__init__ would otherwise mint per-shard keys).
+        self.database.add_tgs()
+
+        self.frontend_host = Host(
+            f"kdc-{realm.lower()}", network, clock,
+            addresses=[frontend_address], multi_user=True,
+        )
+        self.shards: List[ShardServer] = []
+        for index, address in enumerate(shard_addresses):
+            host = Host(
+                f"kdc-{realm.lower()}-s{index}", network, clock,
+                addresses=[address], multi_user=True,
+            )
+            shard_db = self.database.shards[index]
+            cache = LruReplayCache(replay_capacity)
+            kdc = Kdc(
+                realm, shard_db, host, config,
+                rng.fork(f"kdc:{realm}:shard{index}"),
+                directory=directory, replay_cache=cache,
+            )
+            pool = WorkerPool(workers_per_shard)
+            self.shards.append(
+                ShardServer(index, host, shard_db, kdc, cache, pool)
+            )
+
+        # Shard Kdcs each registered themselves as the realm's KDC while
+        # constructing; the frontend's registration (last) wins, so
+        # clients and cross-realm referrals resolve to the cluster.
+        network.register(frontend_address, AS_SERVICE,
+                         lambda m: self._handle(AS_SERVICE, m))
+        network.register(frontend_address, TGS_SERVICE,
+                         lambda m: self._handle(TGS_SERVICE, m))
+        directory.register(realm, frontend_address)
+
+        # -- accounting ------------------------------------------------
+        self.requests: Dict[str, int] = {AS_SERVICE: 0, TGS_SERVICE: 0}
+        self.failovers = 0
+        self.unavailable = 0
+        # Virtual queueing delay accumulated since the last drain; the
+        # load harness folds this into per-request latency.
+        self._backlog_us = 0
+
+    # -- routing --------------------------------------------------------
+
+    def route(self, service: str, payload: bytes) -> int:
+        """Primary shard for a request. AS: home shard of the cleartext
+        client principal.  TGS: fingerprint of the authenticator bytes,
+        so a byte-identical replay revisits the shard that cached the
+        original.  Undecodable requests go to shard 0, which produces
+        the protocol's own error reply."""
+        codec = self.config.codec
+        try:
+            if service == AS_SERVICE:
+                request = codec.decode(AS_REQ, payload)
+                return shard_of(request["client"], len(self.shards))
+            request = codec.decode(TGS_REQ, payload)
+            return shard_of(request["authenticator"], len(self.shards))
+        except Exception:
+            return 0
+
+    # -- dispatch -------------------------------------------------------
+
+    def _handle(self, service: str, message) -> bytes:
+        self.requests[service] += 1
+        arrival = self._clock.now()
+        primary = self.route(service, message.payload)
+        # AS requests have exactly one shard that can serve them (the
+        # user's key is not replicated); TGS requests may fail over.
+        if service == TGS_SERVICE:
+            order = [(primary + k) % len(self.shards)
+                     for k in range(len(self.shards))]
+        else:
+            order = [primary]
+
+        for position, index in enumerate(order):
+            shard = self.shards[index]
+            ops_before = BLOCK_OPS.count
+            try:
+                reply = self.network.rpc(
+                    self.frontend_host.address,
+                    Endpoint(shard.host.address, service),
+                    message.payload,
+                )
+            except NetworkError as exc:
+                self._note_down(service, shard, str(exc))
+                continue
+            _, finish = shard.pool.schedule(
+                arrival, BLOCK_OPS.count - ops_before
+            )
+            # Wire transits model propagation; the pool models CPU.
+            # Queue wait + service time is this request's CPU latency,
+            # which the load harness folds into its percentiles.
+            self._backlog_us += finish - arrival
+            shard.served[service] += 1
+            if position > 0:
+                # Served, but by a replica: replay-cache affinity was
+                # broken for this request (see module docstring).
+                self.failovers += 1
+                shard.failover_serves += 1
+            return reply
+
+        self.unavailable += 1
+        return frame_error(
+            self.config, ERR_UNAVAILABLE,
+            f"{service}: shard {primary} is unavailable and no replica "
+            f"holds the required key",
+        )
+
+    def _note_down(self, service: str, shard: ShardServer, detail: str) -> None:
+        bus = self.network.bus
+        if bus.active:
+            bus.emit(ShardUnavailable(
+                service=service, shard=shard.index,
+                address=shard.host.address, detail=detail,
+            ))
+
+    # -- introspection --------------------------------------------------
+
+    def drain_backlog_us(self) -> int:
+        """Virtual CPU latency accrued since the last call (and reset).
+
+        The synchronous fabric cannot make a handler *take longer*, so
+        worker-pool time (queue wait + service) is tracked as this
+        side-channel; the load harness adds each request's share to its
+        measured latency.
+        """
+        backlog, self._backlog_us = self._backlog_us, 0
+        return backlog
+
+    def shard_for_principal(self, principal: Principal) -> ShardServer:
+        return self.shards[self.database.home_shard(principal)]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "realm": self.realm,
+            "shards": len(self.shards),
+            "requests": dict(self.requests),
+            "failovers": self.failovers,
+            "unavailable": self.unavailable,
+            "per_shard": [shard.stats() for shard in self.shards],
+        }
+
+    # Convenience aggregates mirroring the single-Kdc counters.
+
+    @property
+    def as_requests(self) -> int:
+        return sum(s.kdc.as_requests for s in self.shards)
+
+    @property
+    def tgs_requests(self) -> int:
+        return sum(s.kdc.tgs_requests for s in self.shards)
+
+    @property
+    def rejected(self) -> int:
+        return sum(s.kdc.rejected for s in self.shards)

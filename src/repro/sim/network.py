@@ -26,7 +26,7 @@ specific attack needs it (e.g. the UDP retransmission false-positive in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.obs.bus import EventBus
 from repro.obs.events import ExchangeComplete, WireCrossing
@@ -195,6 +195,24 @@ class Network:
         self.bus = bus if bus is not None else EventBus(clock)
         self._endpoints: Dict[Tuple[str, str], Handler] = {}
         self._seq = 0
+        # Crashed/partitioned hosts (fault injection, not an adversary
+        # capability): messages to a downed address vanish, exactly like
+        # a dropped packet, so callers see the same NetworkError a
+        # timeout would produce.
+        self._down: Set[str] = set()
+
+    # -- fault injection -------------------------------------------------
+
+    def fail_host(self, address: str) -> None:
+        """Take *address* off the network (crash / partition)."""
+        self._down.add(address)
+
+    def restore_host(self, address: str) -> None:
+        """Bring *address* back; its registered endpoints resume serving."""
+        self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        return address in self._down
 
     def register(self, address: str, service: str, handler: Handler) -> None:
         """Bind *handler* to ``(address, service)``."""
@@ -217,6 +235,8 @@ class Network:
         self.witness(request)
         request = self.adversary._apply(request)
 
+        if dst.address in self._down:
+            raise NetworkError(f"host {dst.address} is down")
         handler = self._endpoints.get((dst.address, dst.service))
         if handler is None:
             raise NetworkError(f"no endpoint at {dst}")
@@ -271,6 +291,8 @@ class Network:
         message = self._make_message(fake_src, dst, "request", payload,
                                      dst.address)
         self.witness(message)
+        if dst.address in self._down:
+            raise NetworkError(f"host {dst.address} is down")
         handler = self._endpoints.get((dst.address, dst.service))
         if handler is None:
             raise NetworkError(f"no endpoint at {dst}")

@@ -44,11 +44,44 @@ DEFAULT_REALM = "ATHENA"
 
 
 class Realm:
-    """One realm's KDC plus its registered principals."""
+    """One realm's KDC plus its registered principals.
 
-    def __init__(self, testbed: "Testbed", name: str, kdc_address: str):
+    With ``shards >= 2`` the realm's KDC is a
+    :class:`repro.serve.KdcCluster` instead of a single :class:`Kdc`:
+    same endpoints, same directory entry, but the principal database is
+    partitioned and requests take an internal frontend->shard hop.
+    ``realm.kdc`` is ``None`` in that mode; ``realm.cluster`` holds the
+    service layer.
+    """
+
+    def __init__(
+        self, testbed: "Testbed", name: str, kdc_address: str,
+        shards: int = 0, workers_per_shard: int = 2,
+        replay_cache_capacity: int = 4096,
+    ):
         self.name = name
         self.testbed = testbed
+        self.passwords: Dict[str, str] = {}
+        if shards >= 2:
+            from repro.serve import KdcCluster
+
+            self.cluster: Optional[KdcCluster] = KdcCluster(
+                network=testbed.network, clock=testbed.clock,
+                config=testbed.config,
+                rng=testbed.rng.fork(f"kdc:{name}"),
+                realm=name, directory=testbed.directory,
+                frontend_address=kdc_address,
+                shard_addresses=[
+                    testbed._next_address() for _ in range(shards)
+                ],
+                workers_per_shard=workers_per_shard,
+                replay_capacity=replay_cache_capacity,
+            )
+            self.database = self.cluster.database
+            self.kdc_host = self.cluster.frontend_host
+            self.kdc = None
+            return
+        self.cluster = None
         self.database = KdcDatabase(name, testbed.rng.fork(f"db:{name}"))
         self.kdc_host = Host(
             f"kdc-{name.lower()}", testbed.network, testbed.clock,
@@ -58,7 +91,6 @@ class Realm:
             name, self.database, self.kdc_host, testbed.config,
             testbed.rng.fork(f"kdc:{name}"), directory=testbed.directory,
         )
-        self.passwords: Dict[str, str] = {}
 
     def add_user(self, name: str, password: str) -> Principal:
         self.passwords[name] = password
@@ -92,6 +124,9 @@ class Testbed:
         seed: int = 0,
         realm: str = DEFAULT_REALM,
         max_wire_log: Optional[int] = None,
+        shards: int = 0,
+        workers_per_shard: int = 2,
+        replay_cache_capacity: int = 4096,
     ):
         self.config = config if config is not None else ProtocolConfig.v4()
         self.rng = DeterministicRandom(seed)
@@ -101,6 +136,11 @@ class Testbed:
         self.bus = self.network.bus
         self.directory = RealmDirectory()
         self._host_counter = 0
+        # shards == 0 (default): classic single-process KDC per realm.
+        # shards >= 2: every realm added to this bed is a KdcCluster.
+        self._shards = shards
+        self._workers_per_shard = workers_per_shard
+        self._replay_cache_capacity = replay_cache_capacity
         self.realms: Dict[str, Realm] = {}
         self.servers: Dict[str, AppServer] = {}
         self.realm = self.add_realm(realm)
@@ -108,7 +148,12 @@ class Testbed:
     # -- topology -----------------------------------------------------------
 
     def add_realm(self, name: str) -> Realm:
-        realm = Realm(self, name, self._next_address())
+        realm = Realm(
+            self, name, self._next_address(),
+            shards=self._shards,
+            workers_per_shard=self._workers_per_shard,
+            replay_cache_capacity=self._replay_cache_capacity,
+        )
         self.realms[name] = realm
         return realm
 
@@ -191,12 +236,13 @@ class Testbed:
         cache_kind: StorageKind = StorageKind.LOCAL_DISK,
         forwardable: bool = False,
         config: Optional[ProtocolConfig] = None,
+        retry_policy=None,
     ) -> LoginOutcome:
         realm_obj = self._realm_of(realm)
         program = LoginProgram(
             host, config if config is not None else self.config,
             self.directory, self.rng.fork(f"login:{user}:{host.name}"),
-            cache_kind=cache_kind,
+            cache_kind=cache_kind, retry_policy=retry_policy,
         )
         principal = Principal(user, "", realm_obj.name)
         return program.login(principal, typed_input, forwardable=forwardable)

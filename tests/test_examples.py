@@ -11,14 +11,17 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
-EXAMPLES = [
-    "quickstart",
-    "multi_realm",
-    "password_audit",
-    "site_monitor",
-    "hardened_deployment",
-    "attack_gallery",
-]
+# Every script in examples/, each with one marker its output must
+# carry — the line that proves the scenario actually played out, not
+# just that the script imported cleanly.
+EXAMPLES = {
+    "quickstart": "mutual auth verified",
+    "multi_realm": "a TGT for a realm it never asked for",
+    "password_audit": "password-guessing channels vs countermeasures",
+    "site_monitor": "== the operator's view ==",
+    "hardened_deployment": "trojaned login: [login-spoof] failed",
+    "attack_gallery": "hardened profile blocks everything: True",
+}
 
 
 def _load(name: str):
@@ -29,12 +32,18 @@ def _load(name: str):
     return module
 
 
-@pytest.mark.parametrize("name", EXAMPLES)
+def test_every_example_script_is_covered():
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
 def test_example_runs(name, capsys):
     module = _load(name)
     module.main()
     out = capsys.readouterr().out
     assert len(out) > 200  # produced a real report, not a stub
+    assert EXAMPLES[name] in out
 
 
 def test_quickstart_shows_notation_and_wire(capsys):

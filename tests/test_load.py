@@ -1,0 +1,126 @@
+"""The load harness: report shape, determinism, degradation accounting.
+
+``repro.load`` is the acceptance surface for the service layer: it has
+to complete with fault injection on, write a ``BENCH_kdc.json`` other
+tools can trust, and reject every replayed authenticator it probes.
+"""
+
+import json
+
+import pytest
+
+from repro.load import run_load
+
+QUICK = dict(quick=True, shards=2, seed=0, out_path=None)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_load(**QUICK)
+
+
+def test_quick_clamps_workload(quick_report):
+    assert quick_report["quick"] is True
+    assert quick_report["config"]["clients"] <= 4
+    assert quick_report["config"]["requests"] <= 36
+
+
+def test_report_has_required_keys(quick_report):
+    assert quick_report["schema"] == "repro-bench-kdc/1"
+    for phase in ("unit", "as", "tgs", "ap"):
+        summary = quick_report["latency_us"][phase]
+        assert {"count", "p50", "p95", "p99", "mean", "max"} <= set(summary)
+    assert {"completed", "failed", "sim_seconds", "ops_per_sim_s",
+            "wall_seconds", "ops_per_wall_s"} \
+        <= set(quick_report["throughput"])
+
+
+def test_percentiles_are_ordered(quick_report):
+    for phase, summary in quick_report["latency_us"].items():
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] \
+            <= summary["max"], phase
+
+
+def test_all_units_accounted_for(quick_report):
+    throughput = quick_report["throughput"]
+    assert throughput["completed"] + throughput["failed"] \
+        == quick_report["config"]["requests"]
+    assert throughput["completed"] > 0
+
+
+def test_fault_injection_produces_degradation(quick_report):
+    degradation = quick_report["degradation"]
+    assert degradation["fault_window"] is not None
+    assert degradation["unavailable_replies"] > 0
+    assert degradation["client_retries"] > 0
+
+
+def test_replay_probe_rejects_every_replay(quick_report):
+    probe = quick_report["replay_probe"]
+    assert probe["attempted"] > 0
+    assert probe["rejected"] == probe["attempted"]
+
+
+def test_deterministic_for_a_seed():
+    a = run_load(**QUICK)
+    b = run_load(**QUICK)
+    for key in ("latency_us", "degradation", "replay_probe", "throughput"):
+        if key == "throughput":
+            # wall-clock fields legitimately differ run to run
+            trim = {k: v for k, v in a[key].items() if "wall" not in k}
+            assert trim == {k: v for k, v in b[key].items()
+                            if "wall" not in k}
+        else:
+            assert a[key] == b[key], key
+
+
+def test_different_seed_changes_the_run():
+    a = run_load(**{**QUICK, "seed": 1})
+    b = run_load(**QUICK)
+    assert a["latency_us"] != b["latency_us"]
+
+
+def test_no_faults_gives_flat_latency():
+    report = run_load(**{**QUICK, "faults": False})
+    assert report["degradation"]["fault_window"] is None
+    assert report["degradation"]["unavailable_replies"] == 0
+    assert report["throughput"]["failed"] == 0
+    unit = report["latency_us"]["unit"]
+    assert unit["p99"] <= 2 * unit["p50"]
+
+
+def test_rejects_unsharded_bed():
+    with pytest.raises(ValueError):
+        run_load(quick=True, shards=1, out_path=None)
+
+
+def test_writes_benchmark_json(tmp_path):
+    out = tmp_path / "BENCH_kdc.json"
+    report = run_load(**{**QUICK, "out_path": str(out)})
+    assert report["written_to"] == str(out)
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "repro-bench-kdc/1"
+    assert on_disk["latency_us"]["unit"]["p99"] \
+        == report["latency_us"]["unit"]["p99"]
+
+
+def test_cli_load_quick_exits_zero(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "BENCH_kdc.json"
+    code = main(["load", "--quick", "--shards", "2", "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    stdout = capsys.readouterr().out
+    assert "replay probe" in stdout
+    assert "unit latency" in stdout
+
+
+def test_cli_serve_prints_topology(capsys):
+    from repro.__main__ import main
+
+    assert main(["serve", "--shards", "2", "--users", "4"]) == 0
+    stdout = capsys.readouterr().out
+    assert "2 shards" in stdout
+    assert "frontend" in stdout
+    assert "shard 1" in stdout
