@@ -24,11 +24,18 @@ Commands:
   key placement, and request routing for a cluster of N shards;
 * ``load``        — drive the sharded KDC with an open-loop workload
   from K simulated clients (optionally with a mid-run shard outage),
-  writing latency percentiles and throughput to ``BENCH_kdc.json``.
+  writing latency percentiles, per-shard queue-wait and utilization,
+  and throughput to ``BENCH_kdc.json``;
+* ``monitor``     — the same workload traced end-to-end: per-shard
+  saturation tables, tick-sampled gauges, the top-N slowest traces
+  broken down into queue wait vs crypto vs dispatch vs wire, an
+  optional Chrome trace-event export (``--emit-chrome-trace``), and a
+  tracing-overhead guard for CI (``--overhead-guard``).
 
 Everything is deterministic; no (real) network, no state left behind
-except the files explicitly written: ``audit --jsonl``'s event log and
-the benchmark reports of ``perf`` and ``load``.
+except the files explicitly written: ``audit --jsonl``'s event log,
+the benchmark reports of ``perf`` and ``load``, and ``monitor``'s
+Chrome trace JSON.
 """
 
 from __future__ import annotations
@@ -149,8 +156,10 @@ def _resolve_scenario(name: str):
 
 def _cmd_audit(args) -> int:
     from repro.obs import (
-        JsonlSink, build_spans, capture, detectability_digest, render_events,
+        JsonlSink, Tracer, build_spans, capture, detectability_digest,
+        render_events,
     )
+    from repro.obs.audit import trace_digests
     from repro.obs.metrics import MetricsRegistry, MetricsSink
     from repro.suite import DEFAULT_COLUMNS
 
@@ -174,7 +183,8 @@ def _cmd_audit(args) -> int:
             return 2
         jsonl = JsonlSink(args.jsonl)
         sinks.append(jsonl)
-    with capture(*sinks) as cap:
+    tracer = Tracer()
+    with capture(*sinks, tracer=tracer) as cap:
         result = scenario.run(configs[args.column], args.seed)
     if jsonl is not None:
         jsonl.close()
@@ -201,6 +211,19 @@ def _cmd_audit(args) -> int:
     else:
         print("detectability: none needed — the attack never got far "
               "enough to trip a check")
+    perturbed = trace_digests(cap.events)
+    if perturbed:
+        from repro.monitor import render_trace_tree
+
+        by_trace = tracer.traces()
+        print()
+        print("perturbed traces (which requests carried the anomalies):")
+        for trace_id, kinds in perturbed.items():
+            summary = ", ".join(f"{kind}×{count}"
+                                for kind, count in kinds.items())
+            print(f"  trace {trace_id}: {summary}")
+            for line in render_trace_tree(by_trace.get(trace_id, [])):
+                print("  " + line)
     if jsonl is not None:
         print(f"\nwrote {jsonl.written} events to {args.jsonl}")
     return 0
@@ -289,6 +312,34 @@ def _cmd_load(args) -> int:
     print(render_report(report))
     probe = report["replay_probe"]
     ok = probe["attempted"] == 0 or probe["rejected"] == probe["attempted"]
+    return 0 if ok else 1
+
+
+def _cmd_monitor(args) -> int:
+    from repro.monitor import measure_overhead, render_monitor, run_monitor
+
+    label = " (--quick)" if args.quick else ""
+    print(f"monitoring the sharded KDC{label}...\n")
+    report = run_monitor(
+        shards=args.shards, clients=args.clients, requests=args.requests,
+        workers_per_shard=args.workers, seed=args.seed,
+        faults=not args.no_faults, quick=args.quick,
+        interarrival_us=args.interarrival, sample_every=args.sample_every,
+        top_n=args.top, chrome_trace_path=args.emit_chrome_trace,
+    )
+    print(render_monitor(report))
+    ok = not report["traces"]["problems"]
+    if args.overhead_guard is not None:
+        overhead = measure_overhead(shards=args.shards, seed=args.seed)
+        print()
+        print(f"overhead guard   untraced {overhead['untraced_s']}s, "
+              f"traced {overhead['traced_s']}s "
+              f"({overhead['traced_overhead_pct']:+.1f}% when tracing)")
+        if overhead["traced_overhead_pct"] > args.overhead_guard:
+            print(f"overhead guard   FAIL: above {args.overhead_guard}%")
+            ok = False
+        else:
+            print(f"overhead guard   OK (within {args.overhead_guard}%)")
     return 0 if ok else 1
 
 
@@ -479,6 +530,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_kdc.json", metavar="PATH",
         help="benchmark report path (default: BENCH_kdc.json)",
     )
+    monitor = sub.add_parser(
+        "monitor", help="trace the sharded KDC end-to-end and show "
+                        "where the time goes"
+    )
+    monitor.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizes: at most 4 clients and 36 requests",
+    )
+    monitor.add_argument(
+        "--shards", type=int, default=3,
+        help="number of KDC shards (default: 3, minimum 2)",
+    )
+    monitor.add_argument(
+        "--clients", type=int, default=8,
+        help="simulated client principals (default: 8)",
+    )
+    monitor.add_argument(
+        "--requests", type=int, default=240,
+        help="login->ticket->AP units to drive (default: 240)",
+    )
+    monitor.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads modelled per shard (default: 2)",
+    )
+    monitor.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for keys, jitter, and arrival times (default: 0)",
+    )
+    monitor.add_argument(
+        "--no-faults", action="store_true",
+        help="skip the mid-run shard outage",
+    )
+    monitor.add_argument(
+        "--interarrival", type=int, default=None, metavar="US",
+        help="mean microseconds between request arrivals (default: 6000; "
+             "lower saturates the cluster)",
+    )
+    monitor.add_argument(
+        "--sample-every", type=int, default=1, metavar="N",
+        help="retain every Nth trace (default: 1 = all; raise to bound "
+             "memory on huge runs)",
+    )
+    monitor.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="slowest traces to break down (default: 5)",
+    )
+    monitor.add_argument(
+        "--emit-chrome-trace", metavar="PATH",
+        help="write the span forest as Chrome trace-event JSON to PATH "
+             "(loadable in Perfetto / chrome://tracing)",
+    )
+    monitor.add_argument(
+        "--overhead-guard", type=float, default=None, metavar="PCT",
+        help="also measure tracing overhead on a quick run and fail if "
+             "it exceeds PCT percent (the CI no-op fast-path gate)",
+    )
     return parser
 
 
@@ -495,6 +602,7 @@ def main(argv=None) -> int:
         "check": _cmd_check,
         "serve": _cmd_serve,
         "load": _cmd_load,
+        "monitor": _cmd_monitor,
     }[args.command]
     return handler(args)
 

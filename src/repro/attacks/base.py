@@ -30,6 +30,15 @@ class AttackResult:
     :data:`repro.crypto.des.BLOCK_OPS` by ``run_attack_matrix`` — in a
     parallel run, captured inside the worker process and merged back.
     ``None`` means the run was not metered.
+
+    ``anomaly_traces`` refines ``detectability`` by causal trace: when
+    the runner attached a :class:`repro.obs.trace.Tracer`, it maps
+    trace id → ``{kind: count}`` (per
+    :func:`repro.obs.audit.trace_digests`), pointing from each detected
+    anomaly back to the exact request — client retry chain, shard hop,
+    or adversary injection — that carried it.  ``None`` means untraced;
+    it is never rendered in the matrix, so serial and parallel renders
+    stay byte-identical.
     """
 
     name: str
@@ -38,6 +47,7 @@ class AttackResult:
     evidence: Dict[str, Any] = field(default_factory=dict)
     detectability: Optional[Dict[str, int]] = None
     block_ops: Optional[int] = None
+    anomaly_traces: Optional[Dict[int, Dict[str, int]]] = None
 
     @property
     def silent(self) -> Optional[bool]:

@@ -551,20 +551,42 @@ class KerberosClient:
         return self._raw_rpc(Endpoint(address, service), request)
 
     def _raw_rpc(self, endpoint: Endpoint, request: bytes) -> bytes:
+        tracer = self.host.network.bus.tracer
+        if tracer is None:
+            return self._rpc_attempts(endpoint, request)
+        # One root span per logical call: each wire attempt becomes a
+        # sibling child inside it, so a retried or failed-over exchange
+        # is still a single rooted trace (no orphan spans).
+        with tracer.span(f"rpc/{endpoint.service}", client=self.host.address):
+            return self._rpc_attempts(endpoint, request)
+
+    def _wire_rpc(self, endpoint: Endpoint, request: bytes,
+                  attempt: int) -> bytes:
+        """One wire attempt, wrapped in an ``attempt`` span when traced."""
+        self.messages_exchanged += 2
+        tracer = self.host.network.bus.tracer
+        if tracer is None:
+            return self.host.network.rpc(self.host.address, endpoint, request)
+        span = tracer.begin(f"attempt/{endpoint.service}", attempt=attempt)
+        try:
+            reply = self.host.network.rpc(self.host.address, endpoint, request)
+        except NetworkError as exc:
+            tracer.end(span, error=str(exc))
+            raise
+        tracer.end(span)
+        return reply
+
+    def _rpc_attempts(self, endpoint: Endpoint, request: bytes) -> bytes:
         policy = self.retry_policy
         if policy is None:
-            self.messages_exchanged += 2
-            return self.host.network.rpc(self.host.address, endpoint, request)
+            return self._wire_rpc(endpoint, request, 0)
 
         attempt = 0
         while True:
             failure: Optional[NetworkError] = None
             reply = b""
             try:
-                self.messages_exchanged += 2
-                reply = self.host.network.rpc(
-                    self.host.address, endpoint, request
-                )
+                reply = self._wire_rpc(endpoint, request, attempt)
             except NetworkError as exc:
                 # The simulation's timeout: the request (or its reply)
                 # never arrived.

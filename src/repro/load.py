@@ -45,6 +45,8 @@ from repro.kerberos.client import KerberosError, RetryPolicy
 from repro.kerberos.config import ProtocolConfig
 from repro.kerberos.messages import ERR_REPLAY, ERR_UNAVAILABLE, unframe
 from repro.obs.metrics import Histogram, MetricsRegistry, MetricsSink
+from repro.obs.timeseries import LogHistogram, TickSampler
+from repro.obs.trace import Tracer
 from repro.sim.clock import MILLISECOND, SECOND
 from repro.sim.network import Endpoint, NetworkError
 from repro.testbed import Testbed
@@ -89,6 +91,7 @@ def run_load(
     replay_cache_capacity: int = 4096,
     interarrival_us: Optional[int] = None,
     config: Optional[ProtocolConfig] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, Any]:
     """Drive the sharded KDC and return (optionally write) the report.
 
@@ -97,6 +100,12 @@ def run_load(
     with bounded jittered retries, TGS traffic fails over, and AS
     requests for users homed on the dead shard degrade to
     ``ERR_UNAVAILABLE`` — all of which the report itemises.
+
+    Pass a :class:`repro.obs.trace.Tracer` to record every exchange as
+    a causal span chain (``python -m repro monitor`` does); afterwards
+    it rides along as ``report["_tracer"]``.  The tick-sampled gauge
+    series likewise comes back as ``report["_sampler"]``; both keys are
+    attached *after* the JSON is written, so the file stays pure data.
     """
     if interarrival_us is None:
         interarrival_us = DEFAULT_INTERARRIVAL_US
@@ -115,6 +124,9 @@ def run_load(
     )
     registry = MetricsRegistry()
     bed.bus.subscribe(MetricsSink(registry))
+    if tracer is not None:
+        tracer.bind_clock(bed.clock)
+        bed.bus.tracer = tracer
 
     for i in range(clients):
         bed.add_user(f"user{i}", f"pw-{i}")
@@ -122,6 +134,34 @@ def run_load(
     cluster = bed.realm.cluster
     assert cluster is not None
     retry_policy = RetryPolicy(max_retries=2, backoff_base=20 * MILLISECOND)
+
+    # Tick-sampled gauges, once per interarrival of simulated time.
+    # Pool-timeline probes read at cluster.pool_now() — the de-lagged
+    # calendar the worker pools schedule on.
+    sampler = TickSampler(bed.clock, tick_us=max(1, interarrival_us))
+    for shard in cluster.shards:
+        pool, cache = shard.pool, shard.replay_cache
+        sampler.gauge(
+            f"shard{shard.index}.queue_depth",
+            lambda p=pool: p.queue_depth(cluster.pool_now()),
+        )
+        sampler.gauge(
+            f"shard{shard.index}.util_pct",
+            lambda p=pool: p.utilization_pct(),
+        )
+        sampler.gauge(
+            f"shard{shard.index}.replay_entries", lambda c=cache: len(c)
+        )
+    sampler.gauge(
+        "cluster.replay_evictions",
+        lambda: sum(s.replay_cache.evictions for s in cluster.shards),
+    )
+    sampler.gauge("cluster.tgs_failovers", lambda: cluster.failovers)
+    sampler.gauge("cluster.unavailable", lambda: cluster.unavailable)
+    sampler.gauge(
+        "cluster.client_retries",
+        lambda: registry.counter("request_retries").value(),
+    )
 
     # Open-loop arrival calendar, fixed before any traffic flows.
     calendar_rng = bed.rng.fork("load:arrivals")
@@ -164,6 +204,13 @@ def run_load(
         now = bed.clock.now()
         if now < intended:
             bed.clock.advance(intended - now)
+        # De-lag this unit's arrivals so the worker pools see it on the
+        # intended open-loop calendar, not behind the serialized clock
+        # (see KdcCluster.note_open_loop_arrival).
+        cluster.note_open_loop_arrival(intended)
+        # Sample gauges now, while pool_now() sits exactly at this
+        # unit's intended arrival — the instant backlog is visible.
+        sampler.poll()
 
         user = f"user{op % clients}"
         try:
@@ -202,6 +249,9 @@ def run_load(
 
     if fault_window is not None and fault_until >= requests:
         bed.network.restore_host(victim.host.address)
+    sampler.tick()  # final reading at end-of-run state
+    # Back to the raw clock for the out-of-band probes below.
+    cluster.note_open_loop_arrival(bed.clock.now())
 
     sim_elapsed_us = bed.clock.now() - sim_start
     wall_elapsed = time.perf_counter() - wall_start
@@ -233,8 +283,24 @@ def run_load(
             if decode_error(protocol, body)["code"] == ERR_REPLAY:
                 probe["rejected"] += 1
 
+    # Per-shard queueing percentiles, plus the cluster-wide fold (the
+    # LogHistogram merge is associative, so the fold order is free).
+    cluster_wait = LogHistogram()
+    cluster_service = LogHistogram()
+    queueing_shards: List[Dict[str, Any]] = []
+    for shard in cluster.shards:
+        pool = shard.pool
+        cluster_wait.merge(pool.wait_histogram)
+        cluster_service.merge(pool.service_histogram)
+        queueing_shards.append({
+            "shard": shard.index,
+            "queue_wait_us": pool.wait_histogram.summary(),
+            "service_us": pool.service_histogram.summary(),
+            "utilization_pct": pool.utilization_pct(),
+        })
+
     report: Dict[str, Any] = {
-        "schema": "repro-bench-kdc/1",
+        "schema": "repro-bench-kdc/2",
         "quick": quick,
         "python": platform.python_version(),
         "config": {
@@ -275,6 +341,12 @@ def run_load(
             "unavailable_replies": cluster.unavailable,
             "errors": dict(sorted(errors.items())),
         },
+        "queueing": {
+            "per_shard": queueing_shards,
+            "cluster_queue_wait_us": cluster_wait.summary(),
+            "cluster_service_us": cluster_service.summary(),
+        },
+        "timeseries": sampler.summaries(),
         "replay_probe": probe,
         "cluster": cluster.stats(),
         "metrics": registry.snapshot(),
@@ -284,6 +356,12 @@ def run_load(
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         report["written_to"] = out_path
+    # Live objects ride along for the monitor; attached after the JSON
+    # dump so the file on disk stays pure data.
+    report["_sampler"] = sampler
+    if tracer is not None:
+        report["_tracer"] = tracer
+        bed.bus.tracer = None
     return report
 
 
@@ -317,6 +395,22 @@ def render_report(report: Dict[str, Any]) -> str:
             f"   p95 {s['p95']:>8,}us   p99 {s['p99']:>8,}us"
         )
     lines.append("")
+    queueing = report.get("queueing")
+    if queueing:
+        wait = queueing["cluster_queue_wait_us"]
+        lines.append(
+            f"queue wait       p50 {wait['p50']:>8,}us"
+            f"   p95 {wait['p95']:>8,}us   p99 {wait['p99']:>8,}us"
+            f"   max {wait['max']:>8,}us   (cluster-wide)"
+        )
+        for entry in queueing["per_shard"]:
+            w = entry["queue_wait_us"]
+            lines.append(
+                f"  shard {entry['shard']}        p50 {w['p50']:>8,}us"
+                f"   p95 {w['p95']:>8,}us   p99 {w['p99']:>8,}us"
+                f"   util {entry['utilization_pct']:>3}%"
+            )
+        lines.append("")
     if degrade["fault_window"]:
         window = degrade["fault_window"]
         lines.append(

@@ -25,6 +25,17 @@ Three layers:
   *detectability digest* each :class:`repro.attacks.base.AttackResult`
   carries after a matrix run ("attack won but left N anomalous events"
   vs. the paper's worst case, "attack won silently").
+
+Two more layers arrived with the cluster work:
+
+* :mod:`repro.obs.trace` — causal spans over simulated time: a
+  :class:`Tracer` attached to a bus gives every exchange a
+  client → frontend → shard → worker → replay-cache span chain with
+  exact virtual-time stamps, exportable as Chrome trace-event JSON.
+* :mod:`repro.obs.timeseries` — mergeable log-bucketed histograms
+  (:class:`LogHistogram`) and tick-sampled gauges (:class:`TickSampler`
+  over :class:`RingBuffer`) for per-shard queue depth, utilization, and
+  cache occupancy; the backbone of ``python -m repro monitor``.
 """
 
 from repro.obs.audit import (
@@ -40,15 +51,25 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import MetricsRegistry, MetricsSink
 from repro.obs.sinks import CollectorSink, JsonlSink, read_jsonl
+from repro.obs.timeseries import (
+    LogHistogram, RingBuffer, TickSampler, percentile_of,
+)
+from repro.obs.trace import (
+    Span, Tracer, chrome_trace, span_forest, validate_traces,
+    write_chrome_trace,
+)
 
 __all__ = [
     "ANOMALY_KINDS", "AuditTrail", "ClockSkewReject", "CollectorSink",
     "DecryptFailure", "Event", "EventBus", "ExchangeComplete",
-    "ExchangeSpan", "JsonlSink", "LintFinding", "LoginAttempt",
-    "MetricsRegistry",
+    "ExchangeSpan", "JsonlSink", "LintFinding", "LogHistogram",
+    "LoginAttempt", "MetricsRegistry",
     "MetricsSink", "PolicyReject", "PreauthFailure", "ReplayCacheHit",
-    "RequestRetried", "SessionEstablished", "ShardUnavailable",
-    "TicketIssued", "WireCrossing", "build_spans",
-    "capture", "correlate_with_wire_log", "detectability_digest",
-    "event_from_dict", "read_jsonl", "render_events", "reset_captures",
+    "RequestRetried", "RingBuffer", "SessionEstablished",
+    "ShardUnavailable", "Span", "TicketIssued", "TickSampler", "Tracer",
+    "WireCrossing", "build_spans",
+    "capture", "chrome_trace", "correlate_with_wire_log",
+    "detectability_digest", "event_from_dict", "percentile_of",
+    "read_jsonl", "render_events", "reset_captures", "span_forest",
+    "validate_traces", "write_chrome_trace",
 ]

@@ -29,6 +29,7 @@ from repro.obs.sinks import CollectorSink
 __all__ = [
     "ANOMALY_KINDS", "AuditTrail", "ExchangeSpan", "build_spans",
     "correlate_with_wire_log", "detectability_digest", "render_events",
+    "trace_digests",
 ]
 
 #: Event kinds an IDS would alert on, in reporting order.
@@ -45,6 +46,28 @@ def detectability_digest(events: Sequence[Event]) -> Dict[str, int]:
         if event.kind in ANOMALY_KINDS:
             digest[event.kind] = digest.get(event.kind, 0) + 1
     return {kind: digest[kind] for kind in ANOMALY_KINDS if kind in digest}
+
+
+def trace_digests(events: Sequence[Event]) -> Dict[int, Dict[str, int]]:
+    """Anomaly counts grouped by the trace that carried them.
+
+    The per-trace refinement of :func:`detectability_digest`: when a
+    :class:`repro.obs.trace.Tracer` was attached during the run, every
+    anomalous event is stamped with the trace open when it fired, so
+    this maps trace id → ``{kind: count}`` — the exact requests (client
+    retries, shard hops, adversary injections) an attack perturbed.
+    Events with no trace context (``trace_id == 0``) are excluded; use
+    :func:`detectability_digest` for the untraced total.
+    """
+    grouped: Dict[int, Dict[str, int]] = {}
+    for event in events:
+        if event.kind in ANOMALY_KINDS and event.trace_id:
+            per = grouped.setdefault(event.trace_id, {})
+            per[event.kind] = per.get(event.kind, 0) + 1
+    return {
+        trace_id: {kind: per[kind] for kind in ANOMALY_KINDS if kind in per}
+        for trace_id, per in sorted(grouped.items())
+    }
 
 
 @dataclass

@@ -61,6 +61,10 @@ class EventBus:
         self._sinks: List[Sink] = []
         self._exchange: List[int] = []   # stack of in-flight request seqs
         self.active = False
+        # Optional repro.obs.trace.Tracer; instrumented code guards with
+        # ``if bus.tracer is not None`` the same way emission guards
+        # with ``if bus.active`` — no tracer, no cost beyond the read.
+        self.tracer = None
         for cap in _open_captures:
             cap._adopt(self)
 
@@ -106,6 +110,12 @@ class EventBus:
             stamp["time"] = self._clock.now()
         if not event.seq and self._exchange:
             stamp["seq"] = self._exchange[-1]
+        tracer = self.tracer
+        if tracer is not None and not event.trace_id:
+            trace_id, span_id = tracer.current_ids()
+            if trace_id:
+                stamp["trace_id"] = trace_id
+                stamp["span_id"] = span_id
         if stamp:
             event = replace(event, **stamp)
         for sink in self._sinks:
@@ -124,10 +134,15 @@ class capture:
     Buses that already existed before the block are left untouched.
     """
 
-    def __init__(self, *extra_sinks: Sink):
+    def __init__(self, *extra_sinks: Sink, tracer=None):
         self.collector = CollectorSink()
         self._sinks: List[Sink] = [self.collector, *extra_sinks]
         self._adopted: List[EventBus] = []
+        # Optional repro.obs.trace.Tracer, attached to every adopted
+        # bus (first bus's clock wins) so scenario-internal testbeds get
+        # span context — and events get trace_id stamps — for free.
+        self.tracer = tracer
+        self._traced: List[EventBus] = []
 
     @property
     def events(self) -> List[Event]:
@@ -137,6 +152,10 @@ class capture:
         self._adopted.append(bus)
         for sink in self._sinks:
             bus.subscribe(sink)
+        if self.tracer is not None and bus.tracer is None:
+            self.tracer.bind_clock(bus._clock)
+            bus.tracer = self.tracer
+            self._traced.append(bus)
 
     def __enter__(self) -> "capture":
         _open_captures.append(self)
@@ -149,6 +168,10 @@ class capture:
             for sink in self._sinks:
                 bus.unsubscribe(sink)
         self._adopted.clear()
+        for bus in self._traced:
+            if bus.tracer is self.tracer:
+                bus.tracer = None
+        self._traced.clear()
         for sink in self._sinks:
             close = getattr(sink, "close", None)
             if callable(close):

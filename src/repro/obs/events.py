@@ -9,6 +9,12 @@ the bus when it can:
   the event fired, so defender events line up with the adversary's wire
   log entry for the same exchange.  ``0`` means "outside any exchange".
 
+When a :class:`repro.obs.trace.Tracer` is attached to the bus, two more
+correlation fields are stamped: ``trace_id``/``span_id`` tie the event
+to the causal span open when it fired, so an anomaly can be traced to
+the exact client request (and retries, shard hops, worker slot) that
+carried it.  ``0`` means "no tracer" — the common case.
+
 The kinds mirror the paper's detection vocabulary: a
 :class:`ReplayCacheHit` is the cache doing the job caching was proposed
 for; a :class:`ClockSkewReject` is the only symptom a time-spoofed host
@@ -38,8 +44,10 @@ class Event:
 
     kind: ClassVar[str] = "Event"
 
-    time: int = 0   # true sim time (µs) when the event fired
-    seq: int = 0    # WireMessage.seq of the exchange being handled
+    time: int = 0      # true sim time (µs) when the event fired
+    seq: int = 0       # WireMessage.seq of the exchange being handled
+    trace_id: int = 0  # trace open on the bus's tracer when it fired
+    span_id: int = 0   # innermost span of that trace; 0 = untraced
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"kind": self.kind}

@@ -37,6 +37,14 @@ during a failover window a replay can land on a cache that never saw
 the original.  The ``failovers`` counter and the emitted
 :class:`repro.obs.events.ShardUnavailable` events keep that trade-off
 visible to the defender.
+
+Tracing: when a :class:`repro.obs.trace.Tracer` is attached to the
+network's bus, every request the frontend dispatches becomes one causal
+span chain — ``frontend/<service>`` → ``shard<i>/<service>`` →
+``worker/<service>`` → (TGS only) ``replay-cache/check`` — with exact
+virtual-time stamps, so ``python -m repro monitor`` can attribute a
+slow exchange to queue wait vs crypto vs dispatch overhead.  With no
+tracer attached the only cost is one attribute read per request.
 """
 
 from __future__ import annotations
@@ -62,7 +70,44 @@ from repro.sim.clock import SimClock
 from repro.sim.host import Host
 from repro.sim.network import Endpoint, Network, NetworkError
 
-__all__ = ["ClusterDatabase", "ShardServer", "KdcCluster"]
+__all__ = [
+    "ClusterDatabase", "ShardServer", "KdcCluster", "TracedReplayCache",
+]
+
+
+class TracedReplayCache(LruReplayCache):
+    """An :class:`LruReplayCache` whose checks appear in traces.
+
+    Lives here (not in :mod:`repro.obs`) so the observability layer
+    never imports protocol code.  When the owning network's bus has a
+    tracer attached, each ``check_and_store`` runs inside a
+    ``replay-cache/check`` span — nested under the worker span of the
+    exchange being served, since the simulation is synchronous — carrying
+    the verdict and the cache's occupancy at that instant.  Untraced,
+    the overhead is one attribute read.
+    """
+
+    def __init__(self, capacity: int, bus) -> None:
+        super().__init__(capacity)
+        self._bus = bus
+
+    def check_and_store(
+        self, client: str, timestamp: int, fingerprint: bytes,
+        now: int, horizon: int,
+    ) -> bool:
+        tracer = self._bus.tracer
+        if tracer is None:
+            return super().check_and_store(
+                client, timestamp, fingerprint, now, horizon
+            )
+        with tracer.span("replay-cache/check", client=client) as span:
+            fresh = super().check_and_store(
+                client, timestamp, fingerprint, now, horizon
+            )
+            span.attrs.update(
+                fresh=fresh, entries=len(self), evictions=self.evictions,
+            )
+        return fresh
 
 
 class ClusterDatabase:
@@ -243,7 +288,7 @@ class KdcCluster:
                 addresses=[address], multi_user=True,
             )
             shard_db = self.database.shards[index]
-            cache = LruReplayCache(replay_capacity)
+            cache = TracedReplayCache(replay_capacity, network.bus)
             kdc = Kdc(
                 realm, shard_db, host, config,
                 rng.fork(f"kdc:{realm}:shard{index}"),
@@ -270,6 +315,9 @@ class KdcCluster:
         # Virtual queueing delay accumulated since the last drain; the
         # load harness folds this into per-request latency.
         self._backlog_us = 0
+        # Serialization lag of the most recent open-loop arrival (see
+        # note_open_loop_arrival); zero outside a load harness.
+        self._arrival_lag = 0
 
     # -- routing --------------------------------------------------------
 
@@ -293,8 +341,21 @@ class KdcCluster:
 
     def _handle(self, service: str, message) -> bytes:
         self.requests[service] += 1
-        arrival = self._clock.now()
+        # De-lag the arrival: the synchronous fabric has already charged
+        # this request for every *earlier* request's wire time, so the
+        # raw clock would put every arrival after every worker's free
+        # time and queue wait could never appear.  Subtracting the
+        # open-loop lag puts arrivals back on the harness's intended
+        # calendar; outside a harness the lag is zero and arrival is
+        # just now().
+        arrival = self._clock.now() - self._arrival_lag
         primary = self.route(service, message.payload)
+        tracer = self.network.bus.tracer
+        fe_span = None
+        if tracer is not None:
+            fe_span = tracer.begin(
+                f"frontend/{service}", seq=message.seq, primary_shard=primary,
+            )
         # AS requests have exactly one shard that can serve them (the
         # user's key is not replicated); TGS requests may fail over.
         if service == TGS_SERVICE:
@@ -306,6 +367,14 @@ class KdcCluster:
         for position, index in enumerate(order):
             shard = self.shards[index]
             ops_before = BLOCK_OPS.count
+            shard_span = worker_span = None
+            if tracer is not None:
+                shard_span = tracer.begin(
+                    f"shard{index}/{service}", shard=index, attempt=position,
+                )
+                # Opened before the internal hop so the replay-cache
+                # span (opened inside the shard's handler) nests here.
+                worker_span = tracer.begin(f"worker/{service}", shard=index)
             try:
                 reply = self.network.rpc(
                     self.frontend_host.address,
@@ -313,11 +382,13 @@ class KdcCluster:
                     message.payload,
                 )
             except NetworkError as exc:
+                if tracer is not None:
+                    tracer.end(worker_span, error="shard-down")
+                    tracer.end(shard_span, error=str(exc))
                 self._note_down(service, shard, str(exc))
                 continue
-            _, finish = shard.pool.schedule(
-                arrival, BLOCK_OPS.count - ops_before
-            )
+            block_ops = BLOCK_OPS.count - ops_before
+            start, finish = shard.pool.schedule(arrival, block_ops)
             # Wire transits model propagation; the pool models CPU.
             # Queue wait + service time is this request's CPU latency,
             # which the load harness folds into its percentiles.
@@ -328,9 +399,24 @@ class KdcCluster:
                 # broken for this request (see module docstring).
                 self.failovers += 1
                 shard.failover_serves += 1
+            if tracer is not None:
+                pool = shard.pool
+                crypto_us = int(block_ops * pool.us_per_block_op)
+                tracer.end(
+                    worker_span,
+                    queue_wait_us=start - arrival,
+                    service_us=finish - start,
+                    crypto_us=crypto_us,
+                    overhead_us=(finish - start) - crypto_us,
+                    block_ops=block_ops,
+                )
+                tracer.end(shard_span)
+                tracer.end(fe_span)
             return reply
 
         self.unavailable += 1
+        if tracer is not None:
+            tracer.end(fe_span, error="unavailable")
         return frame_error(
             self.config, ERR_UNAVAILABLE,
             f"{service}: shard {primary} is unavailable and no replica "
@@ -344,6 +430,28 @@ class KdcCluster:
                 service=service, shard=shard.index,
                 address=shard.host.address, detail=detail,
             ))
+
+    # -- open-loop arrival calendar -------------------------------------
+
+    def note_open_loop_arrival(self, intended_us: int) -> None:
+        """Tell the cluster when the *next* request was meant to arrive.
+
+        The load harness issues requests back-to-back, but each one
+        drags the synchronous clock forward by its full wire cost, so by
+        unit N the clock is far past the open-loop calendar the harness
+        is modelling.  Recording ``max(0, now - intended)`` here lets
+        :meth:`_handle` subtract that serialization lag and offer the
+        worker pools arrivals on the intended calendar — which is what
+        lets offered load above pool capacity manifest as queue wait
+        (the ``BENCH_kdc.json`` zero-queue-wait fix).
+        """
+        self._arrival_lag = max(0, self._clock.now() - intended_us)
+
+    def pool_now(self) -> int:
+        """Now on the de-lagged pool timeline — the instant gauges like
+        :meth:`repro.serve.pool.WorkerPool.queue_depth` should be read
+        at, since pool start/finish times live on that calendar."""
+        return self._clock.now() - self._arrival_lag
 
     # -- introspection --------------------------------------------------
 

@@ -16,6 +16,22 @@ synchronous handling time is the *queueing penalty* the load harness
 folds into its latency percentiles — this is what makes p99 diverge
 from p50 as offered load approaches pool capacity.
 
+Arrival times and the serialization trap: the pool's free-times and the
+arrivals it is offered must live on the *same* timeline, but that
+timeline must not be the raw simulation clock.  The synchronous fabric
+advances the clock for every wire transit, so by the time request N+1
+reaches the frontend the clock has already absorbed the full serialized
+cost of request N — raw clock arrivals are always later than every
+worker's free time, and the queue wait is identically zero no matter
+how hard the harness pushes (the `BENCH_kdc.json` zero-queue-wait
+anomaly).  The fix lives in :meth:`repro.serve.cluster.KdcCluster
+.note_open_loop_arrival`: the load harness tells the cluster each
+unit's *intended* open-loop arrival, the cluster subtracts the
+serialization lag before offering the arrival to the pool, and
+saturation becomes representable — offered load above capacity now
+shows up as growing queue wait instead of being silently linearised
+away.
+
 Batching: KDC work arrives in bursts (a login is an AS and a TGS
 request back-to-back; K clients hammering the cluster overlap heavily).
 Dispatch overhead — context switch, request parse, database lookup — is
@@ -25,12 +41,21 @@ within ``batch_window_us`` of the previous dispatch ride the warm path
 tables hot) and are charged the smaller ``batch_overhead_us``.  The
 pool counts how often that happens so benchmarks can report the
 amortisation.
+
+Telemetry: every ``schedule`` records its queue wait and service time
+into mergeable :class:`repro.obs.timeseries.LogHistogram`\\ s (per-shard
+percentiles in ``BENCH_kdc.json``; cluster-wide ones are a fold), and
+the pool can answer instantaneous questions — :meth:`queue_depth`,
+:meth:`busy_workers`, :meth:`utilization_pct` — for the tick-sampled
+gauges ``python -m repro monitor`` plots.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Dict, List
+
+from repro.obs.timeseries import LogHistogram
 
 __all__ = ["WorkerPool"]
 
@@ -66,12 +91,18 @@ class WorkerPool:
         self._free: List[int] = [0] * workers
         heapq.heapify(self._free)
         self._last_start = -(10**18)  # no batch in progress
+        # Finish times of admitted jobs, for instantaneous queue depth.
+        self._inflight: List[int] = []
         # -- accounting ------------------------------------------------
         self.jobs = 0
         self.batched_jobs = 0
         self.busy_us = 0
         self.queue_wait_us = 0
         self.max_queue_wait_us = 0
+        self.first_arrival_us = 0   # pool-timeline window for utilization
+        self.last_finish_us = 0
+        self.wait_histogram = LogHistogram()
+        self.service_histogram = LogHistogram()
 
     def schedule(self, arrival: int, block_ops: int) -> "tuple[int, int]":
         """Admit a request that arrived at *arrival* costing *block_ops*
@@ -87,19 +118,46 @@ class WorkerPool:
         service = overhead + int(block_ops * self.us_per_block_op)
         finish = start + service
         heapq.heappush(self._free, finish)
+        heapq.heappush(self._inflight, finish)
         self._last_start = start
 
+        if not self.jobs:
+            self.first_arrival_us = arrival
         self.jobs += 1
         if in_batch:
             self.batched_jobs += 1
         self.busy_us += service
+        if finish > self.last_finish_us:
+            self.last_finish_us = finish
         wait = start - arrival
         self.queue_wait_us += wait
         if wait > self.max_queue_wait_us:
             self.max_queue_wait_us = wait
+        self.wait_histogram.record(wait)
+        self.service_histogram.record(service)
         return start, finish
 
-    def stats(self) -> Dict[str, int]:
+    # -- instantaneous gauges (tick-sampled by the monitor) -------------
+
+    def queue_depth(self, now: int) -> int:
+        """Admitted jobs not yet finished at *now* (running + queued)."""
+        inflight = self._inflight
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        return len(inflight)
+
+    def busy_workers(self, now: int) -> int:
+        """Workers with a job running (or queued work) at *now*."""
+        return sum(1 for free in self._free if free > now)
+
+    def utilization_pct(self) -> int:
+        """Busy time over the pool's active window, 0–100 (whole run)."""
+        window = self.last_finish_us - self.first_arrival_us
+        if window <= 0:
+            return 0
+        return min(100, (100 * self.busy_us) // (self.workers * window))
+
+    def stats(self) -> Dict[str, object]:
         return {
             "workers": self.workers,
             "jobs": self.jobs,
@@ -107,4 +165,7 @@ class WorkerPool:
             "busy_us": self.busy_us,
             "queue_wait_us": self.queue_wait_us,
             "max_queue_wait_us": self.max_queue_wait_us,
+            "utilization_pct": self.utilization_pct(),
+            "queue_wait_percentiles_us": self.wait_histogram.summary(),
+            "service_percentiles_us": self.service_histogram.summary(),
         }

@@ -297,9 +297,19 @@ class Network:
         if handler is None:
             raise NetworkError(f"no endpoint at {dst}")
         self.bus.begin_exchange(message.seq)
+        # Injected traffic has no client-side span, so open one here:
+        # anomalies the forged request trips (replay-cache hits, skew
+        # rejects) then carry a trace id pointing back at the injection.
+        tracer = self.bus.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(f"inject/{dst.service}", src=fake_src,
+                                seq=message.seq)
         try:
             response = handler(message)
         finally:
+            if tracer is not None:
+                tracer.end(span)
             self.bus.end_exchange()
         self.witness(
             self._make_message(dst.address, dst, "response", response,

@@ -38,6 +38,8 @@ from repro.crypto.des import BLOCK_OPS
 from repro.hardware import HandheldDevice
 from repro.kerberos.config import ProtocolConfig
 from repro.obs import capture, detectability_digest, reset_captures
+from repro.obs.audit import trace_digests
+from repro.obs.trace import Tracer
 from repro.sim.timesvc import UnauthenticatedTimeService
 from repro.testbed import Testbed
 
@@ -346,7 +348,7 @@ def _run_cell(scenario: Scenario, config: ProtocolConfig,
     DES-op meter; protocol-level refusals count as the attack failing."""
     clear_guess_memo()  # cell cost must not depend on earlier cells
     ops_before = BLOCK_OPS.count
-    with capture() as cap:
+    with capture(tracer=Tracer()) as cap:
         try:
             outcome = scenario.run(config, seed)
         except Exception as exc:
@@ -354,6 +356,8 @@ def _run_cell(scenario: Scenario, config: ProtocolConfig,
                 scenario.name, False, f"protocol refused outright: {exc}"
             )
     outcome.detectability = detectability_digest(cap.events)
+    # The per-trace refinement: which requests carried the anomalies.
+    outcome.anomaly_traces = trace_digests(cap.events)
     outcome.block_ops = BLOCK_OPS.count - ops_before
     return outcome
 

@@ -21,6 +21,7 @@ EXAMPLES = {
     "site_monitor": "== the operator's view ==",
     "hardened_deployment": "trojaned login: [login-spoof] failed",
     "attack_gallery": "hardened profile blocks everything: True",
+    "cluster_tracing": "one rooted trace per request, even across a shard outage",
 }
 
 

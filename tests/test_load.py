@@ -26,13 +26,34 @@ def test_quick_clamps_workload(quick_report):
 
 
 def test_report_has_required_keys(quick_report):
-    assert quick_report["schema"] == "repro-bench-kdc/1"
+    assert quick_report["schema"] == "repro-bench-kdc/2"
     for phase in ("unit", "as", "tgs", "ap"):
         summary = quick_report["latency_us"][phase]
         assert {"count", "p50", "p95", "p99", "mean", "max"} <= set(summary)
     assert {"completed", "failed", "sim_seconds", "ops_per_sim_s",
             "wall_seconds", "ops_per_wall_s"} \
         <= set(quick_report["throughput"])
+
+
+def test_report_has_queueing_and_timeseries(quick_report):
+    queueing = quick_report["queueing"]
+    assert len(queueing["per_shard"]) == quick_report["config"]["shards"]
+    for entry in queueing["per_shard"]:
+        assert {"count", "p50", "p95", "p99", "mean", "max"} \
+            <= set(entry["queue_wait_us"])
+        assert 0 <= entry["utilization_pct"] <= 100
+    assert {"count", "p50", "p95", "p99", "mean", "max"} \
+        <= set(queueing["cluster_queue_wait_us"])
+    series = quick_report["timeseries"]
+    for shard in range(quick_report["config"]["shards"]):
+        assert f"shard{shard}.queue_depth" in series
+        assert f"shard{shard}.util_pct" in series
+        assert f"shard{shard}.replay_entries" in series
+    assert "cluster.tgs_failovers" in series
+    # The live sampler/tracer objects must never reach the JSON file.
+    assert "_sampler" in quick_report
+    json.dumps({k: v for k, v in quick_report.items()
+                if not k.startswith("_")})
 
 
 def test_percentiles_are_ordered(quick_report):
@@ -89,6 +110,35 @@ def test_no_faults_gives_flat_latency():
     assert unit["p99"] <= 2 * unit["p50"]
 
 
+def test_saturating_arrivals_produce_queue_wait():
+    """Regression for the zero-queue-wait anomaly: arrivals used to be
+    read off the raw synchronous clock, which is always behind every
+    worker's free time (each unit drags the clock through its full wire
+    cost), so no arrival rate — however high — could ever queue.  With
+    arrivals de-lagged onto the open-loop calendar, an interarrival far
+    below per-unit service cost must show up as tail queue wait."""
+    report = run_load(**{**QUICK, "faults": False, "interarrival_us": 60})
+    queueing = report["queueing"]
+    assert queueing["cluster_queue_wait_us"]["p99"] > 0
+    assert any(entry["queue_wait_us"]["p99"] > 0
+               for entry in queueing["per_shard"])
+    assert max(entry["utilization_pct"]
+               for entry in queueing["per_shard"]) > 0
+    depth = max(
+        report["timeseries"][f"shard{i}.queue_depth"]["max"]
+        for i in range(report["config"]["shards"])
+    )
+    assert depth > 0
+
+
+def test_gentle_arrivals_stay_uncongested():
+    """The complement: at the default interarrival the cluster keeps
+    up, so the de-lag fix must not invent phantom queueing."""
+    report = run_load(**{**QUICK, "faults": False})
+    assert report["queueing"]["cluster_queue_wait_us"]["p99"] \
+        <= report["queueing"]["cluster_service_us"]["max"]
+
+
 def test_rejects_unsharded_bed():
     with pytest.raises(ValueError):
         run_load(quick=True, shards=1, out_path=None)
@@ -99,7 +149,9 @@ def test_writes_benchmark_json(tmp_path):
     report = run_load(**{**QUICK, "out_path": str(out)})
     assert report["written_to"] == str(out)
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == "repro-bench-kdc/1"
+    assert on_disk["schema"] == "repro-bench-kdc/2"
+    assert "queueing" in on_disk and "timeseries" in on_disk
+    assert "_sampler" not in on_disk
     assert on_disk["latency_us"]["unit"]["p99"] \
         == report["latency_us"]["unit"]["p99"]
 

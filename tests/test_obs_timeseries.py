@@ -1,0 +1,149 @@
+"""Log histograms, ring buffers, and the tick sampler.
+
+The property that matters most is merge associativity: per-shard
+histograms must fold into cluster-wide percentiles in any order and
+agree bucket for bucket, or the per-shard recording in
+``repro.serve.pool`` would not be safe to aggregate.
+"""
+
+import pytest
+
+from repro.obs.timeseries import (
+    LogHistogram, RingBuffer, TickSampler, percentile_of,
+)
+from repro.sim.clock import SimClock
+
+
+def test_small_values_are_exact():
+    hist = LogHistogram(sub_bits=6)
+    for value in range(64):
+        hist.record(value)
+    for p, expected in ((0, 0), (50, 32), (99, 63)):
+        assert hist.percentile(p) == expected
+
+
+def test_relative_error_is_bounded_by_sub_bits():
+    hist = LogHistogram(sub_bits=6)
+    values = [1, 17, 63, 64, 100, 1000, 12_345, 999_999, 2**30]
+    for value in values:
+        fresh = LogHistogram(sub_bits=6)
+        fresh.record(value)
+        reported = fresh.percentile(50)
+        assert reported <= value
+        assert value - reported <= value / (1 << 6)
+    for value in values:
+        hist.record(value)
+    assert hist.count == len(values)
+    assert hist.max_value == 2**30
+    assert hist.min_value == 1
+
+
+def test_percentiles_never_exceed_max():
+    hist = LogHistogram()
+    hist.record(1000, n=99)
+    hist.record(1001)
+    assert hist.percentile(99) <= hist.max_value
+    summary = hist.summary()
+    assert summary["p50"] <= summary["p95"] <= summary["p99"] \
+        <= summary["max"]
+
+
+def test_merge_is_associative_and_commutative():
+    def build(seed_values):
+        hist = LogHistogram()
+        for value in seed_values:
+            hist.record(value)
+        return hist
+
+    a_values = [3, 70, 450, 12_000]
+    b_values = [0, 64, 64, 9_999, 2**20]
+    c_values = [5, 5, 5, 100_000]
+
+    left = build(a_values).merge(build(b_values)).merge(build(c_values))
+    right = build(a_values).merge(build(b_values).merge(build(c_values)))
+    swapped = build(c_values).merge(build(a_values)).merge(build(b_values))
+
+    assert left.snapshot() == right.snapshot() == swapped.snapshot()
+    assert left.count == right.count == swapped.count
+    assert left.summary() == right.summary() == swapped.summary()
+
+
+def test_merge_rejects_mismatched_resolution():
+    with pytest.raises(ValueError):
+        LogHistogram(sub_bits=6).merge(LogHistogram(sub_bits=7))
+
+
+def test_empty_histogram_summary_is_zeroed():
+    assert LogHistogram().summary() == {
+        "count": 0, "p50": 0, "p95": 0, "p99": 0, "mean": 0, "max": 0,
+    }
+
+
+def test_copy_is_independent():
+    original = LogHistogram()
+    original.record(10)
+    clone = original.copy()
+    clone.record(20)
+    assert original.count == 1 and clone.count == 2
+
+
+def test_negative_values_are_rejected():
+    with pytest.raises(ValueError):
+        LogHistogram().record(-1)
+
+
+def test_percentile_of_nearest_rank():
+    assert percentile_of([], 50) == 0
+    assert percentile_of([5], 99) == 5
+    assert percentile_of([1, 2, 3, 4], 50) == 3
+    assert percentile_of([4, 3, 2, 1], 0) == 1
+
+
+def test_ring_buffer_drops_oldest_first():
+    ring = RingBuffer(capacity=3)
+    for i in range(5):
+        ring.append(time=i, value=i * 10)
+    assert ring.samples() == [(2, 20), (3, 30), (4, 40)]
+    assert ring.dropped == 2
+    assert ring.latest() == (4, 40)
+    assert ring.summary()["samples"] == 5  # retained + dropped
+    assert ring.summary()["last"] == 40
+
+
+def test_tick_sampler_samples_on_virtual_ticks_only():
+    clock = SimClock()
+    sampler = TickSampler(clock, tick_us=100)
+    reads = {"n": 0}
+
+    def probe():
+        reads["n"] += 1
+        return reads["n"]
+
+    sampler.gauge("g", probe)
+    assert sampler.poll() is True      # first poll always samples
+    assert sampler.poll() is False     # same instant: no new tick
+    clock.advance(99)
+    assert sampler.poll() is False     # tick not yet elapsed
+    clock.advance(1)
+    assert sampler.poll() is True
+    assert sampler.series["g"].values() == [1, 2]
+    sampler.tick()                      # forced, regardless of the clock
+    assert sampler.series["g"].values() == [1, 2, 3]
+
+
+def test_tick_sampler_rejects_duplicate_gauges():
+    sampler = TickSampler(SimClock())
+    sampler.gauge("g", lambda: 0)
+    with pytest.raises(ValueError):
+        sampler.gauge("g", lambda: 1)
+
+
+def test_tick_sampler_render_rows_are_sorted():
+    clock = SimClock()
+    sampler = TickSampler(clock)
+    sampler.gauge("b", lambda: 2)
+    sampler.gauge("a", lambda: 1)
+    sampler.tick()
+    rows = sampler.render_rows()
+    assert [row[0] for row in rows] == ["a", "b"]
+    assert rows[0][-1] == 1  # "last" column
