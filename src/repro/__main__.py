@@ -270,7 +270,7 @@ def _cmd_serve(args) -> int:
     names = [f"user{i}" for i in range(args.users)]
     for name in names:
         bed.add_user(name, f"pw-{name}")
-    bed.add_mail_server("mailhost")
+    mail = bed.add_mail_server("mailhost")
     cluster = bed.realm.cluster
 
     print(f"realm {bed.realm.name}: {args.shards} shards, "
@@ -295,6 +295,31 @@ def _cmd_serve(args) -> int:
           "TGS_REQ by authenticator")
     print("bytes (replay affinity: a byte-identical replay revisits "
           "the cache that saw it).")
+    print()
+
+    # Exercise the discrete-event core the load harness runs on: one
+    # short unit per example user through the real cluster, so the
+    # stats below describe the actual serving path, not a toy loop.
+    from repro.sim.sched import Scheduler, wait
+
+    sched = Scheduler(bed.clock)
+
+    def probe_unit(name: str):
+        ws = bed.add_workstation(f"probe-{name}")
+        outcome = bed.login(name, f"pw-{name}", ws)
+        yield wait(0)
+        cred = outcome.client.get_service_ticket(mail.principal)
+        yield wait(0)
+        outcome.client.ap_exchange(cred, bed.endpoint(mail))
+
+    for i, name in enumerate(names):
+        sched.spawn(probe_unit(name), at_time=bed.clock.now() + i * 100)
+    sched.run()
+    stats = sched.stats()
+    print(f"event scheduler: {stats['events_processed']} events for "
+          f"{stats['processes_spawned']} concurrent units, "
+          f"heap high-water {stats['heap_high_water']}, "
+          f"{stats['timers_cancelled']} timers cancelled")
     return 0
 
 
@@ -307,7 +332,9 @@ def _cmd_load(args) -> int:
         shards=args.shards, clients=args.clients, requests=args.requests,
         workers_per_shard=args.workers, seed=args.seed,
         faults=not args.no_faults, quick=args.quick, out_path=args.out,
-        interarrival_us=args.interarrival,
+        interarrival_us=args.interarrival, principals=args.principals,
+        zipf_s=args.zipf, diurnal=args.diurnal,
+        scaling_curve=args.scaling_curve,
     )
     print(render_report(report))
     probe = report["replay_probe"]
@@ -505,8 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated client principals (default: 8)",
     )
     load.add_argument(
-        "--requests", type=int, default=240,
-        help="login->ticket->AP units to drive (default: 240)",
+        "--requests", type=int, default=None,
+        help="login->ticket->AP units to drive (default: 240 in engine "
+             "mode, 60000/20000 in scale mode)",
     )
     load.add_argument(
         "--workers", type=int, default=2,
@@ -523,8 +551,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument(
         "--interarrival", type=int, default=None, metavar="US",
-        help="mean microseconds between request arrivals (default: 6000; "
-             "lower saturates the cluster)",
+        help="mean microseconds between request arrivals (default: 6000 "
+             "in engine mode, 60 in scale mode; lower saturates)",
+    )
+    load.add_argument(
+        "--principals", type=int, default=None, metavar="N",
+        help="scale mode: drive N lazily-keyed principals (10^5-10^6) "
+             "through the calibrated event model instead of the full "
+             "protocol engine",
+    )
+    load.add_argument(
+        "--zipf", type=float, default=1.1, metavar="S",
+        help="Zipf popularity exponent for scale-mode principals "
+             "(default: 1.1)",
+    )
+    load.add_argument(
+        "--diurnal", action="store_true",
+        help="modulate the arrival rate with a compressed diurnal curve "
+             "(the 9am surge)",
+    )
+    load.add_argument(
+        "--scaling-curve", action="store_true",
+        help="scale mode: sweep the full shards x workers grid instead "
+             "of the default compact one",
     )
     load.add_argument(
         "--out", default="BENCH_kdc.json", metavar="PATH",

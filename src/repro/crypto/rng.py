@@ -14,6 +14,7 @@ this generator.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Sequence, TypeVar
 
 from repro.crypto.des import is_weak_key, set_odd_parity
@@ -60,6 +61,9 @@ class DeterministicRandom:
 
         Lets subsystems (KDC, adversary, workload generator) draw from
         separate streams so adding draws in one does not perturb another.
+        The label is mixed in with CRC-32 rather than :func:`hash` —
+        Python randomizes string hashing per process, which would make
+        "same seed, same report" hold only within a single interpreter.
         """
-        seed = self._random.getrandbits(64) ^ (hash(label) & 0xFFFFFFFF)
+        seed = self._random.getrandbits(64) ^ zlib.crc32(label.encode("utf-8"))
         return DeterministicRandom(seed)

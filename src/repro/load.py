@@ -4,34 +4,42 @@ The paper's replay and clock findings only bite under concurrent
 traffic — a replay cache that is never offered two requests in the same
 window defends nothing — and the ROADMAP's north star is a service
 layer measured, not assumed.  This harness drives the sharded cluster
-(:mod:`repro.serve`) with an **open-loop** workload from K simulated
-clients and reports the numbers a capacity plan needs: p50/p95/p99
-latency, throughput, degradation under fault injection, and whether the
-bounded per-shard replay caches still reject a replayed authenticator
-at load.  Results land in ``BENCH_kdc.json`` — the protocol-level
-companion to ``BENCH_crypto.json``.
+(:mod:`repro.serve`) with an **open-loop** workload and reports the
+numbers a capacity plan needs: p50/p95/p99 latency, throughput,
+degradation under fault injection, and whether the bounded per-shard
+replay caches still reject a replayed authenticator at load.  Results
+land in ``BENCH_kdc.json`` — the protocol-level companion to
+``BENCH_crypto.json``.
 
-How time works here: the simulation is synchronous, so "concurrency"
-is modelled the same way the rest of the repo models time — explicitly.
+How time works here: the harness runs on the discrete-event scheduler
+(:mod:`repro.sim.sched`).  Each workload unit (one login + service
+ticket + AP exchange, the E18 shape) is a generator process spawned at
+its *intended* open-loop arrival time; the scheduler's binary heap
+dispatches arrivals, shard outages/restores, and phase continuations in
+virtual-time order, and the clock's event timeline lets the synchronous
+protocol engine run unmodified inside events while genuinely
+overlapping with its neighbours.  Latency is measured from the intended
+arrival, so queueing is charged to the requests that experienced it
+rather than silently absorbed (the coordinated-omission mistake load
+tools warn about) — and under the scheduler that is no retrofit: the
+heap *is* the calendar.
 
-* Arrivals are precomputed on a jittered open-loop calendar.  Each
-  workload unit (one login + service ticket + AP exchange, the E18
-  shape) has an *intended* start time; if the simulation is running
-  behind — retries, backoff, failover hops — the unit starts late and
-  its latency is measured **from the intended start**, so queueing is
-  charged to the requests that experienced it rather than silently
-  absorbed (the coordinated-omission mistake load tools warn about).
-* Handler service time and worker contention come from the cluster's
-  virtual-time pools (:mod:`repro.serve.pool`); each unit's share of
-  accumulated pool backlog is folded into its latency.
+Two modes share one report schema (``repro-bench-kdc/3``):
+
+* **Engine mode** (default): every exchange runs the real Kerberos
+  message machinery — real DES, real codecs, real replay caches — with
+  worker-pool queueing stalling the serving event.
+* **Scale mode** (``--principals N``): the same cluster topology and
+  real replay caches driven by a calibrated event model, which is what
+  makes 10^5–10^6 principals with Zipfian popularity and diurnal
+  arrival curves tractable in one process (see
+  :mod:`repro.serve.scale`).  Always includes a shards×workers
+  scaling-curve sweep; ``--scaling-curve`` widens the grid.
 
 Everything in the report except the wall-clock figures is a pure
-function of the parameters and seed: two runs with the same arguments
-produce identical latency percentiles.  The event bus stays live
-throughout — the same :class:`repro.obs.metrics.MetricsRegistry` the
-audit tooling uses is the harness's metrics store, so defender-side
-telemetry is exercised (and reported) under load rather than only in
-single-exchange tests.
+function of the parameters and seed — including across processes: two
+invocations with the same arguments produce byte-identical
+non-wall-clock fields.
 """
 
 from __future__ import annotations
@@ -49,6 +57,8 @@ from repro.obs.timeseries import LogHistogram, TickSampler
 from repro.obs.trace import Tracer
 from repro.sim.clock import MILLISECOND, SECOND
 from repro.sim.network import Endpoint, NetworkError
+from repro.sim.sched import Scheduler, wait
+from repro.sim.workload import DiurnalCurve, open_loop_arrivals
 from repro.testbed import Testbed
 
 __all__ = ["run_load", "render_report"]
@@ -62,6 +72,9 @@ DEFAULT_INTERARRIVAL_US = 6 * MILLISECOND
 
 #: How many recorded TGS requests the replay probe re-injects.
 REPLAY_PROBES = 5
+
+#: Engine-mode unit count when ``requests`` is not given.
+DEFAULT_REQUESTS = 240
 
 
 def _summary(histogram: Histogram) -> Dict[str, Any]:
@@ -82,7 +95,7 @@ def _summary(histogram: Histogram) -> Dict[str, Any]:
 def run_load(
     shards: int = 3,
     clients: int = 8,
-    requests: int = 240,
+    requests: Optional[int] = None,
     workers_per_shard: int = 2,
     seed: int = 0,
     faults: bool = True,
@@ -92,6 +105,10 @@ def run_load(
     interarrival_us: Optional[int] = None,
     config: Optional[ProtocolConfig] = None,
     tracer: Optional[Tracer] = None,
+    principals: Optional[int] = None,
+    zipf_s: float = 1.1,
+    diurnal: bool = False,
+    scaling_curve: bool = False,
 ) -> Dict[str, Any]:
     """Drive the sharded KDC and return (optionally write) the report.
 
@@ -101,12 +118,31 @@ def run_load(
     requests for users homed on the dead shard degrade to
     ``ERR_UNAVAILABLE`` — all of which the report itemises.
 
+    ``principals`` switches to scale mode: N lazily-keyed principals
+    with Zipfian popularity (exponent ``zipf_s``) and, with
+    ``diurnal``, a sinusoidal arrival-rate curve, driven through the
+    calibrated event model of :mod:`repro.serve.scale`.
+
     Pass a :class:`repro.obs.trace.Tracer` to record every exchange as
     a causal span chain (``python -m repro monitor`` does); afterwards
     it rides along as ``report["_tracer"]``.  The tick-sampled gauge
     series likewise comes back as ``report["_sampler"]``; both keys are
     attached *after* the JSON is written, so the file stays pure data.
     """
+    if principals is not None:
+        from repro.serve.scale import run_scale_model
+
+        return run_scale_model(
+            principals=principals, shards=shards, requests=requests,
+            workers_per_shard=workers_per_shard, seed=seed, faults=faults,
+            quick=quick, out_path=out_path,
+            replay_cache_capacity=replay_cache_capacity,
+            interarrival_us=interarrival_us, zipf_s=zipf_s,
+            diurnal=diurnal, scaling_curve=scaling_curve,
+        )
+
+    if requests is None:
+        requests = DEFAULT_REQUESTS
     if interarrival_us is None:
         interarrival_us = DEFAULT_INTERARRIVAL_US
     if quick:
@@ -134,16 +170,15 @@ def run_load(
     cluster = bed.realm.cluster
     assert cluster is not None
     retry_policy = RetryPolicy(max_retries=2, backoff_base=20 * MILLISECOND)
+    sched = Scheduler(bed.clock)
 
     # Tick-sampled gauges, once per interarrival of simulated time.
-    # Pool-timeline probes read at cluster.pool_now() — the de-lagged
-    # calendar the worker pools schedule on.
     sampler = TickSampler(bed.clock, tick_us=max(1, interarrival_us))
     for shard in cluster.shards:
         pool, cache = shard.pool, shard.replay_cache
         sampler.gauge(
             f"shard{shard.index}.queue_depth",
-            lambda p=pool: p.queue_depth(cluster.pool_now()),
+            lambda p=pool: p.queue_depth(bed.clock.now()),
         )
         sampler.gauge(
             f"shard{shard.index}.util_pct",
@@ -165,12 +200,13 @@ def run_load(
 
     # Open-loop arrival calendar, fixed before any traffic flows.
     calendar_rng = bed.rng.fork("load:arrivals")
-    arrivals: List[int] = []
-    t = bed.clock.now()
-    for _ in range(requests):
-        t += calendar_rng.randint(interarrival_us // 2,
-                                  3 * interarrival_us // 2)
-        arrivals.append(t)
+    curve = DiurnalCurve() if diurnal else None
+    first = bed.clock.now() + calendar_rng.randint(
+        interarrival_us // 2, 3 * interarrival_us // 2
+    )
+    arrivals: List[int] = list(open_loop_arrivals(
+        calendar_rng, requests, interarrival_us, diurnal=curve, start=first,
+    ))
 
     fault_window: Optional[Dict[str, int]] = None
     victim = cluster.shards[1 % len(cluster.shards)]
@@ -182,64 +218,40 @@ def run_load(
     unit_latency = Histogram("unit_latency_us")
     phase_latency = {name: Histogram(f"{name}_latency_us")
                      for name in ("as", "tgs", "ap")}
-    completed = 0
+    counters = {"completed": 0, "tgs_seen_at_restore": 0}
     errors: Dict[str, int] = {}
-    tgs_seen_at_restore = 0
 
-    wall_start = time.perf_counter()
-    sim_start = bed.clock.now()
-    cluster.drain_backlog_us()
-
-    for op, intended in enumerate(arrivals):
-        if fault_window is not None:
-            if op == fault_from:
-                bed.network.fail_host(victim.host.address)
-            if op == fault_until:
-                bed.network.restore_host(victim.host.address)
-                tgs_seen_at_restore = len(
-                    bed.adversary.recorded(service="tgs", direction="request")
-                )
-        # Open loop: idle until the intended arrival; if we are already
-        # past it, start immediately and let the latency show the lag.
-        now = bed.clock.now()
-        if now < intended:
-            bed.clock.advance(intended - now)
-        # De-lag this unit's arrivals so the worker pools see it on the
-        # intended open-loop calendar, not behind the serialized clock
-        # (see KdcCluster.note_open_loop_arrival).
-        cluster.note_open_loop_arrival(intended)
-        # Sample gauges now, while pool_now() sits exactly at this
-        # unit's intended arrival — the instant backlog is visible.
+    def unit_process(op: int, intended: int):
+        """One workload unit as a scheduler process: AS, then TGS, then
+        AP, yielding between phases so each phase's requests enter the
+        worker pools in global virtual-time order."""
         sampler.poll()
-
-        user = f"user{op % clients}"
+        user = op % clients
+        workstation = bed.add_workstation(f"lws{op}")
         try:
             outcome = bed.login(
-                user, f"pw-{op % clients}",
-                bed.add_workstation(f"lws{op}"),
+                f"user{user}", f"pw-{user}", workstation,
                 retry_policy=retry_policy,
             )
-            client = outcome.client
             as_end = bed.clock.now()
-            as_backlog = cluster.drain_backlog_us()
-            phase_latency["as"].observe(as_end + as_backlog - intended)
+            phase_latency["as"].observe(as_end - intended)
+            yield wait(0)
 
-            cred = client.get_service_ticket(mail.principal)
+            cred = outcome.client.get_service_ticket(mail.principal)
             tgs_end = bed.clock.now()
-            tgs_backlog = cluster.drain_backlog_us()
-            phase_latency["tgs"].observe(tgs_end + tgs_backlog - as_end)
+            phase_latency["tgs"].observe(tgs_end - as_end)
+            yield wait(0)
 
-            session = client.ap_exchange(cred, bed.endpoint(mail))
+            session = outcome.client.ap_exchange(cred, bed.endpoint(mail))
             session.call(b"COUNT")
             ap_end = bed.clock.now()
             phase_latency["ap"].observe(ap_end - tgs_end)
 
-            # Unit latency: intended start to AP completion, plus this
-            # unit's share of virtual worker-pool queueing.
-            unit_latency.observe(
-                ap_end - intended + as_backlog + tgs_backlog
-            )
-            completed += 1
+            # Unit latency: intended open-loop start to AP completion.
+            # Worker-pool queueing stalls the serving events themselves,
+            # so it is already inside the clock — no side-channel.
+            unit_latency.observe(ap_end - intended)
+            counters["completed"] += 1
         except KerberosError as err:
             kind = ("unavailable" if err.code == ERR_UNAVAILABLE
                     else f"kerberos-{err.code}")
@@ -247,12 +259,32 @@ def run_load(
         except NetworkError:
             errors["network"] = errors.get("network", 0) + 1
 
-    if fault_window is not None and fault_until >= requests:
-        bed.network.restore_host(victim.host.address)
-    sampler.tick()  # final reading at end-of-run state
-    # Back to the raw clock for the out-of-band probes below.
-    cluster.note_open_loop_arrival(bed.clock.now())
+    def fail_victim() -> None:
+        bed.network.fail_host(victim.host.address)
 
+    def restore_victim() -> None:
+        bed.network.restore_host(victim.host.address)
+        counters["tgs_seen_at_restore"] = len(
+            bed.adversary.recorded(service="tgs", direction="request")
+        )
+
+    wall_start = time.perf_counter()
+    sim_start = bed.clock.now()
+
+    # Fault timers go on the heap before the arrival processes: at an
+    # equal timestamp FIFO tie-breaking then fires the outage/restore
+    # *before* the unit that defines the window boundary, matching the
+    # op-index semantics the fault window advertises.
+    if fault_window is not None:
+        sched.at(arrivals[fault_from], fail_victim)
+        sched.at(arrivals[fault_until], restore_victim)
+    for op, intended in enumerate(arrivals):
+        sched.spawn(unit_process(op, intended), at_time=intended)
+
+    sched.run()
+    sampler.tick()  # final reading at end-of-run state
+
+    completed = counters["completed"]
     sim_elapsed_us = bed.clock.now() - sim_start
     wall_elapsed = time.perf_counter() - wall_start
 
@@ -269,7 +301,9 @@ def run_load(
     ]
     if faults:
         all_tgs = bed.adversary.recorded(service="tgs", direction="request")
-        post_restore = set(id(m) for m in all_tgs[tgs_seen_at_restore:])
+        post_restore = set(
+            id(m) for m in all_tgs[counters["tgs_seen_at_restore"]:]
+        )
         recorded = [m for m in recorded if id(m) in post_restore]
     for message in recorded[-REPLAY_PROBES:]:
         reply = bed.network.inject(
@@ -300,7 +334,7 @@ def run_load(
         })
 
     report: Dict[str, Any] = {
-        "schema": "repro-bench-kdc/2",
+        "schema": "repro-bench-kdc/3",
         "quick": quick,
         "python": platform.python_version(),
         "config": {
@@ -314,6 +348,12 @@ def run_load(
             "interarrival_us": interarrival_us,
             "protocol": "v5-draft3+replay-cache" if config is None
             else "custom",
+        },
+        "workload": {
+            "mode": "engine",
+            "principals": {"total": clients, "materialized": clients},
+            "zipf_s": None,
+            "diurnal": bool(diurnal),
         },
         "latency_us": {
             "unit": _summary(unit_latency),
@@ -346,6 +386,7 @@ def run_load(
             "cluster_queue_wait_us": cluster_wait.summary(),
             "cluster_service_us": cluster_service.summary(),
         },
+        "scheduler": sched.stats(),
         "timeseries": sampler.summaries(),
         "replay_probe": probe,
         "cluster": cluster.stats(),
@@ -372,6 +413,7 @@ def render_report(report: Dict[str, Any]) -> str:
     through = report["throughput"]
     degrade = report["degradation"]
     probe = report["replay_probe"]
+    workload = report.get("workload", {})
     lines = [
         "KDC service-layer load harness"
         + (" (--quick)" if report["quick"] else ""),
@@ -380,6 +422,16 @@ def render_report(report: Dict[str, Any]) -> str:
         f"workload         {cfg['requests']} units from {cfg['clients']} "
         f"clients over {cfg['shards']} shards "
         f"({cfg['workers_per_shard']} workers each, seed {cfg['seed']})",
+    ]
+    principals = workload.get("principals")
+    if workload.get("mode") == "model" and principals:
+        lines.append(
+            f"principals       {principals['total']:,} total, "
+            f"{principals['materialized']:,} keys materialized "
+            f"(zipf s={workload['zipf_s']}"
+            + (", diurnal arrivals)" if workload.get("diurnal") else ")")
+        )
+    lines += [
         f"completed        {through['completed']} ok, "
         f"{through['failed']} failed in {through['sim_seconds']}s simulated",
         f"throughput       {through['ops_per_sim_s']:>9,.2f} units/sim-s"
@@ -397,11 +449,11 @@ def render_report(report: Dict[str, Any]) -> str:
     lines.append("")
     queueing = report.get("queueing")
     if queueing:
-        wait = queueing["cluster_queue_wait_us"]
+        wait_s = queueing["cluster_queue_wait_us"]
         lines.append(
-            f"queue wait       p50 {wait['p50']:>8,}us"
-            f"   p95 {wait['p95']:>8,}us   p99 {wait['p99']:>8,}us"
-            f"   max {wait['max']:>8,}us   (cluster-wide)"
+            f"queue wait       p50 {wait_s['p50']:>8,}us"
+            f"   p95 {wait_s['p95']:>8,}us   p99 {wait_s['p99']:>8,}us"
+            f"   max {wait_s['max']:>8,}us   (cluster-wide)"
         )
         for entry in queueing["per_shard"]:
             w = entry["queue_wait_us"]
@@ -430,6 +482,25 @@ def render_report(report: Dict[str, Any]) -> str:
         f"  hits {[c['hits'] for c in caches]}"
         f"  evictions {[c['evictions'] for c in caches]}",
     ]
+    sched_stats = report.get("scheduler")
+    if sched_stats:
+        lines.append(
+            f"scheduler        {sched_stats['events_processed']:,} events, "
+            f"heap high-water {sched_stats['heap_high_water']:,}, "
+            f"{sched_stats['timers_cancelled']:,} timers cancelled"
+        )
+    curve = report.get("scaling_curve")
+    if curve:
+        lines += ["", "scaling curve (shards x workers -> units/sim-s, "
+                      "unit p99 us; * = on the frontier)"]
+        for cell in curve["cells"]:
+            marker = "*" if cell["frontier"] else " "
+            lines.append(
+                f"  {marker} {cell['shards']}x{cell['workers_per_shard']}"
+                f"   {cell['ops_per_sim_s']:>10,.2f}/s"
+                f"   p99 {cell['unit_p99_us']:>9,}us"
+                f"   wait p99 {cell['queue_wait_p99_us']:>9,}us"
+            )
     if "written_to" in report:
         lines += ["", f"wrote {report['written_to']}"]
     return "\n".join(lines)

@@ -312,12 +312,14 @@ class KdcCluster:
         self.requests: Dict[str, int] = {AS_SERVICE: 0, TGS_SERVICE: 0}
         self.failovers = 0
         self.unavailable = 0
-        # Virtual queueing delay accumulated since the last drain; the
-        # load harness folds this into per-request latency.
+        # Virtual queueing delay accumulated since the last drain; only
+        # used in classic synchronous mode (no scheduler timeline), where
+        # a handler cannot make its caller's clock run longer.
         self._backlog_us = 0
-        # Serialization lag of the most recent open-loop arrival (see
-        # note_open_loop_arrival); zero outside a load harness.
-        self._arrival_lag = 0
+        # Measured DES cost per service, for the scale model's calibration.
+        self.block_ops_by_service: Dict[str, int] = {
+            AS_SERVICE: 0, TGS_SERVICE: 0,
+        }
 
     # -- routing --------------------------------------------------------
 
@@ -341,14 +343,13 @@ class KdcCluster:
 
     def _handle(self, service: str, message) -> bytes:
         self.requests[service] += 1
-        # De-lag the arrival: the synchronous fabric has already charged
-        # this request for every *earlier* request's wire time, so the
-        # raw clock would put every arrival after every worker's free
-        # time and queue wait could never appear.  Subtracting the
-        # open-loop lag puts arrivals back on the harness's intended
-        # calendar; outside a harness the lag is zero and arrival is
-        # just now().
-        arrival = self._clock.now() - self._arrival_lag
+        # Under the event scheduler (clock.timeline attached) the clock
+        # reads true overlapped virtual time: each request is its own
+        # event chain, so now() *is* the arrival and worker pools see
+        # queueing whenever events genuinely overlap.  (The old
+        # synchronous fabric serialized everything and needed a de-lag
+        # retrofit, `note_open_loop_arrival`, now deleted.)
+        arrival = self._clock.now()
         primary = self.route(service, message.payload)
         tracer = self.network.bus.tracer
         fe_span = None
@@ -388,11 +389,18 @@ class KdcCluster:
                 self._note_down(service, shard, str(exc))
                 continue
             block_ops = BLOCK_OPS.count - ops_before
+            self.block_ops_by_service[service] += block_ops
             start, finish = shard.pool.schedule(arrival, block_ops)
             # Wire transits model propagation; the pool models CPU.
-            # Queue wait + service time is this request's CPU latency,
-            # which the load harness folds into its percentiles.
-            self._backlog_us += finish - arrival
+            # Queue wait + service time is this request's CPU latency.
+            # Scheduler mode: stall the event itself, so the reply is
+            # genuinely late and downstream activity shifts with it.
+            # Synchronous mode: a handler cannot take longer, so the
+            # latency goes into the backlog side-channel for the caller.
+            if self._clock.timeline is not None:
+                self._clock.advance(finish - arrival)
+            else:
+                self._backlog_us += finish - arrival
             shard.served[service] += 1
             if position > 0:
                 # Served, but by a replica: replay-cache affinity was
@@ -430,28 +438,6 @@ class KdcCluster:
                 service=service, shard=shard.index,
                 address=shard.host.address, detail=detail,
             ))
-
-    # -- open-loop arrival calendar -------------------------------------
-
-    def note_open_loop_arrival(self, intended_us: int) -> None:
-        """Tell the cluster when the *next* request was meant to arrive.
-
-        The load harness issues requests back-to-back, but each one
-        drags the synchronous clock forward by its full wire cost, so by
-        unit N the clock is far past the open-loop calendar the harness
-        is modelling.  Recording ``max(0, now - intended)`` here lets
-        :meth:`_handle` subtract that serialization lag and offer the
-        worker pools arrivals on the intended calendar — which is what
-        lets offered load above pool capacity manifest as queue wait
-        (the ``BENCH_kdc.json`` zero-queue-wait fix).
-        """
-        self._arrival_lag = max(0, self._clock.now() - intended_us)
-
-    def pool_now(self) -> int:
-        """Now on the de-lagged pool timeline — the instant gauges like
-        :meth:`repro.serve.pool.WorkerPool.queue_depth` should be read
-        at, since pool start/finish times live on that calendar."""
-        return self._clock.now() - self._arrival_lag
 
     # -- introspection --------------------------------------------------
 

@@ -16,21 +16,19 @@ synchronous handling time is the *queueing penalty* the load harness
 folds into its latency percentiles — this is what makes p99 diverge
 from p50 as offered load approaches pool capacity.
 
-Arrival times and the serialization trap: the pool's free-times and the
-arrivals it is offered must live on the *same* timeline, but that
-timeline must not be the raw simulation clock.  The synchronous fabric
-advances the clock for every wire transit, so by the time request N+1
-reaches the frontend the clock has already absorbed the full serialized
-cost of request N — raw clock arrivals are always later than every
-worker's free time, and the queue wait is identically zero no matter
-how hard the harness pushes (the `BENCH_kdc.json` zero-queue-wait
-anomaly).  The fix lives in :meth:`repro.serve.cluster.KdcCluster
-.note_open_loop_arrival`: the load harness tells the cluster each
-unit's *intended* open-loop arrival, the cluster subtracts the
-serialization lag before offering the arrival to the pool, and
-saturation becomes representable — offered load above capacity now
-shows up as growing queue wait instead of being silently linearised
-away.
+Arrival times: the pool's free-times and the arrivals it is offered
+live on the simulation's virtual timeline.  Under the discrete-event
+scheduler (:mod:`repro.sim.sched`) that timeline carries genuinely
+overlapping activity — each request is its own event chain, arriving
+when its heap event fires — so offered load above pool capacity shows
+up directly as growing queue wait.  (The old synchronous fabric
+serialized every request and dragged the clock past each arrival,
+which forced a de-lag retrofit, ``note_open_loop_arrival``, since
+deleted: the scheduler made intended and actual arrival the same
+thing.)  In scheduler mode the cluster also *stalls the serving event*
+by the pool's queue-wait + service time, so a congested shard delays
+its replies — downstream phases of a unit start later, exactly as a
+real slow KDC would make them.
 
 Batching: KDC work arrives in bursts (a login is an AS and a TGS
 request back-to-back; K clients hammering the cluster overlap heavily).

@@ -6,14 +6,19 @@ entirely on top of it; the attacks in :mod:`repro.attacks` are ordinary
 clients of the same fabric with the adversary's extra capabilities.
 """
 
-from repro.sim.clock import MINUTE, SECOND, HostClock, SimClock
+from repro.sim.clock import MINUTE, SECOND, EventTimeline, HostClock, SimClock
 from repro.sim.host import Host, HostError, StorageKind
 from repro.sim.network import Adversary, Endpoint, Network, NetworkError, WireMessage
 from repro.sim.process import Process
+from repro.sim.sched import Channel, Scheduler, Timer
+from repro.sim.workload import DiurnalCurve, ZipfianGenerator
 
 __all__ = [
     "Adversary",
+    "Channel",
+    "DiurnalCurve",
     "Endpoint",
+    "EventTimeline",
     "Host",
     "HostClock",
     "HostError",
@@ -22,7 +27,10 @@ __all__ = [
     "NetworkError",
     "Process",
     "SECOND",
+    "Scheduler",
     "SimClock",
     "StorageKind",
+    "Timer",
     "WireMessage",
+    "ZipfianGenerator",
 ]

@@ -14,12 +14,25 @@ Everything time-related in the reproduction is explicit simulation state:
   surface — by an unauthenticated time service
   (:mod:`repro.sim.timesvc`).
 
+* :class:`EventTimeline` is the bridge to the discrete-event scheduler
+  (:mod:`repro.sim.sched`): while one is attached, ``advance()`` calls
+  accumulate into the *current event's* elapsed time instead of moving
+  the global clock, so concurrent activities (a wire transit here, a
+  retry backoff there) overlap in virtual time instead of serializing.
+  The scheduler is the only component that moves the base clock, via
+  ``advance_to()`` as it dispatches events in heap order.
+
 Nothing reads the real wall clock, so every scenario is deterministic.
 """
 
 from __future__ import annotations
 
-__all__ = ["MICROSECOND", "MILLISECOND", "SECOND", "MINUTE", "SimClock", "HostClock"]
+from typing import Optional
+
+__all__ = [
+    "MICROSECOND", "MILLISECOND", "SECOND", "MINUTE",
+    "SimClock", "HostClock", "EventTimeline",
+]
 
 MICROSECOND = 1
 MILLISECOND = 1000
@@ -27,20 +40,77 @@ SECOND = 1_000_000
 MINUTE = 60 * SECOND
 
 
+class EventTimeline:
+    """Per-event elapsed time, deferred instead of applied globally.
+
+    Synchronous simulation code calls ``clock.advance(transit)`` at
+    every wire hop and backoff.  Run naively inside an event loop that
+    would drag the *global* clock forward, so the first unit processed
+    pushes "now" past every other unit's arrival and queues never form
+    (the zero-queue-wait anomaly PR 6 papered over with
+    ``note_open_loop_arrival``).  With a timeline attached, those
+    advances accumulate here; the scheduler resets ``elapsed`` before
+    dispatching each event and reads it afterwards to know how long the
+    event's activity took in virtual time.
+    """
+
+    __slots__ = ("elapsed",)
+
+    def __init__(self) -> None:
+        self.elapsed = 0
+
+    def reset(self) -> int:
+        """Zero the accumulator, returning what had accumulated."""
+        taken, self.elapsed = self.elapsed, 0
+        return taken
+
+
 class SimClock:
     """The simulation's true time, advanced explicitly by scenarios."""
 
     def __init__(self, start: int = 0):
         self._now = start
+        self._timeline: Optional[EventTimeline] = None
+
+    @property
+    def timeline(self) -> Optional[EventTimeline]:
+        """The attached :class:`EventTimeline`, or ``None`` when the
+        clock is in classic synchronous mode."""
+        return self._timeline
+
+    def attach_timeline(self, timeline: EventTimeline) -> None:
+        """Route subsequent ``advance()`` calls into *timeline*."""
+        self._timeline = timeline
+
+    def detach_timeline(self) -> None:
+        self._timeline = None
 
     def now(self) -> int:
+        tl = self._timeline
+        if tl is not None:
+            return self._now + tl.elapsed
         return self._now
 
     def advance(self, amount: int) -> int:
-        """Move time forward by *amount* microseconds."""
+        """Move time forward by *amount* microseconds.
+
+        With a timeline attached this defers into the current event's
+        elapsed time; the global base only moves via ``advance_to``.
+        """
         if amount < 0:
             raise ValueError("time cannot move backwards")
+        tl = self._timeline
+        if tl is not None:
+            tl.elapsed += amount
+            return self._now + tl.elapsed
         self._now += amount
+        return self._now
+
+    def advance_to(self, time: int) -> int:
+        """Jump the base clock forward to absolute *time* (scheduler use)."""
+        if time < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = time
         return self._now
 
     def advance_seconds(self, seconds: float) -> int:

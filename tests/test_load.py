@@ -26,7 +26,7 @@ def test_quick_clamps_workload(quick_report):
 
 
 def test_report_has_required_keys(quick_report):
-    assert quick_report["schema"] == "repro-bench-kdc/2"
+    assert quick_report["schema"] == "repro-bench-kdc/3"
     for phase in ("unit", "as", "tgs", "ap"):
         summary = quick_report["latency_us"][phase]
         assert {"count", "p50", "p95", "p99", "mean", "max"} <= set(summary)
@@ -149,7 +149,7 @@ def test_writes_benchmark_json(tmp_path):
     report = run_load(**{**QUICK, "out_path": str(out)})
     assert report["written_to"] == str(out)
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == "repro-bench-kdc/2"
+    assert on_disk["schema"] == "repro-bench-kdc/3"
     assert "queueing" in on_disk and "timeseries" in on_disk
     assert "_sampler" not in on_disk
     assert on_disk["latency_us"]["unit"]["p99"] \

@@ -1,0 +1,229 @@
+"""Scale mode of the load harness: the calibrated million-principal model.
+
+One shared report (module fixture) carries most assertions; the
+deliberately small replay-cache capacity makes eviction churn visible
+without needing the full 20k-request quick run in CI.
+"""
+
+import json
+
+import pytest
+
+from repro.load import render_report, run_load
+from repro.serve.scale import (
+    LazyPrincipalKeys, calibrate, run_scale_model,
+)
+
+PRINCIPALS = 30_000
+REQUESTS = 2_500
+CACHE = 256
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_load(
+        principals=PRINCIPALS, requests=REQUESTS, seed=0,
+        replay_cache_capacity=CACHE, out_path=None,
+    )
+
+
+# -- calibration ---------------------------------------------------------
+
+def test_calibration_is_measured_and_positive():
+    cal = calibrate(seed=0)
+    assert set(cal) == {"as_wire_us", "tgs_wire_us", "ap_us",
+                       "as_block_ops", "tgs_block_ops"}
+    assert all(v > 0 for v in cal.values())
+    # TGS work includes decrypting the TGT *and* minting a ticket; it
+    # cannot be cheaper than a handful of DES blocks.
+    assert cal["tgs_block_ops"] > 10
+    assert calibrate(seed=0) == cal  # cached and stable
+
+
+# -- lazy principals -----------------------------------------------------
+
+def test_lazy_keys_materialize_on_first_touch():
+    keys = LazyPrincipalKeys(1000)
+    assert keys.materialized == 0
+    k = keys.key_for(3)
+    assert len(k) == 8
+    assert keys.key_for(3) is k
+    assert keys.materialized == 1
+
+
+def test_lazy_keys_reject_empty_population():
+    with pytest.raises(ValueError):
+        LazyPrincipalKeys(0)
+
+
+def test_zipf_population_touches_a_small_fraction(report):
+    principals = report["workload"]["principals"]
+    assert principals["total"] == PRINCIPALS
+    assert 0 < principals["materialized"] < PRINCIPALS // 4
+
+
+# -- the report ----------------------------------------------------------
+
+def test_scale_report_schema_and_mode(report):
+    assert report["schema"] == "repro-bench-kdc/3"
+    assert report["workload"]["mode"] == "model"
+    assert report["workload"]["zipf_s"] == 1.1
+    assert report["workload"]["calibration"] == calibrate(seed=0)
+    assert report["config"]["clients"] == PRINCIPALS
+
+
+def test_saturation_shows_in_the_tail(report):
+    wait = report["queueing"]["cluster_queue_wait_us"]
+    assert wait["p99"] > 0
+    assert wait["max"] >= wait["p99"] >= wait["p50"]
+
+
+def test_replay_caches_churn_and_probe_rejects(report):
+    caches = [s["replay_cache"] for s in report["cluster"]["per_shard"]]
+    assert all(c["capacity"] == CACHE for c in caches)
+    assert sum(c["evictions"] for c in caches) > 0
+    assert all(c["entries"] <= CACHE for c in caches)
+    probe = report["replay_probe"]
+    assert probe["attempted"] > 0
+    assert probe["rejected"] == probe["attempted"]
+
+
+def test_fault_window_degrades_and_fails_over(report):
+    degrade = report["degradation"]
+    assert degrade["fault_window"] is not None
+    assert degrade["tgs_failovers"] > 0
+    assert degrade["job_timeouts"] > 0
+    assert report["throughput"]["completed"] > 0
+
+
+def test_failsafe_timers_cancelled_on_pickup(report):
+    """Every healthy serve cancels its job's failsafe: cancellations
+    must dwarf the timeouts that actually fired."""
+    stats = report["scheduler"]
+    assert stats["timers_cancelled"] > report["degradation"]["job_timeouts"]
+    assert stats["events_processed"] > REQUESTS
+    assert stats["heap_high_water"] > 0
+    assert stats["pending"] == 0
+
+
+def test_timeseries_gauges_sampled(report):
+    series = report["timeseries"]
+    assert "shard0.queue_depth" in series
+    assert "cluster.replay_evictions" in series
+    assert series["cluster.replay_evictions"]["last"] > 0
+    assert report["_sampler"].ticks > 1
+
+
+# -- the scaling curve ---------------------------------------------------
+
+def test_scaling_curve_structure(report):
+    curve = report["scaling_curve"]
+    assert curve["requests_per_cell"] <= REQUESTS
+    cells = curve["cells"]
+    assert len(cells) >= 4
+    for cell in cells:
+        assert cell["shards"] >= 2
+        assert cell["workers_per_shard"] >= 1
+        assert cell["completed"] > 0
+        assert cell["ops_per_sim_s"] > 0
+        assert isinstance(cell["frontier"], bool)
+
+
+def test_scaling_curve_throughput_grows_with_workers(report):
+    cells = {(c["shards"], c["workers_per_shard"]): c
+             for c in report["scaling_curve"]["cells"]}
+    assert cells[(8, 8)]["ops_per_sim_s"] > cells[(2, 2)]["ops_per_sim_s"]
+
+
+def test_frontier_cells_are_pareto_optimal(report):
+    cells = report["scaling_curve"]["cells"]
+    frontier = [c for c in cells if c["frontier"]]
+    assert frontier
+    for cell in frontier:
+        dominated = any(
+            o is not cell
+            and o["ops_per_sim_s"] >= cell["ops_per_sim_s"]
+            and o["unit_p99_us"] <= cell["unit_p99_us"]
+            and (o["ops_per_sim_s"] > cell["ops_per_sim_s"]
+                 or o["unit_p99_us"] < cell["unit_p99_us"])
+            for o in cells
+        )
+        assert not dominated
+
+
+# -- determinism ---------------------------------------------------------
+
+def _stable_fields(report):
+    out = {k: v for k, v in report.items() if not k.startswith("_")}
+    out["throughput"] = {
+        k: v for k, v in report["throughput"].items()
+        if k not in ("wall_seconds", "ops_per_wall_s")
+    }
+    return json.dumps(out, sort_keys=True)
+
+
+def test_same_seed_byte_identical_report():
+    kwargs = dict(principals=5000, requests=800, seed=42,
+                  replay_cache_capacity=64, out_path=None)
+    assert _stable_fields(run_scale_model(**kwargs)) == \
+        _stable_fields(run_scale_model(**kwargs))
+
+
+def test_different_seed_different_workload():
+    a = run_scale_model(principals=5000, requests=800, seed=1,
+                        replay_cache_capacity=64, out_path=None)
+    b = run_scale_model(principals=5000, requests=800, seed=2,
+                        replay_cache_capacity=64, out_path=None)
+    assert _stable_fields(a) != _stable_fields(b)
+
+
+# -- wiring --------------------------------------------------------------
+
+def test_run_load_dispatches_on_principals(report):
+    # the fixture went through run_load, not run_scale_model directly
+    assert report["workload"]["mode"] == "model"
+
+
+def test_validation_guards():
+    with pytest.raises(ValueError):
+        run_scale_model(principals=0, out_path=None)
+    with pytest.raises(ValueError):
+        run_scale_model(principals=10, shards=1, out_path=None)
+
+
+def test_render_report_shows_principals_and_curve(report):
+    text = render_report(report)
+    assert "30,000 total" in text
+    assert "keys materialized" in text
+    assert "scaling curve" in text
+    assert "scheduler" in text
+
+
+def test_cli_scale_flags(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "bench.json"
+    rc = main([
+        "load", "--principals", "4000", "--requests", "600",
+        "--seed", "3", "--out", str(out),
+    ])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "4,000 total" in text
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "repro-bench-kdc/3"
+    assert on_disk["workload"]["mode"] == "model"
+    assert on_disk["scaling_curve"]["cells"]
+
+
+def test_diurnal_surge_raises_peak_queueing():
+    flat = run_scale_model(principals=5000, requests=1200, seed=6,
+                           replay_cache_capacity=64, out_path=None,
+                           faults=False)
+    surged = run_scale_model(principals=5000, requests=1200, seed=6,
+                             replay_cache_capacity=64, out_path=None,
+                             faults=False, diurnal=True)
+    assert surged["workload"]["diurnal"] is True
+    flat_wait = flat["queueing"]["cluster_queue_wait_us"]
+    surge_wait = surged["queueing"]["cluster_queue_wait_us"]
+    assert surge_wait["max"] > flat_wait["max"]

@@ -21,7 +21,7 @@ from repro.obs.trace import span_forest, validate_traces
 def monitored(tmp_path_factory):
     path = tmp_path_factory.mktemp("monitor") / "repro-trace.json"
     report = run_monitor(
-        quick=True, seed=0, interarrival_us=500,
+        quick=True, seed=0, interarrival_us=60,
         chrome_trace_path=str(path),
     )
     return report, path

@@ -1,0 +1,134 @@
+"""Workload generators: Zipf moments, diurnal shape, arrival jitter.
+
+The distributions are the *inputs* to every scale-mode claim the load
+report makes (hot shards, cache churn, surge queueing), so their
+moments are pinned here — a silent regression toward uniform would
+hollow out the benchmark without failing it.
+"""
+
+import math
+
+import pytest
+
+from repro.crypto.rng import DeterministicRandom
+from repro.sim.workload import (
+    DiurnalCurve, ZipfianGenerator, open_loop_arrivals,
+)
+
+
+def test_zipf_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, s=0.0)
+
+
+def test_zipf_expected_share_is_exact():
+    zipf = ZipfianGenerator(4, s=1.0)
+    # weights 1, 1/2, 1/3, 1/4 -> total 25/12
+    total = 1 + 0.5 + 1 / 3 + 0.25
+    assert math.isclose(zipf.expected_share(0), 1 / total)
+    assert math.isclose(zipf.expected_share(3), 0.25 / total)
+    assert math.isclose(
+        sum(zipf.expected_share(r) for r in range(4)), 1.0
+    )
+
+
+def test_zipf_samples_match_expected_shares():
+    """Empirical head mass within a few points of the analytic mass."""
+    n, draws = 1000, 20_000
+    zipf = ZipfianGenerator(n, s=1.1, rng=DeterministicRandom(5))
+    counts = [0] * n
+    for _ in range(draws):
+        counts[zipf.sample()] += 1
+    for rank in (0, 1, 2):
+        observed = counts[rank] / draws
+        expected = zipf.expected_share(rank)
+        assert abs(observed - expected) < 0.01, (rank, observed, expected)
+    # rank 0 dominates: the defining property of the skew
+    assert counts[0] == max(counts)
+    assert counts[0] > 5 * counts[50]
+
+
+def test_zipf_head_mass_pins_the_exponent():
+    """For s=1.1, n=10^4 the top-10 ranks carry ~37% of the mass; a
+    drift toward uniform (0.1%) or extreme skew would move this a lot."""
+    zipf = ZipfianGenerator(10_000, s=1.1)
+    head = sum(zipf.expected_share(r) for r in range(10))
+    assert 0.30 < head < 0.45, head
+
+
+def test_zipf_same_seed_same_stream():
+    a = ZipfianGenerator(500, rng=DeterministicRandom(9))
+    b = ZipfianGenerator(500, rng=DeterministicRandom(9))
+    assert [a.sample() for _ in range(100)] == \
+        [b.sample() for _ in range(100)]
+
+
+def test_zipf_cdf_is_cached_and_compact():
+    from array import array
+
+    from repro.sim.workload import _CDF_CACHE, _cumulative_weights
+
+    table = _cumulative_weights(1234, 1.5)
+    assert isinstance(table, array)
+    assert table.typecode == "d"
+    assert _cumulative_weights(1234, 1.5) is table
+    assert (1234, 1.5) in _CDF_CACHE
+
+
+def test_diurnal_mean_min_max():
+    curve = DiurnalCurve(period_us=1_000_000, amplitude=0.6)
+    samples = [curve.multiplier(t) for t in range(0, 1_000_000, 1000)]
+    assert math.isclose(sum(samples) / len(samples), 1.0, abs_tol=1e-3)
+    assert math.isclose(min(samples), 0.4, abs_tol=1e-3)
+    assert math.isclose(max(samples), 1.6, abs_tol=1e-3)
+    # the peak sits a quarter-period in: the "9am" of the virtual day
+    assert curve.multiplier(250_000) == max(samples)
+
+
+def test_diurnal_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        DiurnalCurve(amplitude=1.0)
+    with pytest.raises(ValueError):
+        DiurnalCurve(period_us=0)
+
+
+def test_arrivals_are_monotone_and_jitter_bounded():
+    rng = DeterministicRandom(3)
+    times = list(open_loop_arrivals(rng, 500, 100, start=7))
+    assert len(times) == 500
+    assert times[0] == 7
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(50 <= gap <= 150 for gap in gaps)  # ±50% window
+    mean_gap = sum(gaps) / len(gaps)
+    assert 90 < mean_gap < 110
+
+
+def test_arrivals_speed_up_at_the_diurnal_peak():
+    curve = DiurnalCurve(period_us=100_000, amplitude=0.6)
+    rng = DeterministicRandom(11)
+    times = list(open_loop_arrivals(rng, 2000, 100, diurnal=curve))
+    in_peak, off_peak = [], []
+    for a, b in zip(times, times[1:]):
+        phase = (a % 100_000) / 100_000
+        gap = b - a
+        if 0.15 < phase < 0.35:      # around the quarter-period peak
+            in_peak.append(gap)
+        elif 0.65 < phase < 0.85:    # around the trough
+            off_peak.append(gap)
+    assert in_peak and off_peak
+    assert sum(in_peak) / len(in_peak) < 0.6 * (
+        sum(off_peak) / len(off_peak)
+    )
+
+
+def test_arrivals_deterministic_for_seed():
+    a = list(open_loop_arrivals(DeterministicRandom(4), 100, 250))
+    b = list(open_loop_arrivals(DeterministicRandom(4), 100, 250))
+    assert a == b
+
+
+def test_arrivals_reject_bad_interarrival():
+    with pytest.raises(ValueError):
+        list(open_loop_arrivals(DeterministicRandom(0), 1, 0))
