@@ -23,8 +23,8 @@ def run_tradeoff():
     table = [
         (
             row.modulus_bits,
-            f"{row.honest_seconds * 1000:.2f}",
-            f"{row.attack_seconds * 1000:.2f}" if row.attack_seconds else "infeasible",
+            row.honest_ops,
+            row.attack_ops if row.attack_ops else "infeasible",
             "BROKEN" if row.broken else "safe",
         )
         for row in rows
@@ -70,7 +70,8 @@ def test_e07_dh_tradeoff(benchmark, experiment_output):
     outcomes = run_protocol_outcomes()
     text = render_table(
         "E7a: DH modulus size — honest cost vs generic attack (BSGS)",
-        ["modulus bits", "honest (ms)", "attack (ms)", "verdict"], table,
+        ["modulus bits", "honest (mod-muls)", "attack (mod-muls)", "verdict"],
+        table,
     )
     text += "\n\n" + render_table(
         "E7b: password recovery through the login dialog",
@@ -83,8 +84,8 @@ def test_e07_dh_tradeoff(benchmark, experiment_output):
     assert by_bits[16].broken and by_bits[32].broken
     assert not by_bits[128].broken and not by_bits[256].broken
     # Attack cost grows much faster than honest cost across broken sizes.
-    broken = [r for r in rows if r.broken and r.attack_seconds]
-    assert broken[-1].attack_seconds > broken[0].attack_seconds
+    broken = [r for r in rows if r.broken and r.attack_ops]
+    assert broken[-1].attack_ops > broken[0].attack_ops
     outcome_map = {(a, b): c for a, b, c in outcomes}
     assert outcome_map[("no DH", "passive")]
     assert outcome_map[("DH 32b", "passive")]

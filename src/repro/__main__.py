@@ -11,10 +11,13 @@ Commands:
 * ``perf``        — micro-benchmark the crypto fast path, the modes, a
   full exchange, and the (serial vs parallel) matrix, writing
   ``BENCH_crypto.json``;
-* ``lint``        — run the protocol-misuse static analyzer over
-  ``src/repro`` against one or all protocol columns, reporting text,
-  JSON, or SARIF 2.1.0 (optionally validated against the live attack
-  matrix with ``--consistency``; ``--jobs N`` parallelises the scan);
+* ``lint``        — run the static analyzers over ``src/repro``:
+  the protocol-misuse family against one or all protocol columns,
+  and/or (``--family sim``) the determinism / scheduler-safety family
+  over the simulation stack, reporting text, JSON, or SARIF 2.1.0
+  (``--consistency`` pins the verdicts dynamically — attack-matrix
+  agreement, or a same-seed double run asserting byte-identical
+  reports; ``--jobs N`` parallelises the scan);
 * ``check``       — re-derive the attack matrix symbolically with the
   bounded Dolev-Yao model checker: attack traces in the paper's
   notation for vulnerable cells, exhausted searches with named closing
@@ -234,6 +237,7 @@ def _cmd_lint(args) -> int:
 
     return run_lint(
         fmt=args.format,
+        family=args.family,
         column=args.column,
         baseline=args.baseline,
         fail_on=args.fail_on,
@@ -416,16 +420,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark report path (default: BENCH_crypto.json)",
     )
     lint = sub.add_parser(
-        "lint", help="statically analyze the tree for protocol misuse"
+        "lint", help="statically analyze the tree for protocol misuse "
+                     "and determinism hazards"
     )
     lint.add_argument(
         "--format", choices=["text", "json", "sarif"], default="text",
         help="report format (default: text)",
     )
     lint.add_argument(
+        "--family", choices=["protocol", "sim", "all"], default="protocol",
+        help="rule family: protocol misuse, sim (determinism / "
+             "scheduler safety over the simulation stack), or all "
+             "(default: protocol)",
+    )
+    lint.add_argument(
         "--column", default="all",
         help="protocol column to lint: v4, v5-draft3, hardened, or all "
-             "(default: all)",
+             "(default: all; protocol family only)",
     )
     lint.add_argument(
         "--baseline", metavar="PATH",
@@ -451,8 +462,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--consistency", action="store_true",
-        help="also run the attack matrix and assert lint verdicts match "
-             "its outcomes cell by cell (~1 min serial)",
+        help="also pin the verdicts dynamically: attack-matrix "
+             "agreement for the protocol family (~1 min serial), a "
+             "same-seed double run of the scale-mode load harness "
+             "asserting byte-identical reports for the sim family",
     )
     lint.add_argument(
         "--parallel", type=int, default=None,

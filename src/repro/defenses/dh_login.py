@@ -12,7 +12,7 @@ insecure, while using large ones is expensive in computation time."
 
 from __future__ import annotations
 
-import time
+import math
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -72,12 +72,26 @@ def demonstrate(seed: int = 0, modulus_bits: int = 256) -> DefenseReport:
 
 @dataclass
 class TradeoffRow:
-    """One modulus size in the cost/security sweep."""
+    """One modulus size in the cost/security sweep.
+
+    Costs are counted, not timed: both sides are expressed as modular
+    block operations (multiplications mod p), so the table is
+    byte-identical under a fixed seed on any host.
+    """
 
     modulus_bits: int
-    honest_seconds: float      # two modexps (one side of the exchange)
-    attack_seconds: Optional[float]  # discrete log; None if infeasible
+    honest_ops: int            # two modexps (one side of the exchange)
+    attack_ops: Optional[int]  # discrete log; None if infeasible
     broken: bool
+
+
+def _modexp_ops(exponent: int) -> int:
+    """Modular multiplications square-and-multiply spends on *exponent*:
+    one squaring per bit after the first, one multiply per set bit
+    after the first."""
+    if exponent <= 0:
+        return 0
+    return (exponent.bit_length() - 1) + (bin(exponent).count("1") - 1)
 
 
 def cost_security_tradeoff(
@@ -85,22 +99,25 @@ def cost_security_tradeoff(
 ) -> List[TradeoffRow]:
     """Honest cost vs attack cost per modulus size (LaMacchia–Odlyzko).
 
-    *max_work* bounds the baby-step table; sizes needing more are
-    reported as unbroken (infeasible for this adversary).
+    The honest side pays two modexps (publishing ``g^x`` and deriving
+    the shared secret); the attack side pays the baby-step/giant-step
+    discrete log: ``m`` baby-step multiplies, one modexp to form the
+    giant stride, and one multiply per giant step taken.  *max_work*
+    bounds the baby-step table; sizes needing more are reported as
+    unbroken (infeasible for this adversary).
     """
     rows = []
     rng = DeterministicRandom(seed)
     for bits in bit_sizes:
         group = DhGroup.for_bits(bits)
-        start = time.perf_counter()
         pair = DhKeyPair.generate(group, rng)
         pair.shared_secret(pow(group.generator, 12345, group.prime))
-        honest = time.perf_counter() - start
+        honest = 2 * _modexp_ops(pair.private)
 
-        start = time.perf_counter()
+        m = math.isqrt(group.subgroup_order) + 1
         try:
             recovered = discrete_log(group, pair.public, max_work=max_work)
-            attack: Optional[float] = time.perf_counter() - start
+            attack: Optional[int] = m + _modexp_ops(m) + (recovered // m)
             broken = recovered == pair.private
         except DiscreteLogError:
             attack = None

@@ -21,17 +21,28 @@ Format (version 1)::
 Fingerprints come from :attr:`repro.lint.findings.Finding.fingerprint`
 and deliberately exclude line numbers, so baselines survive unrelated
 edits that move an anchor.
+
+Line-independence makes baselines durable, but it also lets them rot
+silently: delete the file an entry anchors to (or retire its rule) and
+the suppression matches nothing forever — dead weight that hides a
+future regression under a stale fingerprint.  :func:`find_stale`
+detects both cases, and the CLI fails the run with a "refresh the
+baseline" message instead of scanning past them.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import (
+    Any, Callable, Dict, FrozenSet, List, Sequence, Set, Tuple,
+)
 
 from repro.lint.findings import Finding, sort_findings
 
-__all__ = ["BaselineError", "load_baseline", "write_baseline",
+__all__ = ["BaselineError", "BaselineEntry", "load_baseline",
+           "load_baseline_entries", "find_stale", "write_baseline",
            "split_by_baseline", "baseline_payload"]
 
 _VERSION = 1
@@ -73,8 +84,23 @@ def write_baseline(findings: Sequence[Finding], path: Path,
     return len(payload["suppressions"])
 
 
-def load_baseline(path: Path) -> Dict[str, str]:
-    """Read a baseline; returns ``{fingerprint: reason}``."""
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppression, with the anchor fields stale detection needs.
+
+    ``rule_id`` and ``file`` are recovered from the fingerprint when a
+    hand-edited entry omits them (the fingerprint is
+    ``rule::column::file`` by construction).
+    """
+
+    fingerprint: str
+    rule_id: str
+    file: str
+    reason: str
+
+
+def load_baseline_entries(path: Path) -> List[BaselineEntry]:
+    """Read a baseline; returns its entries, anchors included."""
     try:
         raw = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError) as exc:
@@ -86,14 +112,51 @@ def load_baseline(path: Path) -> Dict[str, str]:
     suppressions = raw.get("suppressions", [])
     if not isinstance(suppressions, list):
         raise BaselineError(f"baseline {path}: 'suppressions' must be a list")
-    accepted: Dict[str, str] = {}
+    entries: List[BaselineEntry] = []
     for entry in suppressions:
         if not isinstance(entry, dict) or "fingerprint" not in entry:
             raise BaselineError(
                 f"baseline {path}: each suppression needs a 'fingerprint'"
             )
-        accepted[str(entry["fingerprint"])] = str(entry.get("reason", ""))
-    return accepted
+        fingerprint = str(entry["fingerprint"])
+        pieces = fingerprint.split("::")
+        rule_id = str(entry.get("rule_id", "")) or (
+            pieces[0] if len(pieces) == 3 else "")
+        file = str(entry.get("file", "")) or (
+            pieces[2] if len(pieces) == 3 else "")
+        entries.append(BaselineEntry(
+            fingerprint=fingerprint,
+            rule_id=rule_id,
+            file=file,
+            reason=str(entry.get("reason", "")),
+        ))
+    return entries
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """Read a baseline; returns ``{fingerprint: reason}``."""
+    return {entry.fingerprint: entry.reason
+            for entry in load_baseline_entries(path)}
+
+
+def find_stale(entries: Sequence[BaselineEntry],
+               known_rule_ids: FrozenSet[str],
+               file_exists: Callable[[str], bool],
+               ) -> List[Tuple[BaselineEntry, str]]:
+    """Entries whose anchor no longer exists, with a why each.
+
+    An entry is stale when its rule has been retired from every rule
+    registry, or the file it anchors to is gone from the tree.  Stale
+    entries are an error, not a silent no-op: the caller should fail
+    the run and tell the user to refresh the baseline.
+    """
+    stale: List[Tuple[BaselineEntry, str]] = []
+    for entry in entries:
+        if entry.rule_id and entry.rule_id not in known_rule_ids:
+            stale.append((entry, f"rule {entry.rule_id} no longer exists"))
+        elif entry.file and not file_exists(entry.file):
+            stale.append((entry, f"file {entry.file} no longer exists"))
+    return stale
 
 
 def split_by_baseline(findings: Sequence[Finding],

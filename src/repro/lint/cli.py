@@ -1,10 +1,12 @@
 """Implementation of ``python -m repro lint``.
 
-Thin orchestration over the package: scan the tree, evaluate the rule
-registry against the selected protocol column(s), apply the baseline,
-render in the requested format, optionally run the consistency
-harness, and exit non-zero when non-baselined findings reach the
-``--fail-on`` threshold.
+Thin orchestration over the package: scan the tree, evaluate the
+selected rule famil(ies) — ``protocol`` (the paper's misuse catalogue,
+per protocol column), ``sim`` (the determinism / scheduler-safety
+family over the simulation stack), or ``all`` — apply the baseline,
+render in the requested format, optionally run the matching
+consistency harness, and exit non-zero when non-baselined findings
+reach the ``--fail-on`` threshold.
 
 Every finding is also published as a
 :class:`repro.obs.events.LintFinding` event, so a
@@ -15,21 +17,30 @@ run exactly like it observes a protocol exchange.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.kerberos.config import ProtocolConfig
 from repro.lint.baseline import (
-    BaselineError, load_baseline, split_by_baseline, write_baseline,
+    BaselineError, find_stale, load_baseline_entries, split_by_baseline,
+    write_baseline,
 )
 from repro.lint.engine import CodeModel, analyze_repro, analyze_tree
 from repro.lint.findings import Finding, Severity
 from repro.lint.reporters import render_json, render_sarif, render_text
-from repro.lint.rules import run_all_rules
+from repro.lint.rules import (
+    RULES_BY_ID, UNREAD_FLAG_RULE_ID, run_all_rules,
+)
+from repro.lint.simrules import (
+    SIM_COLUMN, SIM_RULES_BY_ID, SIM_SCAN_EXCLUDES, run_sim_rules,
+    sim_sarif_rules,
+)
 
-__all__ = ["run_lint", "resolve_columns", "FORMATS", "FAIL_ON"]
+__all__ = ["run_lint", "resolve_columns", "FORMATS", "FAIL_ON",
+           "FAMILIES"]
 
 FORMATS: Tuple[str, ...] = ("text", "json", "sarif")
 FAIL_ON: Tuple[str, ...] = ("error", "warn", "never")
+FAMILIES: Tuple[str, ...] = ("protocol", "sim", "all")
 
 _FAIL_RANK: Dict[str, int] = {
     "error": Severity.ERROR.rank,
@@ -71,12 +82,42 @@ def _emit_events(findings: Sequence[Finding]) -> None:
 
 def _render(fmt: str, fresh: Sequence[Finding],
             suppressed: Sequence[Finding],
-            labels: Sequence[str]) -> str:
+            labels: Sequence[str],
+            sarif_rules: Optional[List[Dict[str, Any]]] = None) -> str:
     if fmt == "json":
         return render_json(fresh, suppressed, labels)
     if fmt == "sarif":
-        return render_sarif(fresh, suppressed, labels)
+        return render_sarif(fresh, suppressed, labels, rules=sarif_rules)
     return render_text(fresh, suppressed)
+
+
+def _known_rule_ids() -> frozenset:
+    """Every rule ID any family can emit (for stale-baseline checks)."""
+    return frozenset(RULES_BY_ID) | {UNREAD_FLAG_RULE_ID} | \
+        frozenset(SIM_RULES_BY_ID)
+
+
+def _file_checker(root: Optional[str]) -> Callable[[str], bool]:
+    """Does a baseline entry's recorded anchor path still exist?
+
+    Real-tree scans record ``src/repro/<...>`` paths; resolve them
+    against the installed package so the check works from any cwd.
+    """
+    if root is not None:
+        base = Path(root)
+        return lambda file: (base / file).exists()
+
+    import repro
+
+    package = Path(repro.__file__ or ".").parent
+    prefix = "src/repro/"
+
+    def exists(file: str) -> bool:
+        if file.startswith(prefix):
+            return (package / file[len(prefix):]).exists()
+        return Path(file).exists()
+
+    return exists
 
 
 def run_lint(
@@ -90,30 +131,57 @@ def run_lint(
     write_baseline_path: Optional[str] = None,
     parallel: Optional[int] = None,
     jobs: Optional[int] = None,
+    family: str = "protocol",
     echo: Printer = print,
 ) -> int:
     """The lint command.  Returns a process exit code (0/1/2).
 
+    ``family`` selects the rule famil(ies): ``protocol`` (default),
+    ``sim`` (determinism / scheduler-safety over the simulation stack —
+    note the two families scan different subtrees), or ``all``.
     ``jobs=N`` fans the per-file scan out over N worker processes
     (byte-identical output; see :func:`repro.lint.engine.analyze_tree`).
     """
-    columns = resolve_columns(column)
-    if columns is None:
-        echo(f"unknown column {column!r}; choose v4, v5-draft3, "
-             "hardened, or all")
+    if family not in FAMILIES:
+        echo(f"unknown family {family!r}; choose protocol, sim, or all")
         return 2
+    want_protocol = family in ("protocol", "all")
+    want_sim = family in ("sim", "all")
 
-    model: CodeModel
-    if root is None:
-        model = analyze_repro(jobs=jobs)
-    else:
-        model = analyze_tree(Path(root), jobs=jobs)
-    if model.errors:
-        for error in model.errors:
-            echo(f"parse error: {error}")
-        return 2
+    columns: List[Tuple[str, ProtocolConfig]] = []
+    if want_protocol:
+        resolved = resolve_columns(column)
+        if resolved is None:
+            echo(f"unknown column {column!r}; choose v4, v5-draft3, "
+                 "hardened, or all")
+            return 2
+        columns = resolved
 
-    findings = run_all_rules(model, columns)
+    protocol_model: Optional[CodeModel] = None
+    sim_model: Optional[CodeModel] = None
+    if want_protocol:
+        protocol_model = (analyze_repro(jobs=jobs) if root is None
+                          else analyze_tree(Path(root), jobs=jobs))
+    if want_sim:
+        sim_model = (
+            analyze_repro(exclude=SIM_SCAN_EXCLUDES, jobs=jobs)
+            if root is None
+            else analyze_tree(Path(root), exclude=SIM_SCAN_EXCLUDES,
+                              jobs=jobs))
+    for model in (protocol_model, sim_model):
+        if model is not None and model.errors:
+            for error in model.errors:
+                echo(f"parse error: {error}")
+            return 2
+
+    findings: List[Finding] = []
+    labels: List[str] = []
+    if protocol_model is not None:
+        findings.extend(run_all_rules(protocol_model, columns))
+        labels.extend(label for label, _config in columns)
+    if sim_model is not None:
+        findings.extend(run_sim_rules(sim_model))
+        labels.append(SIM_COLUMN)
     _emit_events(findings)
 
     if write_baseline_path is not None:
@@ -125,14 +193,32 @@ def run_lint(
     fresh = list(findings)
     if baseline is not None:
         try:
-            accepted = load_baseline(Path(baseline))
+            entries = load_baseline_entries(Path(baseline))
         except BaselineError as exc:
             echo(str(exc))
             return 2
+        stale = find_stale(entries, _known_rule_ids(),
+                           _file_checker(root))
+        if stale:
+            for entry, why in stale:
+                echo(f"stale baseline entry {entry.fingerprint}: {why}")
+            echo(f"{len(stale)} stale entr"
+                 f"{'ies' if len(stale) != 1 else 'y'} in {baseline}: "
+                 "refresh the baseline (python -m repro lint "
+                 f"--write-baseline {baseline})")
+            return 2
+        accepted = {entry.fingerprint: entry.reason for entry in entries}
         fresh, suppressed = split_by_baseline(findings, accepted)
 
-    labels = [label for label, _config in columns]
-    report = _render(fmt, fresh, suppressed, labels)
+    sarif_rules: Optional[List[Dict[str, Any]]] = None
+    if fmt == "sarif" and family == "sim":
+        sarif_rules = sim_sarif_rules()
+    elif fmt == "sarif" and family == "all":
+        from repro.lint.reporters import default_sarif_rules
+
+        sarif_rules = default_sarif_rules() + sim_sarif_rules()
+
+    report = _render(fmt, fresh, suppressed, labels, sarif_rules)
     if out is not None:
         Path(out).write_text(report + "\n", encoding="utf-8")
         echo(f"wrote {fmt} report to {out} "
@@ -146,16 +232,29 @@ def run_lint(
                                      for f in fresh):
         exit_code = 1
 
-    if consistency:
+    if consistency and protocol_model is not None:
         from repro.lint.consistency import check_consistency
 
         echo("")
         echo("consistency harness: lint verdicts vs. the attack matrix "
              "(deterministic, ~1 min serial)...")
-        report_obj = check_consistency(columns=columns, model=model,
+        report_obj = check_consistency(columns=columns,
+                                       model=protocol_model,
                                        parallel=parallel)
         echo(report_obj.render())
         if report_obj.disagreements():
+            exit_code = 1
+
+    if consistency and sim_model is not None:
+        from repro.lint.simconsistency import check_determinism
+
+        echo("")
+        echo("determinism harness: double-running the scale-mode load "
+             "harness with one seed (byte-identity witness)...")
+        sim_fresh = [f for f in fresh if f.column == SIM_COLUMN]
+        determinism = check_determinism(static_findings=len(sim_fresh))
+        echo(determinism.render())
+        if not determinism.agrees:
             exit_code = 1
 
     return exit_code

@@ -16,7 +16,18 @@ protocol-misuse rules in :mod:`repro.lint.rules` care about:
 * **call sites, function defs, class defs** — enough structure to ask
   "is ``seal_private`` ever called?", "is there an unauthenticated
   ``sync_host_clock``?", or "does a codec class declare ``name = 'v4'``
-  without type tags?".
+  without type tags?";
+* **simulation facts** — the raw material of the determinism /
+  scheduler-safety family in :mod:`repro.lint.simrules`: every dotted
+  call chain (``_time.perf_counter`` looks nothing like
+  ``perf_counter`` to the flat ``callee`` fact), every ``yield`` with
+  its command kind (``wait``/``recv``/``from``/other), every timer
+  created or cancelled on a scheduler, and every place an *unordered*
+  value (a ``set``/``frozenset``) is iterated or handed to the
+  scheduler.  The unordered pass is a second intraprocedural taint
+  domain alongside the secret-name one: set-shaped expressions seed it,
+  bare-name assignments strongly update it, and ``sorted()`` (or an
+  order-insensitive reducer such as ``any``/``len``/``sum``) cleanses.
 
 Several subtrees are excluded by default: ``attacks`` (which misuses
 the primitives *on purpose*); ``lint`` itself and ``check`` (the model
@@ -45,9 +56,10 @@ from pathlib import Path
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
-    "SecretFlow", "ConfigRead", "CallSite", "FunctionInfo", "ClassAttr",
-    "ClassInfo", "CodeModel", "is_secret_name", "analyze_source",
-    "analyze_tree", "analyze_repro", "DEFAULT_EXCLUDES",
+    "SecretFlow", "ConfigRead", "CallSite", "DottedCall", "YieldSite",
+    "TimerCreate", "TimerCancel", "UnorderedFlow", "FunctionInfo",
+    "ClassAttr", "ClassInfo", "CodeModel", "is_secret_name",
+    "analyze_source", "analyze_tree", "analyze_repro", "DEFAULT_EXCLUDES",
 ]
 
 #: Subtrees skipped when scanning ``src/repro`` (see module docstring).
@@ -109,6 +121,86 @@ class CallSite:
 
 
 @dataclass(frozen=True)
+class DottedCall:
+    """A call recorded with its full dotted receiver chain.
+
+    ``dotted`` is the attribute path as written (``_time.perf_counter``,
+    ``self.sched.after``, ``datetime.datetime.now``); bare-name calls
+    record the name alone.  Calls whose receiver is not a plain
+    name/attribute chain (e.g. ``get_clock().advance``) record the
+    chain from the first resolvable component.
+    """
+
+    file: str
+    line: int
+    function: str
+    dotted: str
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return tuple(self.dotted.split("."))
+
+
+@dataclass(frozen=True)
+class YieldSite:
+    """One ``yield`` inside a function, classified by command kind.
+
+    ``command`` is ``"wait"`` or ``"recv"`` for scheduler commands,
+    ``"from"`` for delegation (``yield from``), and ``"other"`` for
+    anything else — including bare ``yield``.
+    """
+
+    file: str
+    line: int
+    function: str
+    command: str
+
+
+@dataclass(frozen=True)
+class TimerCreate:
+    """A scheduler timer armed via ``<...sched...>.at/after(...)``.
+
+    ``target`` is the last component of the name the timer was bound to
+    (``failsafe`` for ``job.failsafe = self.sched.after(...)``), or
+    ``""`` when the returned :class:`Timer` was discarded.
+    """
+
+    file: str
+    line: int
+    function: str
+    target: str
+
+
+@dataclass(frozen=True)
+class TimerCancel:
+    """A timer cancellation: ``X.cancel()`` or ``<sched>.cancel(X)``.
+
+    ``target`` is the last component of ``X``.
+    """
+
+    file: str
+    line: int
+    function: str
+    target: str
+
+
+@dataclass(frozen=True)
+class UnorderedFlow:
+    """An unordered (set-shaped) value reached an order-sensitive sink.
+
+    ``sink`` is ``"iteration"`` for a ``for`` loop or order-sensitive
+    comprehension, ``"scheduling"`` for an argument to a scheduler
+    primitive (``spawn``/``at``/``after``/``put``).
+    """
+
+    file: str
+    line: int
+    function: str
+    name: str    # the unordered-tainted name (or "<set>" for a literal)
+    sink: str
+
+
+@dataclass(frozen=True)
 class FunctionInfo:
     """A function or method definition."""
 
@@ -152,6 +244,11 @@ class CodeModel:
     flows: List[SecretFlow] = field(default_factory=list)
     config_reads: List[ConfigRead] = field(default_factory=list)
     calls: List[CallSite] = field(default_factory=list)
+    dotted_calls: List[DottedCall] = field(default_factory=list)
+    yields: List[YieldSite] = field(default_factory=list)
+    timer_creates: List[TimerCreate] = field(default_factory=list)
+    timer_cancels: List[TimerCancel] = field(default_factory=list)
+    unordered_flows: List[UnorderedFlow] = field(default_factory=list)
     functions: List[FunctionInfo] = field(default_factory=list)
     classes: List[ClassInfo] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
@@ -176,6 +273,19 @@ class CodeModel:
         return sorted(
             (f for f in self.flows if f.callee in wanted),
             key=lambda f: (f.file, f.line),
+        )
+
+    def process_functions(self) -> FrozenSet[Tuple[str, str]]:
+        """``(file, function)`` pairs that yield scheduler commands.
+
+        A function with at least one ``yield wait(...)`` or ``yield
+        recv(...)`` is a scheduler process: the scheduler-safety rules
+        hold it to process discipline (no direct clock advances, no
+        stray yields, no orphaned timers).
+        """
+        return frozenset(
+            (y.file, y.function) for y in self.yields
+            if y.command in ("wait", "recv")
         )
 
     def functions_named(self, name: str) -> List[FunctionInfo]:
@@ -206,6 +316,20 @@ def _config_field_names() -> FrozenSet[str]:
     return frozenset(f.name for f in dc_fields(ProtocolConfig))
 
 
+#: Callables whose result does not depend on iteration order: reducers
+#: and re-sorters.  An unordered value flowing straight into one of
+#: these is harmless (and ``sorted`` actively cleanses the taint).
+_ORDER_INSENSITIVE: FrozenSet[str] = frozenset({
+    "any", "all", "sum", "min", "max", "len", "sorted", "set", "frozenset",
+})
+
+#: Scheduler primitives: handing an unordered value to one of these
+#: turns iteration order into event order.
+_SCHEDULING_CALLEES: FrozenSet[str] = frozenset({
+    "spawn", "at", "after", "put",
+})
+
+
 class _Analyzer(ast.NodeVisitor):
     """One pass over one module; appends facts to the shared model."""
 
@@ -216,6 +340,16 @@ class _Analyzer(ast.NodeVisitor):
         self.config_fields = config_fields
         self._scopes: List[str] = []
         self._tainted: List[Set[str]] = [set()]
+        # Parallel taint domain: names currently bound to unordered
+        # (set-shaped) values.  Function scopes inherit lexically.
+        self._unordered: List[Set[str]] = [set()]
+        # Timer-create Call nodes already recorded (with their bound
+        # name) by the enclosing assignment, so visit_Call does not
+        # re-record them as discarded.
+        self._claimed_timer_calls: Set[int] = set()
+        # Comprehension nodes passed directly to an order-insensitive
+        # reducer; their unordered iteration is harmless.
+        self._exempt_comps: Set[int] = set()
 
     # -- scope helpers --------------------------------------------------
 
@@ -243,6 +377,91 @@ class _Analyzer(ast.NodeVisitor):
                 names.append(sub.id)
         return names
 
+    @staticmethod
+    def _dotted_chain(func: ast.expr) -> str:
+        """``a.b.c`` for a plain name/attribute chain, else the longest
+        trailing chain that is one (``x().advance`` -> ``advance``)."""
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    @staticmethod
+    def _last_component(expr: ast.expr) -> str:
+        """The last name component of an expression (``failsafe`` for
+        ``job.failsafe``), or "" if it has none."""
+        if isinstance(expr, ast.Attribute):
+            return expr.attr
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return ""
+
+    # -- unordered-value helpers ----------------------------------------
+
+    @staticmethod
+    def _is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("set", "frozenset"))
+
+    def _unordered_token(self, expr: ast.expr) -> str:
+        """The unordered name/source inside *expr*, or "" if none.
+
+        A call to ``sorted`` or an order-insensitive reducer cleanses:
+        its result is a deterministic scalar or sequence even when the
+        input was a set.
+        """
+        if isinstance(expr, ast.Call):
+            callee = ""
+            if isinstance(expr.func, ast.Name):
+                callee = expr.func.id
+            elif isinstance(expr.func, ast.Attribute):
+                callee = expr.func.attr
+            if callee in _ORDER_INSENSITIVE and callee not in (
+                    "set", "frozenset"):
+                return ""
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            # A list/generator comprehension preserves its source order:
+            # the result is unordered only if a source iterable is (a
+            # set referenced in an ``if m in seen`` filter is not).
+            for generator in expr.generators:
+                token = self._unordered_token(generator.iter)
+                if token:
+                    return token
+            return ""
+        unordered = self._unordered[-1]
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and sub.id in unordered:
+                return sub.id
+            if self._is_set_expr(sub):
+                return "<set>"
+        return ""
+
+    def _propagate_unordered(self, targets: Sequence[ast.expr],
+                             value: Optional[ast.expr]) -> None:
+        """Strong update of the unordered-taint set on assignment.
+
+        Only bare-name targets participate: attribute targets would
+        taint whole objects (``self``) and drown the signal.
+        """
+        if value is None:
+            return
+        token = self._unordered_token(value)
+        unordered = self._unordered[-1]
+        for target in targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    if token:
+                        unordered.add(sub.id)
+                    else:
+                        unordered.discard(sub.id)
+
     # -- definitions ----------------------------------------------------
 
     def _enter_function(self, node: ast.AST, name: str,
@@ -263,10 +482,14 @@ class _Analyzer(ast.NodeVisitor):
                 seeded.add(arg.arg)
         self._scopes.append(name)
         self._tainted.append(seeded)
+        # Lexical inheritance: module-level set constants (and enclosing
+        # function locals) stay unordered inside nested scopes.
+        self._unordered.append(set(self._unordered[-1]))
 
     def _leave_function(self) -> None:
         self._scopes.pop()
         self._tainted.pop()
+        self._unordered.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._enter_function(node, node.name, node.args)
@@ -321,15 +544,50 @@ class _Analyzer(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self._propagate(node.targets, node.value)
+        self._propagate_unordered(node.targets, node.value)
+        self._claim_timer_create(node.targets, node.value)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         self._propagate([node.target], node.value)
+        self._propagate_unordered([node.target], node.value)
+        if node.value is not None:
+            self._claim_timer_create([node.target], node.value)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._propagate([node.target], node.value)
+        # Augmented assignment reads the target too, so it can only add
+        # unordered taint (``merged |= other`` keeps ``merged`` a set),
+        # never strongly remove it.
+        if self._unordered_token(node.value):
+            for name in self._target_names(node.target):
+                self._unordered[-1].add(name)
         self.generic_visit(node)
+
+    # -- timers ----------------------------------------------------------
+
+    def _is_timer_call(self, call: ast.expr) -> bool:
+        """Does *call* arm a scheduler timer (``<...sched...>.at/after``)?"""
+        if not isinstance(call, ast.Call):
+            return False
+        chain = self._dotted_chain(call.func)
+        parts = chain.split(".")
+        return (len(parts) >= 2 and parts[-1] in ("at", "after")
+                and "sched" in parts[-2].lower())
+
+    def _claim_timer_create(self, targets: Sequence[ast.expr],
+                            value: ast.expr) -> None:
+        """Record a timer create bound to a name, claiming the Call node
+        so :meth:`visit_Call` does not re-record it as discarded."""
+        if not self._is_timer_call(value):
+            return
+        target = self._last_component(targets[0]) if targets else ""
+        self._claimed_timer_calls.add(id(value))
+        self.model.timer_creates.append(TimerCreate(
+            file=self.file, line=value.lineno,
+            function=self._function, target=target,
+        ))
 
     # -- facts ----------------------------------------------------------
 
@@ -354,6 +612,107 @@ class _Analyzer(ast.NodeVisitor):
                         function=self._function, secret=token,
                         callee=callee,
                     ))
+        chain = self._dotted_chain(node.func)
+        if chain:
+            self.model.dotted_calls.append(DottedCall(
+                file=self.file, line=node.lineno,
+                function=self._function, dotted=chain,
+            ))
+        if self._is_timer_call(node) and id(node) not in \
+                self._claimed_timer_calls:
+            self.model.timer_creates.append(TimerCreate(
+                file=self.file, line=node.lineno,
+                function=self._function, target="",
+            ))
+        if callee == "cancel":
+            target = ""
+            if node.args:
+                target = self._last_component(node.args[0])
+            elif isinstance(node.func, ast.Attribute):
+                target = self._last_component(node.func.value)
+            if target:
+                self.model.timer_cancels.append(TimerCancel(
+                    file=self.file, line=node.lineno,
+                    function=self._function, target=target,
+                ))
+        if callee in _SCHEDULING_CALLEES:
+            for argument in list(node.args) + \
+                    [kw.value for kw in node.keywords]:
+                if (isinstance(argument, ast.Name)
+                        and argument.id in self._unordered[-1]) \
+                        or self._is_set_expr(argument):
+                    self.model.unordered_flows.append(UnorderedFlow(
+                        file=self.file, line=node.lineno,
+                        function=self._function,
+                        name=(argument.id if isinstance(argument, ast.Name)
+                              else "<set>"),
+                        sink="scheduling",
+                    ))
+        if callee in _ORDER_INSENSITIVE:
+            for argument in node.args:
+                if isinstance(argument, (ast.ListComp, ast.GeneratorExp,
+                                         ast.SetComp, ast.DictComp)):
+                    self._exempt_comps.add(id(argument))
+        self.generic_visit(node)
+
+    def _flag_unordered_iter(self, iter_expr: ast.expr, line: int) -> None:
+        if isinstance(iter_expr, ast.Name) and \
+                iter_expr.id in self._unordered[-1]:
+            name = iter_expr.id
+        elif self._is_set_expr(iter_expr):
+            name = "<set>"
+        else:
+            return
+        self.model.unordered_flows.append(UnorderedFlow(
+            file=self.file, line=line, function=self._function,
+            name=name, sink="iteration",
+        ))
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_unordered_iter(node.iter, node.lineno)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.expr, order_sensitive: bool) -> None:
+        if order_sensitive and id(node) not in self._exempt_comps:
+            for generator in node.generators:   # type: ignore[attr-defined]
+                self._flag_unordered_iter(generator.iter, node.lineno)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, order_sensitive=True)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node, order_sensitive=True)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node, order_sensitive=True)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # A set comprehension's result is itself unordered, so the
+        # iteration order of its source can never be observed.
+        self._visit_comp(node, order_sensitive=False)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        command = "other"
+        if isinstance(node.value, ast.Call):
+            callee = ""
+            if isinstance(node.value.func, ast.Name):
+                callee = node.value.func.id
+            elif isinstance(node.value.func, ast.Attribute):
+                callee = node.value.func.attr
+            if callee in ("wait", "recv"):
+                command = callee
+        self.model.yields.append(YieldSite(
+            file=self.file, line=node.lineno,
+            function=self._function, command=command,
+        ))
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.model.yields.append(YieldSite(
+            file=self.file, line=node.lineno,
+            function=self._function, command="from",
+        ))
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -391,6 +750,11 @@ def _merge_model(into: CodeModel, part: CodeModel) -> None:
     into.flows.extend(part.flows)
     into.config_reads.extend(part.config_reads)
     into.calls.extend(part.calls)
+    into.dotted_calls.extend(part.dotted_calls)
+    into.yields.extend(part.yields)
+    into.timer_creates.extend(part.timer_creates)
+    into.timer_cancels.extend(part.timer_cancels)
+    into.unordered_flows.extend(part.unordered_flows)
     into.functions.extend(part.functions)
     into.classes.extend(part.classes)
     into.errors.extend(part.errors)

@@ -25,7 +25,7 @@ from repro.lint.rules import (
 )
 
 __all__ = ["TOOL_NAME", "TOOL_VERSION", "render_text", "render_json",
-           "render_sarif"]
+           "render_sarif", "default_sarif_rules"]
 
 TOOL_NAME = "repro-lint"
 TOOL_VERSION = "1.0.0"
@@ -91,8 +91,9 @@ def render_json(findings: Sequence[Finding],
 # --------------------------------------------------------------------- #
 
 
-def _sarif_rules() -> List[Dict[str, Any]]:
-    """Static rule metadata for the SARIF ``tool.driver.rules`` array."""
+def default_sarif_rules() -> List[Dict[str, Any]]:
+    """Protocol-family rule metadata for ``tool.driver.rules`` (the
+    default; ``--family sim``/``all`` pass their own via *rules*)."""
     rules: List[Dict[str, Any]] = []
     for rule in RULES:
         rules.append({
@@ -165,7 +166,7 @@ def render_sarif(findings: Sequence[Finding],
     this linter's registry) so other tools can reuse the renderer.
     """
     if rules is None:
-        rules = _sarif_rules()
+        rules = default_sarif_rules()
     index = _rule_index(rules)
     results = [_sarif_result(f, index, suppressed=False)
                for f in sort_findings(findings)]

@@ -28,10 +28,13 @@ constructed while a capture is open auto-subscribes them.  This is how
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, List
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.obs.events import Event
 from repro.obs.sinks import CollectorSink
+
+if TYPE_CHECKING:
+    from repro.sim.clock import SimClock
 
 __all__ = ["Sink", "EventBus", "capture", "reset_captures"]
 
@@ -56,15 +59,16 @@ def reset_captures() -> None:
 class EventBus:
     """Publish/subscribe fan-out of :class:`repro.obs.events.Event`."""
 
-    def __init__(self, clock=None):
+    def __init__(self, clock: Optional["SimClock"] = None) -> None:
         self._clock = clock
         self._sinks: List[Sink] = []
         self._exchange: List[int] = []   # stack of in-flight request seqs
         self.active = False
-        # Optional repro.obs.trace.Tracer; instrumented code guards with
+        # Optional repro.obs.trace.Tracer (Any: obs.trace sits above the
+        # bus in the layering); instrumented code guards with
         # ``if bus.tracer is not None`` the same way emission guards
         # with ``if bus.active`` — no tracer, no cost beyond the read.
-        self.tracer = None
+        self.tracer: Optional[Any] = None
         for cap in _open_captures:
             cap._adopt(self)
 

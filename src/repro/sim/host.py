@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.sim.clock import HostClock, SimClock
+
+if TYPE_CHECKING:
+    from repro.sim.network import Network
 
 __all__ = ["StorageKind", "MemoryRegion", "HostError", "Host"]
 
@@ -77,7 +80,7 @@ class Host:
     def __init__(
         self,
         name: str,
-        network,
+        network: "Network",
         clock: SimClock,
         addresses: Optional[List[str]] = None,
         multi_user: bool = False,

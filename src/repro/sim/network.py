@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.obs.bus import EventBus
 from repro.obs.events import ExchangeComplete, WireCrossing
+from repro.sim.clock import SimClock
 
 __all__ = ["Endpoint", "WireMessage", "NetworkError", "Adversary", "Network"]
 
@@ -189,8 +190,10 @@ class Network:
     millisecond, which is far too coarse for many applications").
     """
 
-    def __init__(self, clock, adversary: Optional[Adversary] = None,
-                 transit_time: int = 250, bus: Optional[EventBus] = None):
+    def __init__(self, clock: SimClock,
+                 adversary: Optional[Adversary] = None,
+                 transit_time: int = 250,
+                 bus: Optional[EventBus] = None) -> None:
         self._clock = clock
         self.adversary = adversary if adversary is not None else Adversary()
         self.transit_time = transit_time

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import heapq
 from typing import (
-    Any, Callable, Deque, Generator, List, Optional, Tuple,
+    Any, Callable, Deque, Dict, Generator, List, Optional, Tuple,
 )
 from collections import deque
 
@@ -224,14 +224,16 @@ class Scheduler:
             self.after(delay, lambda: self._step(process, None))
             return
         if isinstance(command, _Recv):
+            channel = command.channel
             if elapsed:
                 # time passed before blocking; land on the channel only
                 # after that time has elapsed
-                self.after(
-                    elapsed, lambda ch=command.channel: ch._park(process),
-                )
+                def land() -> None:
+                    channel._park(process)
+
+                self.after(elapsed, land)
             else:
-                command.channel._park(process)
+                channel._park(process)
             return
         raise TypeError(
             f"process yielded {command!r}; expected wait(...) or recv(...)"
@@ -277,7 +279,7 @@ class Scheduler:
                 self.clock.advance_to(until)
         return processed
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         """Deterministic counters for reports and the topology inspector."""
         return {
             "events_processed": self.events_processed,

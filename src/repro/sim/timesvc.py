@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.crypto.checksum import ChecksumType, compute, verify
 from repro.sim.clock import SimClock
+from repro.sim.host import Host
 from repro.sim.network import Endpoint, Network, WireMessage
 
 __all__ = [
@@ -78,7 +79,7 @@ class AuthenticatedTimeService:
         return now + mac
 
 
-def sync_host_clock(host, service_endpoint: Endpoint) -> int:
+def sync_host_clock(host: Host, service_endpoint: Endpoint) -> int:
     """Sync *host* against an unauthenticated time service.
 
     Returns the adopted time.  Whatever arrives on the wire is believed —
@@ -91,7 +92,7 @@ def sync_host_clock(host, service_endpoint: Endpoint) -> int:
 
 
 def sync_host_clock_authenticated(
-    host, service_endpoint: Endpoint, key: bytes, nonce: bytes
+    host: Host, service_endpoint: Endpoint, key: bytes, nonce: bytes
 ) -> int:
     """Sync against the authenticated service, verifying the keyed MAC."""
     reply = host.network.rpc(host.address, service_endpoint, nonce)

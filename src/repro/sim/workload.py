@@ -37,10 +37,10 @@ __all__ = ["ZipfianGenerator", "DiurnalCurve", "open_loop_arrivals"]
 # every cell of a scaling-curve sweep).  Stored as a packed double
 # array — 8 bytes per rank instead of a ~32-byte boxed float, which is
 # the difference between 8MB and 32MB+ for a million principals.
-_CDF_CACHE: "Dict[Tuple[int, float], array]" = {}
+_CDF_CACHE: "Dict[Tuple[int, float], array[float]]" = {}
 
 
-def _cumulative_weights(n: int, s: float) -> "array":
+def _cumulative_weights(n: int, s: float) -> "array[float]":
     table = _CDF_CACHE.get((n, s))
     if table is None:
         table = array("d", bytes(8 * n))

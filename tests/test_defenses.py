@@ -68,6 +68,10 @@ def test_dh_tradeoff_rows():
     by_bits = {row.modulus_bits: row for row in rows}
     assert by_bits[16].broken and by_bits[32].broken
     assert not by_bits[128].broken            # infeasible at bound
-    assert by_bits[128].attack_seconds is None
+    assert by_bits[128].attack_ops is None
     # Honest cost grows slowly with size; attack cost explodes.
-    assert by_bits[16].honest_seconds < 1.0
+    assert by_bits[16].honest_ops < by_bits[16].attack_ops
+    assert by_bits[32].honest_ops < by_bits[32].attack_ops
+    # Counted block ops, not wall time: the sweep is seed-stable.
+    again = dh_login.cost_security_tradeoff([16, 32, 128], max_work=1 << 20)
+    assert rows == again

@@ -135,3 +135,111 @@ def test_repo_baseline_covers_the_tree():
     code, text = run(baseline=str(REPO_ROOT / "lint-baseline.json"))
     assert code == 0, text
     assert "no findings" in text
+
+
+# -- rule families ------------------------------------------------------ #
+
+WALLCLOCK = (
+    "import time\n"
+    "def stamp(report):\n"
+    "    report['at'] = time.time()\n"
+)
+
+
+def test_unknown_family_exits_2(tmp_path):
+    code, text = run(tmp_path, family="nope")
+    assert code == 2
+    assert "unknown family" in text
+
+
+def test_sim_family_fires_on_snippet(tmp_path):
+    code, text = run(root=snippet_tree(tmp_path, WALLCLOCK),
+                     family="sim")
+    assert code == 1
+    assert "DET-WALLCLOCK" in text
+    assert "(sim)" in text
+
+
+def test_sim_family_skips_column_resolution(tmp_path):
+    # `column` is a protocol-family concept; a bogus value must not
+    # break a sim-only run.
+    code, _text = run(root=snippet_tree(tmp_path, WALLCLOCK),
+                      family="sim", column="krb5", fail_on="never")
+    assert code == 0
+
+
+def test_family_all_concatenates_both_scans(tmp_path):
+    source = WALLCLOCK + "def check(config):\n" \
+        "    return config.preauth_required\n"
+    code, text = run(root=snippet_tree(tmp_path, source), family="all",
+                     column="v4")
+    assert code == 1
+    assert "DET-WALLCLOCK" in text
+    assert "NO-PREAUTH" in text
+
+
+def test_sim_family_live_tree_is_clean():
+    code, text = run(family="sim")
+    assert code == 0, text
+    assert "no findings" in text
+
+
+def test_sim_family_sarif_carries_sim_rule_metadata(tmp_path):
+    out = tmp_path / "sim.sarif"
+    code, _text = run(root=snippet_tree(tmp_path, WALLCLOCK),
+                      family="sim", fmt="sarif", out=str(out),
+                      fail_on="never")
+    assert code == 0
+    payload = json.loads(out.read_text())
+    rule_ids = {r["id"]
+                for r in payload["runs"][0]["tool"]["driver"]["rules"]}
+    assert "DET-WALLCLOCK" in rule_ids
+    assert "SCHED-ADVANCE-IN-PROCESS" in rule_ids
+
+
+# -- stale baselines ---------------------------------------------------- #
+
+
+def write_baseline_file(path, fingerprint, rule_id, file):
+    path.write_text(json.dumps({
+        "version": 1,
+        "suppressions": [{
+            "fingerprint": fingerprint,
+            "rule_id": rule_id,
+            "file": file,
+            "reason": "test entry",
+        }],
+    }))
+
+
+def test_stale_rule_in_baseline_exits_2(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    write_baseline_file(baseline, "GONE-RULE::v4::proto.py",
+                        "GONE-RULE", "proto.py")
+    code, text = run(tmp_path, column="v4", baseline=str(baseline))
+    assert code == 2
+    assert "rule GONE-RULE no longer exists" in text
+    assert "refresh the baseline" in text
+    assert "--write-baseline" in text
+
+
+def test_stale_file_in_baseline_exits_2(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    write_baseline_file(baseline, "NO-PREAUTH::v4::deleted.py",
+                        "NO-PREAUTH", "deleted.py")
+    code, text = run(tmp_path, column="v4", baseline=str(baseline))
+    assert code == 2
+    assert "file deleted.py no longer exists" in text
+    assert "refresh the baseline" in text
+
+
+def test_fresh_baseline_entry_still_suppresses(tmp_path):
+    # Anchors that do exist sail through the stale gate untouched.
+    baseline = tmp_path / "baseline.json"
+    code, _text = run(tmp_path, column="v4",
+                      write_baseline_path=str(baseline))
+    assert code == 0
+    code, text = run(root=str(tmp_path), column="v4",
+                     baseline=str(baseline))
+    assert code == 0
+    assert "2 baselined" in text

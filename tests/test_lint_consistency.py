@@ -83,6 +83,20 @@ def test_every_mapped_rule_exists():
             assert rule_id in RULES_BY_ID, (scenario.name, rule_id)
 
 
+def test_cli_sim_consistency_runs_the_determinism_witness():
+    """`lint --family sim --consistency` over the live tree: the clean
+    static scan and the byte-identical double run must agree."""
+    from repro.lint.cli import run_lint
+
+    lines = []
+    code = run_lint(family="sim", consistency=True, echo=lines.append)
+    text = "\n".join(lines)
+    assert code == 0, text
+    assert "determinism harness" in text
+    assert "byte-identical" in text
+    assert "verdict: agree" in text
+
+
 def test_static_predictions_over_the_real_tree():
     """The headline numbers the paper reproduction promises: the v4
     column trips at least five distinct rules, v5-draft3 adds its

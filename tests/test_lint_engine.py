@@ -109,6 +109,78 @@ def test_functions_named():
     assert model.functions_named("other") == []
 
 
+# --- simulation facts ---------------------------------------------------
+
+
+def test_dotted_calls_record_the_full_chain():
+    model = model_of(
+        "def stamp(self):\n"
+        "    return self.clock.now() + time.perf_counter()\n"
+    )
+    chains = {c.dotted for c in model.dotted_calls}
+    assert "self.clock.now" in chains
+    assert "time.perf_counter" in chains
+
+
+def test_yields_classified_by_command():
+    model = model_of(
+        "def proc(ch, other):\n"
+        "    yield wait(10)\n"
+        "    yield recv(ch)\n"
+        "    yield from other\n"
+        "    yield 42\n"
+    )
+    assert [y.command for y in model.yields] == \
+        ["wait", "recv", "from", "other"]
+    assert model.process_functions() == {("snippet.py", "proc")}
+
+
+def test_timer_create_records_bound_name_or_discard():
+    model = model_of(
+        "def arm(sched):\n"
+        "    failsafe = sched.after(100, giveup)\n"
+        "    sched.at(500, tick)\n"
+        "    failsafe.cancel()\n"
+    )
+    assert [t.target for t in model.timer_creates] == ["failsafe", ""]
+    assert [c.target for c in model.timer_cancels] == ["failsafe"]
+
+
+def test_scheduler_internal_after_is_not_a_timer_create():
+    # Scheduler.after calling self.at is plumbing, not a client arming
+    # a timer: the receiver must look like a scheduler.
+    model = model_of(
+        "class Scheduler:\n"
+        "    def after(self, delay, fn):\n"
+        "        return self.at(self.now() + delay, fn)\n"
+    )
+    assert model.timer_creates == []
+
+
+def test_unordered_taint_tracks_sets_and_sorted_cleanses():
+    model = model_of(
+        "def render(shards):\n"
+        "    pending = set(shards)\n"
+        "    for s in pending:\n"
+        "        use(s)\n"
+        "    for s in sorted(pending):\n"
+        "        use(s)\n"
+    )
+    assert [(f.line, f.sink) for f in model.unordered_flows] == \
+        [(3, "iteration")]
+
+
+def test_unordered_reassignment_is_a_strong_update():
+    model = model_of(
+        "def render(shards):\n"
+        "    pending = set(shards)\n"
+        "    pending = sorted(pending)\n"
+        "    for s in pending:\n"
+        "        use(s)\n"
+    )
+    assert model.unordered_flows == []
+
+
 # --- tree scanning ------------------------------------------------------
 
 
