@@ -13,11 +13,14 @@ Commands:
   ``BENCH_crypto.json``;
 * ``lint``        — run the static analyzers over ``src/repro``:
   the protocol-misuse family against one or all protocol columns,
-  and/or (``--family sim``) the determinism / scheduler-safety family
-  over the simulation stack, reporting text, JSON, or SARIF 2.1.0
+  the determinism / scheduler-safety family (``--family sim``) over
+  the simulation stack, and/or the key-material flow family
+  (``--family crypto``) tracing secrets into logs, error text, and
+  wire cleartext, reporting text, JSON, or SARIF 2.1.0
   (``--consistency`` pins the verdicts dynamically — attack-matrix
-  agreement, or a same-seed double run asserting byte-identical
-  reports; ``--jobs N`` parallelises the scan);
+  agreement, a same-seed double run asserting byte-identical
+  reports, or a planted-canary-key artifact scan;
+  ``--jobs N`` parallelises the scan);
 * ``check``       — re-derive the attack matrix symbolically with the
   bounded Dolev-Yao model checker: attack traces in the paper's
   notation for vulnerable cells, exhausted searches with named closing
@@ -420,18 +423,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark report path (default: BENCH_crypto.json)",
     )
     lint = sub.add_parser(
-        "lint", help="statically analyze the tree for protocol misuse "
-                     "and determinism hazards"
+        "lint", help="statically analyze the tree for protocol misuse, "
+                     "determinism hazards, and key-material leaks"
     )
     lint.add_argument(
         "--format", choices=["text", "json", "sarif"], default="text",
         help="report format (default: text)",
     )
     lint.add_argument(
-        "--family", choices=["protocol", "sim", "all"], default="protocol",
+        "--family", choices=["protocol", "sim", "crypto", "all"],
+        default="protocol",
         help="rule family: protocol misuse, sim (determinism / "
-             "scheduler safety over the simulation stack), or all "
-             "(default: protocol)",
+             "scheduler safety over the simulation stack), crypto "
+             "(key-material flow into logs, errors, and wire "
+             "cleartext), or all (default: protocol)",
     )
     lint.add_argument(
         "--column", default="all",
@@ -444,7 +449,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--write-baseline", metavar="PATH",
-        help="accept every current finding into PATH and exit",
+        help="accept every current finding into PATH and exit "
+             "(refreshing an existing baseline keeps its hand-written "
+             "justifications and drops retired entries)",
     )
     lint.add_argument(
         "--fail-on", choices=["error", "warn", "never"], default="warn",
@@ -465,7 +472,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="also pin the verdicts dynamically: attack-matrix "
              "agreement for the protocol family (~1 min serial), a "
              "same-seed double run of the scale-mode load harness "
-             "asserting byte-identical reports for the sim family",
+             "asserting byte-identical reports for the sim family, a "
+             "canary-key witness scanning every emitted artifact for "
+             "unsealed key bytes for the crypto family",
     )
     lint.add_argument(
         "--parallel", type=int, default=None,

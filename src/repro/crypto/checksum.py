@@ -37,7 +37,25 @@ from repro.crypto.bits import int_to_bytes
 from repro.crypto.crc import crc32
 from repro.crypto.md4 import md4
 
-__all__ = ["ChecksumType", "ChecksumSpec", "compute", "verify", "spec_for"]
+__all__ = ["ChecksumType", "ChecksumSpec", "compute", "verify", "spec_for",
+           "constant_time_compare"]
+
+
+def constant_time_compare(left: bytes, right: bytes) -> bool:
+    """Equality in time independent of where the first mismatch sits.
+
+    ``==`` on bytes returns at the first differing byte, so an attacker
+    timing a verifier learns the length of the matching prefix — an
+    oracle that turns offline guessing into online byte-at-a-time
+    search.  This fold reads every byte of both inputs regardless; only
+    the (public) lengths short-circuit.
+    """
+    if len(left) != len(right):
+        return False
+    diff = 0
+    for a, b in zip(left, right):
+        diff |= a ^ b
+    return diff == 0
 
 
 class ChecksumType(enum.Enum):
@@ -105,10 +123,4 @@ def compute(kind: ChecksumType, data: bytes, key: bytes = b"") -> bytes:
 def verify(kind: ChecksumType, data: bytes, value: bytes,
            key: bytes = b"") -> bool:
     """Constant-shape verification of a checksum value."""
-    expected = compute(kind, data, key)
-    if len(expected) != len(value):
-        return False
-    diff = 0
-    for a, b in zip(expected, value):
-        diff |= a ^ b
-    return diff == 0
+    return constant_time_compare(compute(kind, data, key), value)

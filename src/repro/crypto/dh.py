@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.crypto.bits import int_to_bytes
+from repro.crypto.checksum import constant_time_compare
 from repro.crypto.des import set_odd_parity
 from repro.crypto.md4 import md4
 from repro.crypto.rng import DeterministicRandom
@@ -138,7 +139,11 @@ def key_exchange(
     a = DhKeyPair.generate(group, rng_a)
     b = DhKeyPair.generate(group, rng_b)
     secret = a.shared_secret(b.public)
-    assert secret == b.shared_secret(a.public)
+    width = (group.prime.bit_length() + 7) // 8
+    assert constant_time_compare(
+        int_to_bytes(secret, width),
+        int_to_bytes(b.shared_secret(a.public), width),
+    )
     return a, b, secret
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.analysis.cracking import COMMON_PASSWORDS
+from repro.crypto.checksum import constant_time_compare
 from repro.crypto.keys import string_to_key
 from repro.kerberos.appserver import AppServer, ServerSession
 from repro.kerberos.database import KdcDatabase
@@ -103,7 +104,8 @@ class PasswordChangeServer(AppServer):
         # Re-verify the old password even though the session is already
         # authenticated: a stolen session must not suffice to rotate the
         # victim's key to an attacker-known one.
-        if self.database.key_of(principal) != string_to_key(old_password):
+        if not constant_time_compare(self.database.key_of(principal),
+                                     string_to_key(old_password)):
             self.refusals.append("old-password")
             return b"ERR old password incorrect"
 

@@ -36,7 +36,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
-    Any, Callable, Dict, FrozenSet, List, Sequence, Set, Tuple,
+    Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple,
 )
 
 from repro.lint.findings import Finding, sort_findings
@@ -57,8 +57,17 @@ class BaselineError(ValueError):
 
 
 def baseline_payload(findings: Sequence[Finding],
-                     reason: str = DEFAULT_REASON) -> Dict[str, Any]:
-    """The JSON payload accepting every finding in *findings*."""
+                     reason: str = DEFAULT_REASON,
+                     reasons: Optional[Dict[str, str]] = None,
+                     ) -> Dict[str, Any]:
+    """The JSON payload accepting every finding in *findings*.
+
+    *reasons* maps fingerprints to per-entry justifications — when a
+    baseline is refreshed, the CLI passes the old file's hand-written
+    reasons here so they survive the rewrite; fingerprints without an
+    override get *reason* (the generic default).
+    """
+    overrides = reasons or {}
     suppressions: List[Dict[str, str]] = []
     seen: Set[str] = set()
     for finding in sort_findings(findings):
@@ -70,15 +79,16 @@ def baseline_payload(findings: Sequence[Finding],
             "rule_id": finding.rule_id,
             "column": finding.column,
             "file": finding.file,
-            "reason": reason,
+            "reason": overrides.get(finding.fingerprint, reason),
         })
     return {"version": _VERSION, "suppressions": suppressions}
 
 
 def write_baseline(findings: Sequence[Finding], path: Path,
-                   reason: str = DEFAULT_REASON) -> int:
+                   reason: str = DEFAULT_REASON,
+                   reasons: Optional[Dict[str, str]] = None) -> int:
     """Write a baseline accepting *findings*; returns the entry count."""
-    payload = baseline_payload(findings, reason)
+    payload = baseline_payload(findings, reason, reasons=reasons)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
     return len(payload["suppressions"])

@@ -3,7 +3,8 @@
 Thin orchestration over the package: scan the tree, evaluate the
 selected rule famil(ies) — ``protocol`` (the paper's misuse catalogue,
 per protocol column), ``sim`` (the determinism / scheduler-safety
-family over the simulation stack), or ``all`` — apply the baseline,
+family over the simulation stack), ``crypto`` (the key-material flow
+family), or ``all`` — apply the baseline,
 render in the requested format, optionally run the matching
 consistency harness, and exit non-zero when non-baselined findings
 reach the ``--fail-on`` threshold.
@@ -30,6 +31,10 @@ from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.rules import (
     RULES_BY_ID, UNREAD_FLAG_RULE_ID, run_all_rules,
 )
+from repro.lint.cryptorules import (
+    CRYPTO_COLUMN, CRYPTO_RULES_BY_ID, CRYPTO_SCAN_EXCLUDES,
+    crypto_sarif_rules, run_crypto_rules,
+)
 from repro.lint.simrules import (
     SIM_COLUMN, SIM_RULES_BY_ID, SIM_SCAN_EXCLUDES, run_sim_rules,
     sim_sarif_rules,
@@ -40,7 +45,7 @@ __all__ = ["run_lint", "resolve_columns", "FORMATS", "FAIL_ON",
 
 FORMATS: Tuple[str, ...] = ("text", "json", "sarif")
 FAIL_ON: Tuple[str, ...] = ("error", "warn", "never")
-FAMILIES: Tuple[str, ...] = ("protocol", "sim", "all")
+FAMILIES: Tuple[str, ...] = ("protocol", "sim", "crypto", "all")
 
 _FAIL_RANK: Dict[str, int] = {
     "error": Severity.ERROR.rank,
@@ -94,7 +99,7 @@ def _render(fmt: str, fresh: Sequence[Finding],
 def _known_rule_ids() -> frozenset:
     """Every rule ID any family can emit (for stale-baseline checks)."""
     return frozenset(RULES_BY_ID) | {UNREAD_FLAG_RULE_ID} | \
-        frozenset(SIM_RULES_BY_ID)
+        frozenset(SIM_RULES_BY_ID) | frozenset(CRYPTO_RULES_BY_ID)
 
 
 def _file_checker(root: Optional[str]) -> Callable[[str], bool]:
@@ -137,16 +142,19 @@ def run_lint(
     """The lint command.  Returns a process exit code (0/1/2).
 
     ``family`` selects the rule famil(ies): ``protocol`` (default),
-    ``sim`` (determinism / scheduler-safety over the simulation stack —
-    note the two families scan different subtrees), or ``all``.
+    ``sim`` (determinism / scheduler-safety over the simulation stack),
+    ``crypto`` (key-material flow into output surfaces), or ``all`` —
+    note the families scan different subtrees.
     ``jobs=N`` fans the per-file scan out over N worker processes
     (byte-identical output; see :func:`repro.lint.engine.analyze_tree`).
     """
     if family not in FAMILIES:
-        echo(f"unknown family {family!r}; choose protocol, sim, or all")
+        echo(f"unknown family {family!r}; choose protocol, sim, crypto, "
+             "or all")
         return 2
     want_protocol = family in ("protocol", "all")
     want_sim = family in ("sim", "all")
+    want_crypto = family in ("crypto", "all")
 
     columns: List[Tuple[str, ProtocolConfig]] = []
     if want_protocol:
@@ -159,6 +167,7 @@ def run_lint(
 
     protocol_model: Optional[CodeModel] = None
     sim_model: Optional[CodeModel] = None
+    crypto_model: Optional[CodeModel] = None
     if want_protocol:
         protocol_model = (analyze_repro(jobs=jobs) if root is None
                           else analyze_tree(Path(root), jobs=jobs))
@@ -168,7 +177,13 @@ def run_lint(
             if root is None
             else analyze_tree(Path(root), exclude=SIM_SCAN_EXCLUDES,
                               jobs=jobs))
-    for model in (protocol_model, sim_model):
+    if want_crypto:
+        crypto_model = (
+            analyze_repro(exclude=CRYPTO_SCAN_EXCLUDES, jobs=jobs)
+            if root is None
+            else analyze_tree(Path(root), exclude=CRYPTO_SCAN_EXCLUDES,
+                              jobs=jobs))
+    for model in (protocol_model, sim_model, crypto_model):
         if model is not None and model.errors:
             for error in model.errors:
                 echo(f"parse error: {error}")
@@ -182,10 +197,26 @@ def run_lint(
     if sim_model is not None:
         findings.extend(run_sim_rules(sim_model))
         labels.append(SIM_COLUMN)
+    if crypto_model is not None:
+        findings.extend(run_crypto_rules(crypto_model))
+        labels.append(CRYPTO_COLUMN)
     _emit_events(findings)
 
     if write_baseline_path is not None:
-        count = write_baseline(findings, Path(write_baseline_path))
+        target = Path(write_baseline_path)
+        kept: Dict[str, str] = {}
+        if target.exists():
+            # Refreshing an existing baseline: keep each surviving
+            # entry's hand-written justification; retired entries
+            # (rule gone, file gone, finding fixed) simply drop out.
+            try:
+                kept = {entry.fingerprint: entry.reason
+                        for entry in load_baseline_entries(target)
+                        if entry.reason}
+            except BaselineError as exc:
+                echo(str(exc))
+                return 2
+        count = write_baseline(findings, target, reasons=kept)
         echo(f"wrote {count} suppressions to {write_baseline_path}")
         return 0
 
@@ -211,12 +242,16 @@ def run_lint(
         fresh, suppressed = split_by_baseline(findings, accepted)
 
     sarif_rules: Optional[List[Dict[str, Any]]] = None
-    if fmt == "sarif" and family == "sim":
-        sarif_rules = sim_sarif_rules()
-    elif fmt == "sarif" and family == "all":
-        from repro.lint.reporters import default_sarif_rules
+    if fmt == "sarif" and family != "protocol":
+        sarif_rules = []
+        if want_protocol:
+            from repro.lint.reporters import default_sarif_rules
 
-        sarif_rules = default_sarif_rules() + sim_sarif_rules()
+            sarif_rules += default_sarif_rules()
+        if want_sim:
+            sarif_rules += sim_sarif_rules()
+        if want_crypto:
+            sarif_rules += crypto_sarif_rules()
 
     report = _render(fmt, fresh, suppressed, labels, sarif_rules)
     if out is not None:
@@ -255,6 +290,18 @@ def run_lint(
         determinism = check_determinism(static_findings=len(sim_fresh))
         echo(determinism.render())
         if not determinism.agrees:
+            exit_code = 1
+
+    if consistency and crypto_model is not None:
+        from repro.lint.cryptoconsistency import check_canary
+
+        echo("")
+        echo("canary harness: planting canary key bytes, driving the "
+             "tree, scanning every emitted artifact for escapes...")
+        crypto_fresh = [f for f in fresh if f.column == CRYPTO_COLUMN]
+        canary = check_canary(crypto_fresh)
+        echo(canary.render())
+        if not canary.agrees:
             exit_code = 1
 
     return exit_code

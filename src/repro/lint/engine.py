@@ -17,6 +17,26 @@ protocol-misuse rules in :mod:`repro.lint.rules` care about:
   "is ``seal_private`` ever called?", "is there an unauthenticated
   ``sync_host_clock``?", or "does a codec class declare ``name = 'v4'``
   without type tags?";
+* **crypto facts** — the raw material of the key-material hygiene
+  family in :mod:`repro.lint.cryptorules`: a *second*, sanitizer-aware
+  secret-taint domain.  Where the protocol family's flow pass asks only
+  "does a secret reach this callee?", the crypto pass asks "does a
+  secret reach an *output* unsanitized?"  Digest/fingerprint helpers
+  and the sealing/encryption entry points cleanse (their results are
+  safe to show anyone); binding a secret-shaped name to a non-secret
+  value (``key = (address, service)``, ``for key, value in
+  d.items()``) strongly *un-taints* it, so the dict-iteration idiom
+  does not drown the signal.  The pass records raw secrets reaching
+  telemetry/report sinks (:class:`CryptoFlow`), secrets interpolated
+  into strings (:class:`SecretFormat`) or exception constructors
+  (:class:`SecretRaise`), variable-time ``==``/``!=`` on secrets
+  (:class:`SecretCompare`), secrets captured in defaults and module
+  globals (:class:`SecretDefault`), functions that *return* secrets
+  (:class:`SecretReturn` — the interprocedural summary the rules join
+  against), unsanitized calls inside sink arguments
+  (:class:`SinkInnerCall` — the other half of that join), and every
+  string key of every dict literal (:class:`DictLiteralKey`, which the
+  SEALED_PARTS rule filters down to sealed-only payload fields);
 * **simulation facts** — the raw material of the determinism /
   scheduler-safety family in :mod:`repro.lint.simrules`: every dotted
   call chain (``_time.perf_counter`` looks nothing like
@@ -57,8 +77,11 @@ from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "SecretFlow", "ConfigRead", "CallSite", "DottedCall", "YieldSite",
-    "TimerCreate", "TimerCancel", "UnorderedFlow", "FunctionInfo",
+    "TimerCreate", "TimerCancel", "UnorderedFlow", "CryptoFlow",
+    "SecretReturn", "SinkInnerCall", "SecretFormat", "SecretCompare",
+    "SecretRaise", "SecretDefault", "DictLiteralKey", "FunctionInfo",
     "ClassAttr", "ClassInfo", "CodeModel", "is_secret_name",
+    "is_crypto_secret_name", "CRYPTO_SANITIZERS", "CRYPTO_SINK_CALLEES",
     "analyze_source", "analyze_tree", "analyze_repro", "DEFAULT_EXCLUDES",
 ]
 
@@ -82,6 +105,62 @@ def is_secret_name(name: str) -> bool:
         or "password" in lowered
         or "secret" in lowered
     )
+
+
+def is_crypto_secret_name(name: str) -> bool:
+    """The crypto family's wider net: also plural key stores.
+
+    Kept separate from :func:`is_secret_name` on purpose — widening the
+    protocol family's predicate would move its finding anchors and
+    invalidate the recorded baseline fingerprints.
+    """
+    lowered = name.lower()
+    return is_secret_name(name) or lowered.endswith("_keys")
+
+
+#: Callables whose *result* is safe to show anyone, even when a secret
+#: went in: digest/fingerprint helpers (one-way, identifying) and the
+#: sealing/encryption entry points (ciphertext out).  The crypto taint
+#: walk does not descend into their arguments.  ``hex`` is pointedly
+#: absent — ``key.hex()`` is the whole key, re-spelled.
+CRYPTO_SANITIZERS: FrozenSet[str] = frozenset({
+    # digests and fingerprints
+    "digest", "detectability_digest", "trace_digests", "fingerprint",
+    "md4", "crc32", "compute", "hexdigest", "constant_time_compare",
+    # sealing / encryption: ciphertext is public by design
+    "seal", "seal_private", "cbc_encrypt", "pcbc_encrypt", "ecb_encrypt",
+    "encrypt_block", "_encrypt",
+    # unsealing / decryption: the *key argument* does not flow into the
+    # plaintext result — whether that plaintext is itself secret is
+    # tracked by the names of the fields later pulled out of it
+    "unseal", "unseal_private", "cbc_decrypt", "pcbc_decrypt",
+    "ecb_decrypt", "decrypt_block", "_decrypt",
+    # the hardware unit's key-import: a secret goes in, an opaque
+    # handle comes out
+    "load_key",
+    # size/shape reducers
+    "len", "bool", "type", "isinstance", "sorted", "any", "all", "sum",
+})
+
+#: Methods whose result *is* their receiver's content re-spelled, so
+#: taint flows through the receiver: ``key.hex()`` is the whole key.
+#: Every other method call keeps its receiver out of the walk — the
+#: result of ``keys.name(rank)`` is a username, not the key store.
+_CRYPTO_TRANSPARENT: FrozenSet[str] = frozenset({
+    "hex", "to_bytes", "tobytes",
+})
+
+#: Call sites the crypto pass treats as *output* sinks: telemetry
+#: (EventBus.emit, tracer spans), report/benchmark writers, stdlib
+#: logging, and bare prints.  A raw secret reaching any argument of
+#: these is a :class:`CryptoFlow` fact.
+CRYPTO_SINK_CALLEES: FrozenSet[str] = frozenset({
+    "emit",                                      # EventBus.emit
+    "begin", "end", "record", "span", "annotate",  # tracer span attrs
+    "print", "write", "write_text",              # reports on disk/stdout
+    "dump", "dumps",                             # json writers
+    "info", "debug", "warning", "error", "critical", "log",
+})
 
 
 # --------------------------------------------------------------------- #
@@ -201,6 +280,114 @@ class UnorderedFlow:
 
 
 @dataclass(frozen=True)
+class CryptoFlow:
+    """A raw (unsanitized) secret reached a telemetry/report sink."""
+
+    file: str
+    line: int
+    function: str
+    secret: str    # the tainted name that reached the sink
+    callee: str    # the sink callee (one of CRYPTO_SINK_CALLEES)
+
+
+@dataclass(frozen=True)
+class SecretReturn:
+    """A function returns a secret-tainted expression.
+
+    ``function`` is the plain (last-component) name, so it joins
+    against :attr:`SinkInnerCall.inner` and call-site callees — the
+    interprocedural summary of the crypto pass.
+    """
+
+    file: str
+    line: int
+    function: str
+
+
+@dataclass(frozen=True)
+class SinkInnerCall:
+    """A non-sanitizer call inside a sink call's argument.
+
+    ``emit(Event(kc=key_of(p)))`` records ``inner="key_of"`` under
+    ``sink="emit"``; if some :class:`SecretReturn` names ``key_of``,
+    the secret crossed a function boundary on its way to the sink.
+    """
+
+    file: str
+    line: int
+    function: str
+    sink: str
+    inner: str
+
+
+@dataclass(frozen=True)
+class SecretFormat:
+    """A secret interpolated into a string.
+
+    ``via`` is ``"fstring"``, ``"repr"``, ``"str"``, ``"format"``, or
+    ``"percent"``.
+    """
+
+    file: str
+    line: int
+    function: str
+    secret: str
+    via: str
+
+
+@dataclass(frozen=True)
+class SecretCompare:
+    """``==`` / ``!=`` with a secret side (variable-time equality)."""
+
+    file: str
+    line: int
+    function: str
+    secret: str
+
+
+@dataclass(frozen=True)
+class SecretRaise:
+    """A secret reached an exception constructor inside ``raise``."""
+
+    file: str
+    line: int
+    function: str
+    secret: str
+
+
+@dataclass(frozen=True)
+class SecretDefault:
+    """Key material captured in a default or a module/class global.
+
+    ``kind`` is ``"default"`` (secret-named parameter with a non-None
+    default), ``"module-global"`` (module-level secret name bound to a
+    mutable container), or ``"class-attr"`` (same at class level).
+    """
+
+    file: str
+    line: int
+    function: str
+    name: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class DictLiteralKey:
+    """One secret-named string key of one dict literal.
+
+    ``value_empty`` is True when the value carries no raw secret — an
+    empty/falsy placeholder constant (``b""``, ``""``, ``0``, ``None``)
+    or a sanitized expression like ``digest(key)``.
+    """
+
+    file: str
+    line: int
+    function: str
+    key: str
+    value_empty: bool
+
+
+@dataclass(frozen=True)
 class FunctionInfo:
     """A function or method definition."""
 
@@ -249,6 +436,14 @@ class CodeModel:
     timer_creates: List[TimerCreate] = field(default_factory=list)
     timer_cancels: List[TimerCancel] = field(default_factory=list)
     unordered_flows: List[UnorderedFlow] = field(default_factory=list)
+    crypto_flows: List[CryptoFlow] = field(default_factory=list)
+    secret_returns: List[SecretReturn] = field(default_factory=list)
+    sink_inner_calls: List[SinkInnerCall] = field(default_factory=list)
+    secret_formats: List[SecretFormat] = field(default_factory=list)
+    secret_compares: List[SecretCompare] = field(default_factory=list)
+    secret_raises: List[SecretRaise] = field(default_factory=list)
+    secret_defaults: List[SecretDefault] = field(default_factory=list)
+    dict_literal_keys: List[DictLiteralKey] = field(default_factory=list)
     functions: List[FunctionInfo] = field(default_factory=list)
     classes: List[ClassInfo] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
@@ -287,6 +482,28 @@ class CodeModel:
             (y.file, y.function) for y in self.yields
             if y.command in ("wait", "recv")
         )
+
+    def secret_returners(self) -> FrozenSet[str]:
+        """Plain names of functions that return secret material.
+
+        This is the crypto pass's interprocedural summary: built over
+        the *whole* merged model, so a ``key_of`` defined in
+        ``database.py`` convicts an ``emit(...key_of(p)...)`` in
+        ``kdc.py``.
+        """
+        return frozenset(r.function for r in self.secret_returns)
+
+    def crypto_flows_into(self, *callees: str) -> List[CryptoFlow]:
+        wanted = set(callees)
+        return sorted(
+            (f for f in self.crypto_flows if f.callee in wanted),
+            key=lambda f: (f.file, f.line),
+        )
+
+    def files_calling(self, *callees: str) -> FrozenSet[str]:
+        """Files with at least one call to any of *callees*."""
+        wanted = set(callees)
+        return frozenset(c.file for c in self.calls if c.callee in wanted)
 
     def functions_named(self, name: str) -> List[FunctionInfo]:
         return sorted(
@@ -339,10 +556,18 @@ class _Analyzer(ast.NodeVisitor):
         self.model = model
         self.config_fields = config_fields
         self._scopes: List[str] = []
+        self._scope_kinds: List[str] = []    # "func" / "class" per scope
         self._tainted: List[Set[str]] = [set()]
         # Parallel taint domain: names currently bound to unordered
         # (set-shaped) values.  Function scopes inherit lexically.
         self._unordered: List[Set[str]] = [set()]
+        # Crypto taint domain: strong updates both ways.  ``_ct_tainted``
+        # holds non-secret-shaped names assigned from secret values;
+        # ``_ct_cleansed`` holds secret-shaped names assigned from
+        # non-secret values (``key = (address, service)``), overriding
+        # the name heuristic.
+        self._ct_tainted: List[Set[str]] = [set()]
+        self._ct_cleansed: List[Set[str]] = [set()]
         # Timer-create Call nodes already recorded (with their bound
         # name) by the enclosing assignment, so visit_Call does not
         # re-record them as discarded.
@@ -368,6 +593,158 @@ class _Analyzer(ast.NodeVisitor):
                 if is_secret_name(sub.attr):
                     return sub.attr
         return ""
+
+    def _crypto_token(self, expr: ast.expr,
+                      shadow_tainted: FrozenSet[str] = frozenset(),
+                      shadow_cleansed: FrozenSet[str] = frozenset()) -> str:
+        """The raw-secret name inside *expr* for the crypto domain.
+
+        Unlike :meth:`_secret_token` this walk is sanitizer-aware (it
+        does not descend into :data:`CRYPTO_SANITIZERS` calls — their
+        result is public by contract), honours the strong-update
+        cleansing set so a generic ``key`` rebound to a dict key stops
+        counting, treats a secret-*named* callee as a producer
+        (``string_to_key(...)`` is key material whatever went in), and
+        skips method-call receivers — ``keys.name(rank)`` returns a
+        username, not the key store — except for the content-preserving
+        :data:`_CRYPTO_TRANSPARENT` spellings like ``key.hex()``.
+
+        The shadow sets are comprehension-local: generator targets are
+        (un)tainted for the body of their own comprehension before the
+        enclosing scope's update lands, so ``f"{key}={value}" for key,
+        value in attrs.items()`` is clean at the site where it appears.
+        """
+        if isinstance(expr, ast.Call):
+            callee = self._last_component(expr.func)
+            if callee in CRYPTO_SANITIZERS:
+                return ""
+            if is_crypto_secret_name(callee):
+                return callee
+            scan: List[ast.expr] = list(expr.args)
+            scan.extend(kw.value for kw in expr.keywords)
+            if callee in _CRYPTO_TRANSPARENT and \
+                    isinstance(expr.func, ast.Attribute):
+                scan.append(expr.func.value)
+            for argument in scan:
+                token = self._crypto_token(argument, shadow_tainted,
+                                           shadow_cleansed)
+                if token:
+                    return token
+            return ""
+        if isinstance(expr, ast.Name):
+            if expr.id in shadow_cleansed:
+                return ""
+            if expr.id in self._ct_tainted[-1] or expr.id in shadow_tainted:
+                return expr.id
+            if is_crypto_secret_name(expr.id) and \
+                    expr.id not in self._ct_cleansed[-1] and \
+                    expr.id not in self.config_fields:
+                return expr.id
+            return ""
+        if isinstance(expr, ast.Attribute):
+            # ProtocolConfig knobs like ``negotiate_session_key`` are
+            # booleans *about* keys, not keys.
+            if is_crypto_secret_name(expr.attr) and \
+                    expr.attr not in self.config_fields:
+                return expr.attr
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            tainted = set(shadow_tainted)
+            cleansed = set(shadow_cleansed)
+            for generator in expr.generators:
+                token = self._crypto_token(generator.iter,
+                                           frozenset(tainted),
+                                           frozenset(cleansed))
+                names = set(self._bare_names(generator.target))
+                if token:
+                    tainted |= names
+                    cleansed -= names
+                else:
+                    cleansed |= names
+                    tainted -= names
+            body: List[ast.expr] = []
+            if isinstance(expr, ast.DictComp):
+                body.extend([expr.key, expr.value])
+            else:
+                body.append(expr.elt)
+            for generator in expr.generators:
+                body.extend(generator.ifs)
+            for sub in body:
+                token = self._crypto_token(sub, frozenset(tainted),
+                                           frozenset(cleansed))
+                if token:
+                    return token
+            return ""
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, (ast.expr, ast.keyword, ast.FormattedValue,
+                                  ast.comprehension)):
+                token = self._crypto_token(child,  # type: ignore[arg-type]
+                                           shadow_tainted, shadow_cleansed)
+                if token:
+                    return token
+        return ""
+
+    def _propagate_crypto(self, targets: Sequence[ast.expr],
+                          value: Optional[ast.expr],
+                          loop: bool = False) -> None:
+        """Strong update of the crypto-taint domain on assignment.
+
+        Both directions matter: binding a secret value taints the
+        target, binding a non-secret value *cleanses* it — that is what
+        lets ``for key, value in d.items()`` use the most natural name
+        in Python without lighting the family up.  Only bare-name
+        targets update (``obj.attr = key`` taints neither ``obj`` nor
+        ``attr`` — attribute loads are judged by their own names).
+
+        One asymmetry: binding an *unknown* call result (neither a
+        sanitizer nor a secret-named producer) to a plain assignment
+        target discards taint but does not cleanse, so ``key =
+        self._use(handle)`` keeps its name-based suspicion.  Loop and
+        comprehension targets (``loop=True``) always update strongly —
+        ``for key, value in d.items()`` means a mapping key no matter
+        what produced the mapping.
+        """
+        if value is None:
+            return
+        inner = value
+        while isinstance(inner, (ast.Await, ast.YieldFrom)) or \
+                (isinstance(inner, ast.Yield) and inner.value is not None):
+            inner = inner.value  # type: ignore[assignment]
+            if inner is None:
+                return
+        token = self._crypto_token(inner)
+        unknown_call = (
+            isinstance(inner, ast.Call)
+            and self._last_component(inner.func) not in CRYPTO_SANITIZERS
+        )
+        tainted = self._ct_tainted[-1]
+        cleansed = self._ct_cleansed[-1]
+        for target in targets:
+            for name in self._bare_names(target):
+                if token:
+                    tainted.add(name)
+                    cleansed.discard(name)
+                elif loop or not unknown_call:
+                    tainted.discard(name)
+                    cleansed.add(name)
+                else:
+                    tainted.discard(name)
+
+    @staticmethod
+    def _bare_names(target: ast.expr) -> List[str]:
+        """Names *target* rebinds: bare names and tuple/list/star
+        nests of them — never the base of an attribute or subscript
+        store, which binds a slot, not the name."""
+        if isinstance(target, ast.Name):
+            return [target.id]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names: List[str] = []
+            for element in target.elts:
+                names.extend(_Analyzer._bare_names(element))
+            return names
+        if isinstance(target, ast.Starred):
+            return _Analyzer._bare_names(target.value)
+        return []
 
     @staticmethod
     def _target_names(target: ast.expr) -> List[str]:
@@ -480,16 +857,82 @@ class _Analyzer(ast.NodeVisitor):
         for arg in every:
             if is_secret_name(arg.arg):
                 seeded.add(arg.arg)
+        self._record_secret_defaults(args, ".".join(self._scopes + [name]))
         self._scopes.append(name)
+        self._scope_kinds.append("func")
         self._tainted.append(seeded)
         # Lexical inheritance: module-level set constants (and enclosing
         # function locals) stay unordered inside nested scopes.
         self._unordered.append(set(self._unordered[-1]))
+        self._ct_tainted.append(set())
+        self._ct_cleansed.append(set())
 
     def _leave_function(self) -> None:
         self._scopes.pop()
+        self._scope_kinds.pop()
         self._tainted.pop()
         self._unordered.pop()
+        self._ct_tainted.pop()
+        self._ct_cleansed.pop()
+
+    def _record_secret_defaults(self, args: ast.arguments,
+                                qualname: str) -> None:
+        """Secret-named parameters with a baked-in (non-None) default."""
+        positional = list(args.posonlyargs) + list(args.args)
+        defaults: List[Tuple[ast.arg, Optional[ast.expr]]] = []
+        pos_defaults = list(args.defaults)
+        for arg, default in zip(positional[len(positional)
+                                           - len(pos_defaults):],
+                                pos_defaults):
+            defaults.append((arg, default))
+        defaults.extend(zip(args.kwonlyargs, args.kw_defaults))
+        for arg, default in defaults:
+            if default is None:
+                continue
+            if isinstance(default, ast.Constant) and \
+                    default.value in (None, b"", "", 0):
+                continue
+            # A bare name/attribute default references a module constant
+            # the caller can see and override — not baked-in material.
+            if isinstance(default, (ast.Name, ast.Attribute)):
+                continue
+            if is_crypto_secret_name(arg.arg) and \
+                    arg.arg not in self.config_fields:
+                self.model.secret_defaults.append(SecretDefault(
+                    file=self.file, line=default.lineno,
+                    function=qualname, name=arg.arg, kind="default",
+                ))
+
+    @staticmethod
+    def _is_mutable_container(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                             ast.ListComp, ast.SetComp)):
+            return True
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("dict", "list", "set", "bytearray",
+                                     "defaultdict", "OrderedDict"))
+
+    def _record_global_secret(self, targets: Sequence[ast.expr],
+                              value: ast.expr) -> None:
+        """Module- or class-level secret name bound to a mutable store."""
+        if self._scope_kinds and self._scope_kinds[-1] == "func":
+            return
+        if not self._is_mutable_container(value):
+            return
+        # A literal container of plain constants is a wordlist/fixture
+        # (``COMMON_PASSWORDS = [...]``), not captured runtime keys.
+        if isinstance(value, (ast.List, ast.Set, ast.Tuple)) and \
+                all(isinstance(e, ast.Constant) for e in value.elts):
+            return
+        kind = "class-attr" if self._scope_kinds else "module-global"
+        for target in targets:
+            if isinstance(target, ast.Name) and \
+                    is_crypto_secret_name(target.id):
+                self.model.secret_defaults.append(SecretDefault(
+                    file=self.file, line=value.lineno,
+                    function=self._function, name=target.id, kind=kind,
+                ))
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._enter_function(node, node.name, node.args)
@@ -528,8 +971,10 @@ class _Analyzer(ast.NodeVisitor):
             attrs=tuple(attrs), methods=tuple(methods),
         ))
         self._scopes.append(node.name)
+        self._scope_kinds.append("class")
         self.generic_visit(node)
         self._scopes.pop()
+        self._scope_kinds.pop()
 
     # -- taint propagation ----------------------------------------------
 
@@ -545,6 +990,8 @@ class _Analyzer(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         self._propagate(node.targets, node.value)
         self._propagate_unordered(node.targets, node.value)
+        self._propagate_crypto(node.targets, node.value)
+        self._record_global_secret(node.targets, node.value)
         self._claim_timer_create(node.targets, node.value)
         self.generic_visit(node)
 
@@ -552,6 +999,8 @@ class _Analyzer(ast.NodeVisitor):
         self._propagate([node.target], node.value)
         self._propagate_unordered([node.target], node.value)
         if node.value is not None:
+            self._propagate_crypto([node.target], node.value)
+            self._record_global_secret([node.target], node.value)
             self._claim_timer_create([node.target], node.value)
         self.generic_visit(node)
 
@@ -563,6 +1012,12 @@ class _Analyzer(ast.NodeVisitor):
         if self._unordered_token(node.value):
             for name in self._target_names(node.target):
                 self._unordered[-1].add(name)
+        # Same asymmetry for the crypto domain: ``blob += key`` keeps
+        # the secret in ``blob``; a non-secret augment cleanses nothing.
+        if self._crypto_token(node.value):
+            for name in self._bare_names(node.target):
+                self._ct_tainted[-1].add(name)
+                self._ct_cleansed[-1].discard(name)
         self.generic_visit(node)
 
     # -- timers ----------------------------------------------------------
@@ -653,7 +1108,54 @@ class _Analyzer(ast.NodeVisitor):
                 if isinstance(argument, (ast.ListComp, ast.GeneratorExp,
                                          ast.SetComp, ast.DictComp)):
                     self._exempt_comps.add(id(argument))
+        if callee in CRYPTO_SINK_CALLEES:
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                token = self._crypto_token(argument)
+                if token:
+                    self.model.crypto_flows.append(CryptoFlow(
+                        file=self.file, line=node.lineno,
+                        function=self._function, secret=token,
+                        callee=callee,
+                    ))
+                for inner in self._inner_callees(argument):
+                    self.model.sink_inner_calls.append(SinkInnerCall(
+                        file=self.file, line=node.lineno,
+                        function=self._function, sink=callee, inner=inner,
+                    ))
+        if callee in ("repr", "str", "format"):
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                token = self._crypto_token(argument)
+                if token:
+                    self.model.secret_formats.append(SecretFormat(
+                        file=self.file, line=node.lineno,
+                        function=self._function, secret=token, via=callee,
+                    ))
         self.generic_visit(node)
+
+    def _inner_callees(self, expr: ast.expr) -> List[str]:
+        """Last-component names of non-sanitizer calls inside *expr*.
+
+        The walk skips sanitizer subtrees wholesale — ``digest(key_of(p))``
+        contributes nothing, because whatever ``key_of`` returned was
+        digested before it could leave.
+        """
+        out: List[str] = []
+        if isinstance(expr, ast.Call):
+            callee = ""
+            if isinstance(expr.func, ast.Name):
+                callee = expr.func.id
+            elif isinstance(expr.func, ast.Attribute):
+                callee = expr.func.attr
+            if callee in CRYPTO_SANITIZERS:
+                return out
+            if callee:
+                out.append(callee)
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, (ast.expr, ast.keyword)):
+                out.extend(self._inner_callees(child))  # type: ignore[arg-type]
+        return out
 
     def _flag_unordered_iter(self, iter_expr: ast.expr, line: int) -> None:
         if isinstance(iter_expr, ast.Name) and \
@@ -670,12 +1172,22 @@ class _Analyzer(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._flag_unordered_iter(node.iter, node.lineno)
+        # Loop targets rebind: ``for key, value in d.items()`` cleanses
+        # (or taints) the bound names like an assignment would.
+        self._propagate_crypto([node.target], node.iter, loop=True)
         self.generic_visit(node)
 
     def _visit_comp(self, node: ast.expr, order_sensitive: bool) -> None:
         if order_sensitive and id(node) not in self._exempt_comps:
             for generator in node.generators:   # type: ignore[attr-defined]
                 self._flag_unordered_iter(generator.iter, node.lineno)
+        # Comprehension targets rebind before the element expression is
+        # evaluated; the crypto domain's flat scope model applies the
+        # update for the rest of the enclosing function too — a benign
+        # over-approximation, since any later assignment re-updates.
+        for generator in node.generators:       # type: ignore[attr-defined]
+            self._propagate_crypto([generator.target], generator.iter,
+                                   loop=True)
         self.generic_visit(node)
 
     def visit_ListComp(self, node: ast.ListComp) -> None:
@@ -724,6 +1236,91 @@ class _Analyzer(ast.NodeVisitor):
             ))
         self.generic_visit(node)
 
+    # -- crypto facts -----------------------------------------------------
+
+    @staticmethod
+    def _is_empty_constant(expr: ast.expr) -> bool:
+        """``b""``/``""``/``0``/``None``: an emptiness probe, not a
+        value comparison, so timing reveals nothing secret."""
+        return isinstance(expr, ast.Constant) and \
+            expr.value in (b"", "", 0, None)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if self._is_empty_constant(left) or \
+                    self._is_empty_constant(right):
+                continue
+            token = self._crypto_token(left) or self._crypto_token(right)
+            if token:
+                self.model.secret_compares.append(SecretCompare(
+                    file=self.file, line=node.lineno,
+                    function=self._function, secret=token,
+                ))
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if node.exc is not None:
+            token = self._crypto_token(node.exc)
+            if token:
+                self.model.secret_raises.append(SecretRaise(
+                    file=self.file, line=node.lineno,
+                    function=self._function, secret=token,
+                ))
+        self.generic_visit(node)
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                token = self._crypto_token(value.value)
+                if token:
+                    self.model.secret_formats.append(SecretFormat(
+                        file=self.file, line=node.lineno,
+                        function=self._function, secret=token,
+                        via="fstring",
+                    ))
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        # ``"key=%r" % key`` — the percent spelling of an f-string leak.
+        if isinstance(node.op, ast.Mod) and \
+                isinstance(node.left, ast.Constant) and \
+                isinstance(node.left.value, str):
+            token = self._crypto_token(node.right)
+            if token:
+                self.model.secret_formats.append(SecretFormat(
+                    file=self.file, line=node.lineno,
+                    function=self._function, secret=token, via="percent",
+                ))
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for key, value in zip(node.keys, node.values):
+            if key is None or not isinstance(key, ast.Constant) or \
+                    not isinstance(key.value, str):
+                continue
+            if not is_crypto_secret_name(key.value):
+                continue
+            self.model.dict_literal_keys.append(DictLiteralKey(
+                file=self.file, line=node.lineno,
+                function=self._function, key=key.value,
+                value_empty=self._is_empty_constant(value) or
+                self._crypto_token(value) == "",
+            ))
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and self._scopes:
+            token = self._crypto_token(node.value)
+            if token:
+                self.model.secret_returns.append(SecretReturn(
+                    file=self.file, line=node.lineno,
+                    function=self._scopes[-1],
+                ))
+        self.generic_visit(node)
+
 
 # --------------------------------------------------------------------- #
 # entry points
@@ -755,6 +1352,14 @@ def _merge_model(into: CodeModel, part: CodeModel) -> None:
     into.timer_creates.extend(part.timer_creates)
     into.timer_cancels.extend(part.timer_cancels)
     into.unordered_flows.extend(part.unordered_flows)
+    into.crypto_flows.extend(part.crypto_flows)
+    into.secret_returns.extend(part.secret_returns)
+    into.sink_inner_calls.extend(part.sink_inner_calls)
+    into.secret_formats.extend(part.secret_formats)
+    into.secret_compares.extend(part.secret_compares)
+    into.secret_raises.extend(part.secret_raises)
+    into.secret_defaults.extend(part.secret_defaults)
+    into.dict_literal_keys.extend(part.dict_literal_keys)
     into.functions.extend(part.functions)
     into.classes.extend(part.classes)
     into.errors.extend(part.errors)

@@ -49,7 +49,7 @@ tracer attached the only cost is one attribute read per request.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.crypto.des import BLOCK_OPS, get_schedule
 from repro.crypto.keys import string_to_key
@@ -63,12 +63,13 @@ from repro.kerberos.messages import (
 from repro.kerberos.principal import Principal
 from repro.kerberos.realm import RealmDirectory
 from repro.kerberos.validation import LruReplayCache
+from repro.obs.bus import EventBus
 from repro.obs.events import ShardUnavailable
 from repro.serve.pool import WorkerPool
 from repro.serve.sharding import shard_of
 from repro.sim.clock import SimClock
 from repro.sim.host import Host
-from repro.sim.network import Endpoint, Network, NetworkError
+from repro.sim.network import Endpoint, Network, NetworkError, WireMessage
 
 __all__ = [
     "ClusterDatabase", "ShardServer", "KdcCluster", "TracedReplayCache",
@@ -87,7 +88,7 @@ class TracedReplayCache(LruReplayCache):
     the overhead is one attribute read.
     """
 
-    def __init__(self, capacity: int, bus) -> None:
+    def __init__(self, capacity: int, bus: EventBus) -> None:
         super().__init__(capacity)
         self._bus = bus
 
@@ -121,7 +122,8 @@ class ClusterDatabase:
     traffic arrives, every shard serves them from the schedule cache.
     """
 
-    def __init__(self, realm: str, rng: DeterministicRandom, shard_count: int):
+    def __init__(self, realm: str, rng: DeterministicRandom,
+                 shard_count: int) -> None:
         if shard_count < 1:
             raise ValueError("a cluster needs at least one shard")
         self.realm = realm
@@ -192,7 +194,7 @@ class ClusterDatabase:
         return self._shard_for_lookup(principal).knows(principal)
 
     def principals(self) -> List[Principal]:
-        merged = set()
+        merged: "set[Principal]" = set()
         for db in self.shards:
             merged.update(db.principals())
         return sorted(merged)
@@ -200,7 +202,7 @@ class ClusterDatabase:
     def users(self) -> List[Principal]:
         return [p for p in self.principals() if not p.instance and not p.is_tgs]
 
-    def entries(self) -> "List[tuple[Principal, bytes]]":
+    def entries(self) -> List[Tuple[Principal, bytes]]:
         merged: Dict[Principal, bytes] = {}
         for db in self.shards:
             merged.update(dict(db.entries()))
@@ -213,7 +215,7 @@ class ShardServer:
     def __init__(
         self, index: int, host: Host, database: KdcDatabase, kdc: Kdc,
         replay_cache: LruReplayCache, pool: WorkerPool,
-    ):
+    ) -> None:
         self.index = index
         self.host = host
         self.database = database
@@ -262,7 +264,7 @@ class KdcCluster:
         shard_addresses: List[str],
         workers_per_shard: int = 2,
         replay_capacity: int = 4096,
-    ):
+    ) -> None:
         if len(shard_addresses) < 1:
             raise ValueError("a cluster needs at least one shard address")
         self.network = network
@@ -341,7 +343,7 @@ class KdcCluster:
 
     # -- dispatch -------------------------------------------------------
 
-    def _handle(self, service: str, message) -> bytes:
+    def _handle(self, service: str, message: WireMessage) -> bytes:
         self.requests[service] += 1
         # Under the event scheduler (clock.timeline attached) the clock
         # reads true overlapped virtual time: each request is its own

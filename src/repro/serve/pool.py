@@ -51,7 +51,7 @@ gauges ``python -m repro monitor`` plots.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.obs.timeseries import LogHistogram
 
@@ -77,7 +77,7 @@ class WorkerPool:
         batch_overhead_us: int = DEFAULT_BATCH_OVERHEAD_US,
         batch_window_us: int = DEFAULT_BATCH_WINDOW_US,
         us_per_block_op: float = DEFAULT_US_PER_BLOCK_OP,
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
         self.workers = workers
@@ -102,7 +102,7 @@ class WorkerPool:
         self.wait_histogram = LogHistogram()
         self.service_histogram = LogHistogram()
 
-    def schedule(self, arrival: int, block_ops: int) -> "tuple[int, int]":
+    def schedule(self, arrival: int, block_ops: int) -> Tuple[int, int]:
         """Admit a request that arrived at *arrival* costing *block_ops*
         DES block operations; return ``(start, finish)`` virtual times.
 

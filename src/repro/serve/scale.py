@@ -44,6 +44,7 @@ import hashlib
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.crypto.keys import string_to_key
+from repro.crypto.rng import DeterministicRandom
 from repro.kerberos.validation import LruReplayCache
 from repro.obs.timeseries import LogHistogram, TickSampler
 from repro.serve.pool import (
@@ -365,7 +366,7 @@ class _Model:
     # -- request routing -------------------------------------------------
 
     def _request(self, service: str, primary: int, block_ops: int,
-                 client: str, fingerprint: bytes, rng,
+                 client: str, fingerprint: bytes, rng: DeterministicRandom,
                  auth_timestamp: Optional[int] = None) -> Iterator[Any]:
         """Route one request (use via ``yield from``; returns the outcome).
 
@@ -448,7 +449,8 @@ def _pareto_frontier(cells: List[Dict[str, Any]]) -> None:
 def _run_model_once(
     principals: int, shards: int, workers_per_shard: int, requests: int,
     replay_cache_capacity: int, interarrival_us: int, zipf_s: float,
-    diurnal: bool, faults: bool, seed_rng, cal: Dict[str, int],
+    diurnal: bool, faults: bool, seed_rng: DeterministicRandom,
+    cal: Dict[str, int],
     failsafe_us: Optional[int],
     sampler_factory: Optional[Callable[["_Model"], TickSampler]] = None,
 ) -> Dict[str, Any]:
@@ -606,8 +608,6 @@ def run_scale_model(
     import json
     import platform
     import time as _time
-
-    from repro.crypto.rng import DeterministicRandom
 
     if shards < 2:
         raise ValueError("the load harness needs a sharded bed (shards >= 2)")

@@ -197,6 +197,73 @@ def test_sim_family_sarif_carries_sim_rule_metadata(tmp_path):
     assert "SCHED-ADVANCE-IN-PROCESS" in rule_ids
 
 
+UNSEALED = (
+    "def persist(session_key):\n"
+    "    return {'session_key': session_key}\n"
+)
+
+
+def test_crypto_family_fires_on_snippet(tmp_path):
+    code, text = run(root=snippet_tree(tmp_path, UNSEALED),
+                     family="crypto")
+    assert code == 1
+    assert "CRYPTO-UNSEALED-FIELD" in text
+    assert "(crypto)" in text
+
+
+def test_crypto_family_skips_column_resolution(tmp_path):
+    code, _text = run(root=snippet_tree(tmp_path, UNSEALED),
+                      family="crypto", column="krb5", fail_on="never")
+    assert code == 0
+
+
+def test_family_all_concatenates_three_scans(tmp_path):
+    source = WALLCLOCK + UNSEALED + \
+        "def check(config):\n    return config.preauth_required\n"
+    code, text = run(root=snippet_tree(tmp_path, source), family="all",
+                     column="v4")
+    assert code == 1
+    assert "DET-WALLCLOCK" in text
+    assert "NO-PREAUTH" in text
+    assert "CRYPTO-UNSEALED-FIELD" in text
+
+
+def test_crypto_family_live_tree_is_clean_modulo_baseline():
+    """The live tree's only crypto finding is the paper's credential
+    cache, carried by the checked-in baseline."""
+    code, text = run(family="crypto",
+                     baseline=str(REPO_ROOT / "lint-baseline.json"))
+    assert code == 0, text
+    assert "1 baselined" in text
+
+
+def test_crypto_family_sarif_carries_crypto_rule_metadata(tmp_path):
+    out = tmp_path / "crypto.sarif"
+    code, _text = run(root=snippet_tree(tmp_path, UNSEALED),
+                      family="crypto", fmt="sarif", out=str(out),
+                      fail_on="never")
+    assert code == 0
+    payload = json.loads(out.read_text())
+    rule_ids = {r["id"]
+                for r in payload["runs"][0]["tool"]["driver"]["rules"]}
+    assert "CRYPTO-UNSEALED-FIELD" in rule_ids
+    assert "CRYPTO-SECRET-TO-LOG" in rule_ids
+
+
+def test_family_all_sarif_merges_every_family(tmp_path):
+    out = tmp_path / "all.sarif"
+    code, _text = run(root=snippet_tree(tmp_path, UNSEALED),
+                      family="all", fmt="sarif", out=str(out),
+                      fail_on="never")
+    assert code == 0
+    payload = json.loads(out.read_text())
+    rule_ids = {r["id"]
+                for r in payload["runs"][0]["tool"]["driver"]["rules"]}
+    assert "NO-PREAUTH" in rule_ids        # protocol
+    assert "DET-WALLCLOCK" in rule_ids     # sim
+    assert "CRYPTO-ECB-SEAL" in rule_ids   # crypto
+
+
 # -- stale baselines ---------------------------------------------------- #
 
 
@@ -243,3 +310,86 @@ def test_fresh_baseline_entry_still_suppresses(tmp_path):
                      baseline=str(baseline))
     assert code == 0
     assert "2 baselined" in text
+
+
+# -- baseline refresh (--write-baseline over an existing file) ---------- #
+
+
+def reasons_of(path):
+    payload = json.loads(path.read_text())
+    return {entry["fingerprint"]: entry["reason"]
+            for entry in payload["suppressions"]}
+
+
+def test_refresh_preserves_hand_written_reasons(tmp_path):
+    """Re-running --write-baseline keeps per-entry justifications that
+    were edited by hand after the first write."""
+    baseline = tmp_path / "baseline.json"
+    root = snippet_tree(tmp_path)
+    run(root=root, column="v4", write_baseline_path=str(baseline))
+
+    payload = json.loads(baseline.read_text())
+    for entry in payload["suppressions"]:
+        if entry["rule_id"] == "NO-PREAUTH":
+            entry["reason"] = "hand-written: preauth lands in E5"
+    baseline.write_text(json.dumps(payload))
+
+    code, text = run(root=root, column="v4",
+                     write_baseline_path=str(baseline))
+    assert code == 0
+    assert "wrote 2 suppressions" in text
+    reasons = reasons_of(baseline)
+    assert reasons["NO-PREAUTH::v4::proto.py"] == \
+        "hand-written: preauth lands in E5"
+
+
+def test_refresh_drops_retired_entries(tmp_path):
+    """Fixing the code and refreshing retires the entry — including
+    entries whose rule no longer exists, the stale-gate escape hatch."""
+    baseline = tmp_path / "baseline.json"
+    root = snippet_tree(tmp_path)
+    run(root=root, column="v4", write_baseline_path=str(baseline))
+    assert len(reasons_of(baseline)) == 2
+
+    # Retire the rule-id itself: refresh must not choke on it.
+    payload = json.loads(baseline.read_text())
+    payload["suppressions"].append({
+        "fingerprint": "GONE-RULE::v4::proto.py", "rule_id": "GONE-RULE",
+        "file": "proto.py", "reason": "from a deleted rule",
+    })
+    baseline.write_text(json.dumps(payload))
+
+    fixed = "def check(config):\n    return config.preauth_required\n"
+    (Path(root) / "proto.py").write_text(fixed)
+    code, text = run(root=root, column="v4",
+                     write_baseline_path=str(baseline))
+    assert code == 0
+    reasons = reasons_of(baseline)
+    assert "GONE-RULE::v4::proto.py" not in reasons
+    assert "NO-REPLAY-CACHE::v4::proto.py" not in reasons
+
+
+def test_refresh_gives_new_findings_the_default_reason(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    source = "def check(config):\n    return config.preauth_required\n"
+    root = snippet_tree(tmp_path, source)
+    run(root=root, column="v4", write_baseline_path=str(baseline))
+    assert set(reasons_of(baseline)) == {"NO-PREAUTH::v4::proto.py"}
+
+    (Path(root) / "proto.py").write_text(VULNERABLE)
+    code, _text = run(root=root, column="v4",
+                      write_baseline_path=str(baseline))
+    assert code == 0
+    reasons = reasons_of(baseline)
+    assert set(reasons) == {"NO-PREAUTH::v4::proto.py",
+                            "NO-REPLAY-CACHE::v4::proto.py"}
+    assert "intentionally" in reasons["NO-REPLAY-CACHE::v4::proto.py"]
+
+
+def test_refresh_with_corrupt_existing_baseline_exits_2(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{}")
+    code, text = run(tmp_path, column="v4",
+                     write_baseline_path=str(baseline))
+    assert code == 2
+    assert "baseline" in text.lower()

@@ -1,0 +1,117 @@
+"""The canary witness: plant key bytes, drive the tree, scan artifacts.
+
+The heavier stages (attack matrix, load harness) are exercised by CI's
+witness run; here the focused exchange-only witness pins the report
+shape, the exemption contract, and — via the deliberate-leak hook —
+that the scanner actually detects an escaped key.
+"""
+
+import pytest
+
+import repro.lint.cryptoconsistency as cc
+from repro.crypto.keys import string_to_key
+from repro.lint.cryptoconsistency import (
+    CANARY_PASSWORD, CanaryReport, EXEMPT_ARTIFACTS, check_canary,
+    needle_forms,
+)
+
+
+def quick_canary(tmp_path, findings=()):
+    """The witness minus the heavy stages, artifacts kept on disk."""
+    return check_canary(list(findings), seed=7, artifact_dir=str(tmp_path),
+                        run_matrix=False, run_load_harness=False)
+
+
+# -- needle spellings --------------------------------------------------- #
+
+
+def test_needle_forms_cover_every_leak_spelling():
+    forms = dict(needle_forms("kc", b"\x00\x01\xfe"))
+    assert set(forms) == {"kc:raw", "kc:hex", "kc:base64", "kc:repr"}
+    assert forms["kc:raw"] == b"\x00\x01\xfe"
+    assert forms["kc:hex"] == b"0001fe"
+    assert forms["kc:base64"] == b"AAH+"
+    assert forms["kc:repr"] == repr(b"\x00\x01\xfe").encode("utf-8")
+
+
+# -- the agreement contract --------------------------------------------- #
+
+
+def make_report(static_findings, escapes):
+    return CanaryReport(seed=0, static_findings=static_findings,
+                        needles=4, artifacts=("events.jsonl",),
+                        exempt=("adversary-wire.log",), escapes=escapes)
+
+
+def test_agreement_truth_table():
+    escape = (("events.jsonl", "canary-kc:hex"),)
+    assert make_report(0, ()).agrees          # both clean
+    assert make_report(2, escape).agrees      # both dirty
+    assert not make_report(1, ()).agrees      # static-only hazard
+    assert not make_report(0, escape).agrees  # blind spot: worst case
+    assert not make_report(0, escape).clean
+
+
+# -- the live witness --------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def clean_run(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("canary")
+    return quick_canary(out_dir), out_dir
+
+
+def test_clean_tree_and_clean_run_agree(clean_run):
+    report, _out_dir = clean_run
+    assert report.clean
+    assert report.agrees
+    assert report.static_findings == 0
+    # canary password + canary kc + 8 load-harness keys + 2 negotiated
+    # session keys, four spellings each
+    assert report.needles == 12 * 4
+
+
+def test_every_observable_artifact_is_scanned(clean_run):
+    report, _out_dir = clean_run
+    assert report.artifacts == ("audit.txt", "events.jsonl",
+                                "repro-lint-crypto.sarif", "trace.json")
+    assert report.exempt == ("adversary-wire.log",)
+    assert set(report.exempt) == set(EXEMPT_ARTIFACTS)
+
+
+def test_exempt_wire_log_is_written_but_not_scanned(clean_run):
+    report, out_dir = clean_run
+    wire = (out_dir / "adversary-wire.log").read_text(encoding="utf-8")
+    # The adversary really recorded the canary's traffic: AS, TGS, and
+    # AP exchanges plus the echo round-trip.
+    assert len(wire.splitlines()) >= 6
+    assert "adversary-wire.log" not in report.artifacts
+
+
+def test_render_names_the_verdict_and_the_exemption(clean_run):
+    report, _out_dir = clean_run
+    text = report.render()
+    assert "verdict: agree" in text
+    assert "no unsealed canary escapes" in text
+    assert "adversary-wire.log" in text
+    assert "attacker-held by contract" in text
+
+
+def test_planted_leak_is_caught_and_flips_the_verdict(tmp_path,
+                                                      monkeypatch):
+    """The deliberate-leak hook writes a key's hex into events.jsonl;
+    the scanner must find it and report the static/dynamic split."""
+    original = cc._sarif_artifact
+
+    def leaky(findings, out_dir):
+        original(findings, out_dir)
+        cc._self_test_leak(out_dir, string_to_key(CANARY_PASSWORD))
+
+    monkeypatch.setattr(cc, "_sarif_artifact", leaky)
+    report = quick_canary(tmp_path)
+    assert ("events.jsonl", "canary-kc:hex") in report.escapes
+    assert not report.clean
+    assert not report.agrees
+    text = report.render()
+    assert "DISAGREE" in text
+    assert "ESCAPES" in text

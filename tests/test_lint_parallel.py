@@ -29,6 +29,19 @@ def test_jobs_output_is_byte_identical():
         assert out_serial == out_parallel, fmt
 
 
+def test_jobs_output_is_byte_identical_for_every_family():
+    """The process-pool fan-out is invisible no matter which rule
+    famil(ies) — and hence which subtree(s) — the scan covers."""
+    for family in ("sim", "crypto", "all"):
+        code_serial, out_serial = capture(fmt="sarif", family=family,
+                                          baseline="lint-baseline.json")
+        code_parallel, out_parallel = capture(fmt="sarif", family=family,
+                                              baseline="lint-baseline.json",
+                                              jobs=4)
+        assert code_serial == code_parallel, family
+        assert out_serial == out_parallel, family
+
+
 def test_jobs_one_takes_the_serial_path():
     assert analyze_repro(jobs=1).files == analyze_repro().files
 

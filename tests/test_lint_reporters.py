@@ -121,6 +121,93 @@ def test_sarif_suppressed_findings_marked():
         assert suppression["kind"] == "external"
 
 
+# --- all three families through every reporter --------------------------
+
+
+def family_findings():
+    """One representative live finding per rule family, plus anchors
+    that must resolve against the working tree."""
+    return [
+        finding(),
+        finding(rule_id="DET-WALLCLOCK", severity=Severity.ERROR,
+                file="src/repro/sim/sched.py", line=1, column="(sim)",
+                message="wall-clock read in the simulation stack"),
+        finding(rule_id="CRYPTO-UNSEALED-FIELD", severity=Severity.ERROR,
+                file="src/repro/kerberos/ccache.py", line=1,
+                column="(crypto)",
+                message="sealed-schema field built unsealed"),
+    ]
+
+
+def merged_rule_metadata():
+    from repro.lint.cryptorules import crypto_sarif_rules
+    from repro.lint.reporters import default_sarif_rules
+    from repro.lint.simrules import sim_sarif_rules
+    return default_sarif_rules() + sim_sarif_rules() + crypto_sarif_rules()
+
+
+def test_text_renders_every_family_column():
+    report = render_text(family_findings())
+    assert "[v4]" in report
+    assert "[(sim)]" in report
+    assert "[(crypto)]" in report
+    assert report.splitlines()[-1] == "3 findings (2 errors, 1 warnings)"
+
+
+def test_json_renders_every_family():
+    payload = json.loads(render_json(
+        family_findings(), columns=["v4", "(sim)", "(crypto)"]))
+    assert payload["columns"] == ["v4", "(sim)", "(crypto)"]
+    assert {f["column"] for f in payload["findings"]} == \
+        {"v4", "(sim)", "(crypto)"}
+
+
+def test_sarif_merged_families_keep_the_2_1_0_shape():
+    log = json.loads(render_sarif(family_findings(),
+                                  columns=["v4", "(sim)", "(crypto)"],
+                                  rules=merged_rule_metadata()))
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    run = log["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    rule_ids = {r["id"] for r in rules}
+    # one merged driver carries all three families' metadata...
+    assert {"NO-PREAUTH", "DET-WALLCLOCK", "CRYPTO-UNSEALED-FIELD"} \
+        <= rule_ids
+    # ...with no id collisions across families
+    assert len(rule_ids) == len(rules)
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in \
+            ("error", "warning", "note")
+    # every result indexes its own rule inside the merged table
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_sarif_family_anchors_resolve_in_the_working_tree():
+    from pathlib import Path
+    repo_root = Path(__file__).resolve().parent.parent
+    log = json.loads(render_sarif(family_findings(),
+                                  rules=merged_rule_metadata()))
+    for result in log["runs"][0]["results"]:
+        location = result["locations"][0]["physicalLocation"]
+        target = repo_root / location["artifactLocation"]["uri"]
+        assert target.is_file(), target
+        line_count = len(target.read_text().splitlines())
+        assert 1 <= location["region"]["startLine"] <= line_count
+
+
+def test_sarif_crypto_metadata_names_the_paper_section():
+    from repro.lint.cryptorules import crypto_sarif_rules
+    rules = crypto_sarif_rules()
+    assert len(rules) == 6
+    for rule in rules:
+        assert rule["id"].startswith("CRYPTO-")
+        assert "Key management" in rule["properties"]["paperSection"]
+
+
 # --- baseline -----------------------------------------------------------
 
 
