@@ -11,6 +11,9 @@ Commands:
 * ``perf``        — micro-benchmark the crypto fast path, the modes, a
   full exchange, and the (serial vs parallel) matrix, writing
   ``BENCH_crypto.json``;
+* ``crack``       — benchmark the paper's offline dictionary attack
+  against recorded AS replies, table-driven vs bitsliced backends,
+  writing ``BENCH_crack.json`` (guesses/s, lane width, speedup);
 * ``lint``        — run the static analyzers over ``src/repro``:
   the protocol-misuse family against one or all protocol columns,
   the determinism / scheduler-safety family (``--family sim``) over
@@ -142,6 +145,28 @@ def _cmd_perf(args) -> int:
                       out_path=args.out)
     print(render_report(report))
     return 0 if report["matrix"]["identical_render"] else 1
+
+
+def _cmd_crack(args) -> int:
+    from repro.crack import render_crack, run_crack
+
+    print("benchmarking the offline dictionary attack"
+          + (" (quick)" if args.quick else "") + "...\n")
+    report = run_crack(
+        quick=args.quick, targets=args.targets, words=args.words,
+        lanes=args.lanes, seed=args.seed, out_path=args.out,
+    )
+    print(render_crack(report))
+    healthy = bool(report["agreement"]) and bool(report["planted_found"])
+    if args.min_speedup is not None:
+        speedup = report["speedup"]
+        assert isinstance(speedup, float)
+        if speedup < args.min_speedup:
+            print(f"speedup floor FAIL: {speedup}x < {args.min_speedup}x")
+            healthy = False
+        else:
+            print(f"speedup floor OK (>= {args.min_speedup}x)")
+    return 0 if healthy else 1
 
 
 def _resolve_scenario(name: str):
@@ -342,6 +367,7 @@ def _cmd_load(args) -> int:
         interarrival_us=args.interarrival, principals=args.principals,
         zipf_s=args.zipf, diurnal=args.diurnal,
         scaling_curve=args.scaling_curve,
+        crypto_backend=args.crypto_backend,
     )
     print(render_report(report))
     probe = report["replay_probe"]
@@ -421,6 +447,42 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--out", default="BENCH_crypto.json", metavar="PATH",
         help="benchmark report path (default: BENCH_crypto.json)",
+    )
+    crack = sub.add_parser(
+        "crack", help="benchmark the offline dictionary attack, "
+                      "table-driven vs bitsliced"
+    )
+    crack.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizes: 6 targets, 512 words, 512 lanes (<1s)",
+    )
+    crack.add_argument(
+        "--targets", type=int, default=None, metavar="N",
+        help="victims whose recorded logins are attacked (default: 24, "
+             "or 6 with --quick); two thirds have dictionary passwords",
+    )
+    crack.add_argument(
+        "--words", type=int, default=None, metavar="N",
+        help="dictionary size to grind (default: 4096, or 512 with "
+             "--quick)",
+    )
+    crack.add_argument(
+        "--lanes", type=int, default=None, metavar="N",
+        help="bitslice lane width: password guesses per batch "
+             "(default: 2048, or 512 with --quick)",
+    )
+    crack.add_argument(
+        "--seed", type=int, default=0,
+        help="testbed / population seed (default: 0)",
+    )
+    crack.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail unless bitsliced guesses/s >= X times the table path "
+             "(the CI perf-smoke floor is 3)",
+    )
+    crack.add_argument(
+        "--out", default="BENCH_crack.json", metavar="PATH",
+        help="benchmark report path (default: BENCH_crack.json)",
     )
     lint = sub.add_parser(
         "lint", help="statically analyze the tree for protocol misuse, "
@@ -598,6 +660,13 @@ def build_parser() -> argparse.ArgumentParser:
              "of the default compact one",
     )
     load.add_argument(
+        "--crypto-backend", choices=["table", "bitslice"], default="table",
+        help="cost model for KDC seal/unseal work: the table-driven "
+             "fast path, or batched bitsliced lanes at the conservative "
+             "per-block-op cost the crack benchmark's CI floor "
+             "guarantees (default: table)",
+    )
+    load.add_argument(
         "--out", default="BENCH_kdc.json", metavar="PATH",
         help="benchmark report path (default: BENCH_kdc.json)",
     )
@@ -669,6 +738,7 @@ def main(argv=None) -> int:
         "demo": _cmd_demo,
         "audit": _cmd_audit,
         "perf": _cmd_perf,
+        "crack": _cmd_crack,
         "lint": _cmd_lint,
         "check": _cmd_check,
         "serve": _cmd_serve,

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.crypto import modes
+from repro.crypto.bits import transpose_in, transpose_out
 from repro.crypto.des import (
     BLOCK_SIZE,
     DesCipher,
@@ -30,7 +32,7 @@ from repro.crypto.des import (
     set_odd_parity,
 )
 
-__all__ = ["KeyTag", "TaggedKey", "string_to_key"]
+__all__ = ["KeyTag", "TaggedKey", "string_to_key", "string_to_key_many"]
 
 
 class KeyTag(enum.Enum):
@@ -71,6 +73,35 @@ def _reverse_7bits(byte: int) -> int:
     return out
 
 
+def _pad_password(password: str, salt: str) -> bytes:
+    data = (password + salt).encode("utf-8")
+    return modes.pad_zero(data) or bytes(BLOCK_SIZE)
+
+
+def _fanfold_key(padded: bytes) -> bytes:
+    """Fan-fold *padded* into 8 bytes, fix parity, and fix weak keys."""
+    fanfold = bytearray(BLOCK_SIZE)
+    for chunk_index in range(0, len(padded), BLOCK_SIZE):
+        chunk = padded[chunk_index:chunk_index + BLOCK_SIZE]
+        if (chunk_index // BLOCK_SIZE) % 2 == 1:
+            chunk = bytes(_reverse_7bits(b) for b in reversed(chunk))
+        for i in range(BLOCK_SIZE):
+            fanfold[i] ^= chunk[i]
+
+    folded = set_odd_parity(bytes(fanfold))
+    if is_weak_key(folded):
+        folded = bytes([folded[0] ^ 0xF0]) + folded[1:]
+    return folded
+
+
+def _finalize_key(chain: bytes) -> bytes:
+    """Parity-fix and weak-key-fix the final CBC checksum block."""
+    final = set_odd_parity(chain)
+    if is_weak_key(final):
+        final = bytes([final[0] ^ 0xF0]) + final[1:]
+    return final
+
+
 def string_to_key(password: str, salt: str = "") -> bytes:
     """Derive a DES key from a password, Kerberos V4 style.
 
@@ -85,32 +116,67 @@ def string_to_key(password: str, salt: str = "") -> bytes:
     reproduces V4 behaviour, where identical passwords give identical
     keys across principals).
     """
-    data = (password + salt).encode("utf-8")
-    padded = modes.pad_zero(data) or bytes(BLOCK_SIZE)
-
-    fanfold = bytearray(BLOCK_SIZE)
-    for chunk_index in range(0, len(padded), BLOCK_SIZE):
-        chunk = padded[chunk_index:chunk_index + BLOCK_SIZE]
-        if (chunk_index // BLOCK_SIZE) % 2 == 1:
-            chunk = bytes(_reverse_7bits(b) for b in reversed(chunk))
-        for i in range(BLOCK_SIZE):
-            fanfold[i] ^= chunk[i]
-
-    key = set_odd_parity(bytes(fanfold))
-    if is_weak_key(key):
-        key = bytes([key[0] ^ 0xF0]) + key[1:]
+    padded = _pad_password(password, salt)
+    folded = _fanfold_key(padded)
 
     # CBC checksum of the padded password, keyed with the fan-fold key and
     # using it as IV; the final ciphertext block becomes the key.
-    cipher = DesCipher(key)
-    chain = key
+    cipher = DesCipher(folded)
+    chain = folded
     for i in range(0, len(padded), BLOCK_SIZE):
         block = bytes(
             a ^ b for a, b in zip(padded[i:i + BLOCK_SIZE], chain)
         )
         chain = cipher.encrypt_block(block)
 
-    final = set_odd_parity(chain)
-    if is_weak_key(final):
-        final = bytes([final[0] ^ 0xF0]) + final[1:]
-    return final
+    return _finalize_key(chain)
+
+
+#: Below this many same-length candidates the sliced CBC checksum loses to
+#: the table-driven path; fall back to scalar derivation.
+_BATCH_FLOOR = 8
+
+
+def string_to_key_many(passwords: Sequence[str], salt: str = "") -> List[bytes]:
+    """Derive DES keys for many passwords at once, bit-for-bit identical
+    to mapping :func:`string_to_key` over them.
+
+    This is the cracking workload's front half: the fan-fold, parity and
+    weak-key fixes are cheap scalar work, but the CBC checksum is one DES
+    block operation per 8 password bytes — under a *different* key per
+    candidate, the table path's worst case (every guess derives a fresh
+    schedule).  Here candidates are grouped by padded length and each
+    group's checksum runs through :mod:`repro.crypto.des_bitslice`, whose
+    per-lane key schedules are free.
+    """
+    if len(passwords) < _BATCH_FLOOR:
+        return [string_to_key(candidate, salt) for candidate in passwords]
+
+    from repro.crypto import des_bitslice
+
+    padded_all = [_pad_password(candidate, salt) for candidate in passwords]
+    groups: Dict[int, List[int]] = {}
+    for index, padded in enumerate(padded_all):
+        groups.setdefault(len(padded), []).append(index)
+
+    out: List[bytes] = [b""] * len(passwords)
+    for length in sorted(groups):
+        indices = groups[length]
+        if len(indices) < _BATCH_FLOOR:
+            for index in indices:
+                out[index] = string_to_key(passwords[index], salt)
+            continue
+        folded = [_fanfold_key(padded_all[index]) for index in indices]
+        sliced = des_bitslice.BitslicedKeys(folded)
+        chain = transpose_in(folded)  # the fan-fold key doubles as the IV
+        for offset in range(0, length, BLOCK_SIZE):
+            plain = transpose_in(
+                [padded_all[index][offset:offset + BLOCK_SIZE]
+                 for index in indices]
+            )
+            chain = des_bitslice.encrypt_lanes(
+                sliced, [p ^ c for p, c in zip(plain, chain)]
+            )
+        for index, block in zip(indices, transpose_out(chain, len(indices))):
+            out[index] = _finalize_key(block)
+    return out

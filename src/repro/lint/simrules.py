@@ -99,6 +99,7 @@ WALL_BUDGET_FILES: FrozenSet[str] = frozenset({
     "src/repro/load.py",
     "src/repro/monitor.py",
     "src/repro/serve/scale.py",
+    "src/repro/crack.py",
 })
 
 Evidence = Tuple[str, int, str]          # (file, line, message)

@@ -109,6 +109,7 @@ def run_load(
     zipf_s: float = 1.1,
     diurnal: bool = False,
     scaling_curve: bool = False,
+    crypto_backend: str = "table",
 ) -> Dict[str, Any]:
     """Drive the sharded KDC and return (optionally write) the report.
 
@@ -123,12 +124,31 @@ def run_load(
     ``diurnal``, a sinusoidal arrival-rate curve, driven through the
     calibrated event model of :mod:`repro.serve.scale`.
 
+    ``crypto_backend`` selects the worker-pool cost model: ``"table"``
+    charges :data:`repro.serve.pool.DEFAULT_US_PER_BLOCK_OP` per DES
+    block operation, ``"bitslice"`` the cheaper
+    :data:`repro.serve.pool.BITSLICE_US_PER_BLOCK_OP` that models a KDC
+    batching its seal/unseal work through
+    :mod:`repro.crypto.des_bitslice` lanes.  Both are deterministic
+    constants (the report must stay a pure function of parameters and
+    seed), floor-justified by the measured ratio in
+    ``BENCH_crack.json`` — see ``docs/performance.md``.
+
     Pass a :class:`repro.obs.trace.Tracer` to record every exchange as
     a causal span chain (``python -m repro monitor`` does); afterwards
     it rides along as ``report["_tracer"]``.  The tick-sampled gauge
     series likewise comes back as ``report["_sampler"]``; both keys are
     attached *after* the JSON is written, so the file stays pure data.
     """
+    from repro.serve.pool import BACKEND_US_PER_BLOCK_OP
+
+    if crypto_backend not in BACKEND_US_PER_BLOCK_OP:
+        raise ValueError(
+            f"unknown crypto backend {crypto_backend!r}; expected one of "
+            f"{sorted(BACKEND_US_PER_BLOCK_OP)}"
+        )
+    us_per_block_op = BACKEND_US_PER_BLOCK_OP[crypto_backend]
+
     if principals is not None:
         from repro.serve.scale import run_scale_model
 
@@ -139,6 +159,7 @@ def run_load(
             replay_cache_capacity=replay_cache_capacity,
             interarrival_us=interarrival_us, zipf_s=zipf_s,
             diurnal=diurnal, scaling_curve=scaling_curve,
+            crypto_backend=crypto_backend,
         )
 
     if requests is None:
@@ -157,6 +178,7 @@ def run_load(
         protocol, seed=seed, shards=shards,
         workers_per_shard=workers_per_shard,
         replay_cache_capacity=replay_cache_capacity,
+        us_per_block_op=us_per_block_op,
     )
     registry = MetricsRegistry()
     bed.bus.subscribe(MetricsSink(registry))
@@ -348,6 +370,8 @@ def run_load(
             "interarrival_us": interarrival_us,
             "protocol": "v5-draft3+replay-cache" if config is None
             else "custom",
+            "crypto_backend": crypto_backend,
+            "us_per_block_op": us_per_block_op,
         },
         "workload": {
             "mode": "engine",
@@ -423,6 +447,12 @@ def render_report(report: Dict[str, Any]) -> str:
         f"clients over {cfg['shards']} shards "
         f"({cfg['workers_per_shard']} workers each, seed {cfg['seed']})",
     ]
+    backend = cfg.get("crypto_backend")
+    if backend:
+        lines.append(
+            f"crypto model     {backend} "
+            f"({cfg['us_per_block_op']}us per DES block op)"
+        )
     principals = workload.get("principals")
     if workload.get("mode") == "model" and principals:
         lines.append(

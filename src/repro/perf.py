@@ -6,7 +6,9 @@ four layers every experiment ultimately spends its cycles in —
 
 * raw DES block operations, fast path vs the retained per-bit
   :mod:`repro.crypto.des_reference` (the speedup the table-driven
-  rewrite buys);
+  rewrite buys), plus the bitsliced lanes of
+  :mod:`repro.crypto.des_bitslice` at batch width (the speedup
+  *batching* buys on top);
 * block-mode throughput (ECB/CBC/PCBC over a working buffer, the cost
   of sealing tickets and KRB_PRIV payloads);
 * a full protocol exchange (login + service ticket + AP exchange +
@@ -41,6 +43,7 @@ from repro.suite import SCENARIOS, run_attack_matrix
 
 __all__ = [
     "bench_block_throughput",
+    "bench_bitslice_throughput",
     "bench_mode_throughput",
     "bench_exchange",
     "bench_matrix",
@@ -82,6 +85,47 @@ def bench_block_throughput(iterations: int = 50_000,
         "speedup": round(fast_bps / ref_bps, 2),
         "fast_iterations": iterations,
         "reference_iterations": ref_iterations,
+    }
+
+
+def bench_bitslice_throughput(lanes: int = 1024,
+                              repeats: int = 4) -> Dict[str, Any]:
+    """Bitsliced batch throughput vs the table path at the same shape.
+
+    The comparison is the *fresh-key* shape the crack workload runs:
+    every lane has its own key, so the table path pays a full schedule
+    derivation per block while the bitsliced key schedule is free
+    selection from the sliced key bits.  (Transpose-in/out is included
+    in the bitsliced timing — it is part of the real cost.)
+    """
+    from repro.crypto import des_bitslice
+
+    rng_bytes = (_BENCH_KEY + _BENCH_BLOCK) * ((lanes + 1) // 2)
+    keys = [bytes(rng_bytes[i * 8:i * 8 + 8]) for i in range(lanes)]
+    blocks = [bytes(rng_bytes[(i + 3) * 8:(i + 3) * 8 + 8])
+              if i + 3 < lanes else _BENCH_BLOCK for i in range(lanes)]
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        sliced = des_bitslice.BitslicedKeys(keys)
+        des_bitslice.encrypt_blocks(sliced, blocks)
+    sliced_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for key, block in zip(keys, blocks):
+            des.KeySchedule(key).encrypt_block(block)
+    table_elapsed = time.perf_counter() - start
+
+    total = repeats * lanes
+    sliced_bps = total / sliced_elapsed if sliced_elapsed else float("inf")
+    table_bps = total / table_elapsed if table_elapsed else float("inf")
+    return {
+        "lanes": lanes,
+        "repeats": repeats,
+        "bitslice_blocks_per_s": round(sliced_bps),
+        "table_fresh_key_blocks_per_s": round(table_bps),
+        "speedup": round(sliced_bps / table_bps, 2) if table_bps else 0.0,
     }
 
 
@@ -175,10 +219,10 @@ def run_perf(quick: bool = False, parallel: int = 4,
     """
     if quick:
         defaults = dict(block=8_000, ref=800, payload=8_192, runs=2,
-                        scenarios=4)
+                        scenarios=4, lanes=256, lane_repeats=2)
     else:
         defaults = dict(block=50_000, ref=5_000, payload=65_536, runs=5,
-                        scenarios=None)
+                        scenarios=None, lanes=1024, lane_repeats=4)
     report: Dict[str, Any] = {
         "schema": "repro-bench-crypto/1",
         "quick": quick,
@@ -189,6 +233,9 @@ def run_perf(quick: bool = False, parallel: int = 4,
             else defaults["block"],
             ref_iterations if ref_iterations is not None
             else defaults["ref"],
+        ),
+        "bitslice": bench_bitslice_throughput(
+            lanes=defaults["lanes"], repeats=defaults["lane_repeats"],
         ),
         "modes": bench_mode_throughput(
             payload_bytes if payload_bytes is not None
@@ -227,6 +274,11 @@ def render_report(report: Dict[str, Any]) -> str:
         f"raw DES blocks   fast path  {block['fast_blocks_per_s']:>12,} blocks/s",
         f"                 reference  {block['reference_blocks_per_s']:>12,} blocks/s",
         f"                 speedup    {block['speedup']:>12,.2f}x",
+        "",
+        f"bitsliced lanes  {report['bitslice']['lanes']} fresh keys"
+        f"   {report['bitslice']['bitslice_blocks_per_s']:>12,} blocks/s"
+        f"   (table {report['bitslice']['table_fresh_key_blocks_per_s']:,}"
+        f" blocks/s, {report['bitslice']['speedup']:,.2f}x)",
         "",
         f"mode throughput  ECB  {mode['ecb_mb_per_s']:>8.3f} MB/s"
         f"   CBC  {mode['cbc_mb_per_s']:>8.3f} MB/s"

@@ -49,7 +49,7 @@ tracer attached the only cost is one attribute read per request.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.des import BLOCK_OPS, get_schedule
 from repro.crypto.keys import string_to_key
@@ -65,7 +65,7 @@ from repro.kerberos.realm import RealmDirectory
 from repro.kerberos.validation import LruReplayCache
 from repro.obs.bus import EventBus
 from repro.obs.events import ShardUnavailable
-from repro.serve.pool import WorkerPool
+from repro.serve.pool import DEFAULT_US_PER_BLOCK_OP, WorkerPool
 from repro.serve.sharding import shard_of
 from repro.sim.clock import SimClock
 from repro.sim.host import Host
@@ -264,6 +264,7 @@ class KdcCluster:
         shard_addresses: List[str],
         workers_per_shard: int = 2,
         replay_capacity: int = 4096,
+        us_per_block_op: Optional[float] = None,
     ) -> None:
         if len(shard_addresses) < 1:
             raise ValueError("a cluster needs at least one shard address")
@@ -296,7 +297,12 @@ class KdcCluster:
                 rng.fork(f"kdc:{realm}:shard{index}"),
                 directory=directory, replay_cache=cache,
             )
-            pool = WorkerPool(workers_per_shard)
+            pool = WorkerPool(
+                workers_per_shard,
+                us_per_block_op=(DEFAULT_US_PER_BLOCK_OP
+                                 if us_per_block_op is None
+                                 else us_per_block_op),
+            )
             self.shards.append(
                 ShardServer(index, host, shard_db, kdc, cache, pool)
             )

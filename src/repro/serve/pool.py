@@ -66,6 +66,23 @@ DEFAULT_BATCH_WINDOW_US = 500
 #: Marginal cost per DES block operation on the table-driven fast path.
 DEFAULT_US_PER_BLOCK_OP = 2.0
 
+#: Marginal cost per block operation when the KDC batches its seal/unseal
+#: work through the bitsliced backend (``--crypto-backend bitslice``).
+#: This is a *deterministic model constant*, not a measurement: virtual
+#: time must stay a pure function of the parameters and seed (the sim
+#: lint family's double-run witness asserts byte-identical reports), so
+#: the harness cannot calibrate it from the wall clock at runtime.  The
+#: value is the conservative floor the CI crack leg enforces — bitsliced
+#: lanes at least 4x the table path on batch shapes (the measured ratio
+#: in ``BENCH_crack.json`` is far higher; see docs/performance.md).
+BITSLICE_US_PER_BLOCK_OP = DEFAULT_US_PER_BLOCK_OP / 4.0
+
+#: CLI names for the two cost models.
+BACKEND_US_PER_BLOCK_OP = {
+    "table": DEFAULT_US_PER_BLOCK_OP,
+    "bitslice": BITSLICE_US_PER_BLOCK_OP,
+}
+
 
 class WorkerPool:
     """N virtual workers for one shard, tracked as a heap of free-times."""

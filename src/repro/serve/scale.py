@@ -48,6 +48,7 @@ from repro.crypto.rng import DeterministicRandom
 from repro.kerberos.validation import LruReplayCache
 from repro.obs.timeseries import LogHistogram, TickSampler
 from repro.serve.pool import (
+    BACKEND_US_PER_BLOCK_OP,
     DEFAULT_BATCH_OVERHEAD_US,
     DEFAULT_BATCH_WINDOW_US,
     DEFAULT_OVERHEAD_US,
@@ -291,12 +292,14 @@ class _Model:
 
     def __init__(self, shards: int, workers_per_shard: int,
                  replay_capacity: int, cal: Dict[str, int],
-                 failsafe_us: Optional[int]) -> None:
+                 failsafe_us: Optional[int],
+                 us_per_block_op: float = DEFAULT_US_PER_BLOCK_OP) -> None:
         self.clock = SimClock()
         self.sched = Scheduler(self.clock)
         self.cal = cal
         self.failsafe_us = failsafe_us
         self.workers_per_shard = workers_per_shard
+        self.us_per_block_op = us_per_block_op
         self.shards = [
             _ModelShard(i, self.sched, replay_capacity, workers_per_shard)
             for i in range(shards)
@@ -336,7 +339,7 @@ class _Model:
             in_batch = start - shard.last_start <= DEFAULT_BATCH_WINDOW_US
             overhead = (DEFAULT_BATCH_OVERHEAD_US if in_batch
                         else DEFAULT_OVERHEAD_US)
-            service = overhead + int(job.block_ops * DEFAULT_US_PER_BLOCK_OP)
+            service = overhead + int(job.block_ops * self.us_per_block_op)
             shard.last_start = start
             shard.inflight += 1
             if shard.first_arrival_us is None:
@@ -453,6 +456,7 @@ def _run_model_once(
     cal: Dict[str, int],
     failsafe_us: Optional[int],
     sampler_factory: Optional[Callable[["_Model"], TickSampler]] = None,
+    us_per_block_op: float = DEFAULT_US_PER_BLOCK_OP,
 ) -> Dict[str, Any]:
     """One complete model run; returns the raw measurements.
 
@@ -466,7 +470,7 @@ def _run_model_once(
     )
 
     model = _Model(shards, workers_per_shard, replay_cache_capacity, cal,
-                   failsafe_us)
+                   failsafe_us, us_per_block_op=us_per_block_op)
     sched, clock = model.sched, model.clock
     sampler = sampler_factory(model) if sampler_factory is not None else None
     keys = LazyPrincipalKeys(principals)
@@ -603,12 +607,19 @@ def run_scale_model(
     zipf_s: float = 1.1,
     diurnal: bool = False,
     scaling_curve: bool = False,
+    crypto_backend: str = "table",
 ) -> Dict[str, Any]:
     """The ``--principals N`` entry point; returns the schema-v3 report."""
     import json
     import platform
     import time as _time
 
+    if crypto_backend not in BACKEND_US_PER_BLOCK_OP:
+        raise ValueError(
+            f"unknown crypto backend {crypto_backend!r}; expected one of "
+            f"{sorted(BACKEND_US_PER_BLOCK_OP)}"
+        )
+    us_per_block_op = BACKEND_US_PER_BLOCK_OP[crypto_backend]
     if shards < 2:
         raise ValueError("the load harness needs a sharded bed (shards >= 2)")
     if principals < 1:
@@ -645,7 +656,7 @@ def run_scale_model(
         principals, shards, workers_per_shard, requests,
         replay_cache_capacity, interarrival_us, zipf_s, diurnal, faults,
         root_rng.fork("scale:main"), cal, FAILSAFE_US,
-        sampler_factory=make_sampler,
+        sampler_factory=make_sampler, us_per_block_op=us_per_block_op,
     )
     model: _Model = result["model"]
     keys: LazyPrincipalKeys = result["keys"]
@@ -660,7 +671,7 @@ def run_scale_model(
     grid = WIDE_CURVE_GRID if scaling_curve else DEFAULT_CURVE_GRID
     curve_requests = min(requests, 3000)
     unit_cpu_us = 2 * DEFAULT_BATCH_OVERHEAD_US + int(
-        (cal["as_block_ops"] + cal["tgs_block_ops"]) * DEFAULT_US_PER_BLOCK_OP
+        (cal["as_block_ops"] + cal["tgs_block_ops"]) * us_per_block_op
     )
     cells: List[Dict[str, Any]] = []
     for cell_shards, cell_workers in grid:
@@ -672,7 +683,7 @@ def run_scale_model(
             replay_cache_capacity, cell_interarrival, zipf_s,
             diurnal=False, faults=False,
             seed_rng=root_rng.fork(f"curve:{cell_shards}x{cell_workers}"),
-            cal=cal, failsafe_us=None,
+            cal=cal, failsafe_us=None, us_per_block_op=us_per_block_op,
         )
         cell_wait = LogHistogram()
         for shard in cell["model"].shards:
@@ -724,6 +735,8 @@ def run_scale_model(
             "replay_cache_capacity": replay_cache_capacity,
             "interarrival_us": interarrival_us,
             "protocol": "v5-draft3+replay-cache",
+            "crypto_backend": crypto_backend,
+            "us_per_block_op": us_per_block_op,
         },
         "workload": {
             "mode": "model",

@@ -1,0 +1,103 @@
+"""The cracking benchmark: planted ground truth, agreement, schema.
+
+``python -m repro crack`` is the paper's section 2.2 dictionary attack
+as a measured workload.  The benchmark is self-checking — planted weak
+passwords must be recovered by both the table-driven and the bitsliced
+path, and the two paths must crack identical maps — and these tests pin
+that machinery deterministically at CI-friendly sizes (the timings
+themselves are the only non-deterministic fields).
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.cracking import attack_dictionary
+from repro.crack import _build_population, run_crack
+from repro.kerberos.config import ProtocolConfig
+
+
+def _tiny_run(**overrides):
+    params = dict(targets=3, words=48, lanes=16, out_path=None)
+    params.update(overrides)
+    return run_crack(**params)
+
+
+def test_planted_passwords_found_deterministically():
+    report = _tiny_run()
+    assert report["planted_found"] is True
+    assert report["agreement"] is True
+    # Ground truth: the planted map is derivable from the parameters.
+    dictionary = attack_dictionary(48)
+    planted = {name: word
+               for name, word, is_planted in _build_population(3, dictionary, 0)
+               if is_planted}
+    assert report["cracked"] == planted
+    # Strong-password victims stay uncracked.
+    assert "victim02" not in report["cracked"]
+
+
+def test_report_schema_and_workload_fields(tmp_path):
+    out = tmp_path / "BENCH_crack.json"
+    report = _tiny_run(out_path=str(out), seed=7)
+    on_disk = json.loads(out.read_text())
+    assert on_disk == report
+    assert report["schema"] == "repro-bench-crack/1"
+    assert report["config"]["column"] == "v4"
+    assert report["workload"] == {
+        "targets": 3, "planted": 2, "words": 48, "lanes": 16, "seed": 7,
+    }
+    for side in ("table", "bitslice"):
+        for field in ("attempts", "seconds", "guesses_per_s", "cracked"):
+            assert field in report[side]
+    assert report["table"]["cracked"] == report["bitslice"]["cracked"] == 2
+    # Both paths stop at the first match, so attempts stay bounded by
+    # words x targets on each side.
+    assert report["table"]["attempts"] <= 48 * 3
+    assert report["bitslice"]["attempts"] <= 48 * 3
+
+
+def test_results_identical_across_lane_widths():
+    """Batch boundaries must not change what gets cracked: the sparse
+    confirmation loop preserves dictionary-order first-match semantics."""
+    narrow = _tiny_run(lanes=8)
+    wide = _tiny_run(lanes=64)
+    assert narrow["cracked"] == wide["cracked"]
+    assert narrow["planted_found"] and wide["planted_found"]
+
+
+def test_v5_draft3_column_cracks_too():
+    """CBC + confounder changes the sealed layout, not the weakness."""
+    report = _tiny_run(config=ProtocolConfig.v5_draft3())
+    assert report["config"]["column"] == "v5-draft3"
+    assert report["config"]["use_confounder"] is True
+    assert report["planted_found"] is True
+    assert report["agreement"] is True
+
+
+def test_rejects_degenerate_parameters():
+    with pytest.raises(ValueError):
+        run_crack(targets=0, out_path=None)
+    with pytest.raises(ValueError):
+        run_crack(words=0, out_path=None)
+    with pytest.raises(ValueError):
+        run_crack(lanes=0, out_path=None)
+
+
+def test_cli_crack_exits_zero_and_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_crack.json"
+    assert main(["crack", "--targets", "3", "--words", "48",
+                 "--lanes", "16", "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "guesses/s" in printed
+    assert "planted found: True" in printed
+    assert json.loads(out.read_text())["schema"] == "repro-bench-crack/1"
+
+
+def test_cli_min_speedup_floor_can_fail(tmp_path, capsys):
+    """An absurd floor must flip the exit code (the CI guard's teeth)."""
+    out = tmp_path / "BENCH_crack.json"
+    assert main(["crack", "--targets", "2", "--words", "32", "--lanes", "16",
+                 "--min-speedup", "1000000", "--out", str(out)]) == 1
+    assert "speedup floor FAIL" in capsys.readouterr().out

@@ -176,3 +176,52 @@ def test_cli_serve_prints_topology(capsys):
     assert "2 shards" in stdout
     assert "frontend" in stdout
     assert "shard 1" in stdout
+
+
+def test_bitslice_backend_lowers_service_times(quick_report):
+    """--crypto-backend bitslice swaps in the cheaper deterministic
+    per-block-op cost: every service-time percentile drops and the
+    config records the resolved model, same schema throughout."""
+    sliced = run_load(**{**QUICK, "crypto_backend": "bitslice"})
+    assert quick_report["config"]["crypto_backend"] == "table"
+    assert quick_report["config"]["us_per_block_op"] == 2.0
+    assert sliced["config"]["crypto_backend"] == "bitslice"
+    assert sliced["config"]["us_per_block_op"] == 0.5
+    assert sliced["schema"] == quick_report["schema"]
+    table_svc = quick_report["queueing"]["cluster_service_us"]
+    sliced_svc = sliced["queueing"]["cluster_service_us"]
+    assert sliced_svc["p50"] < table_svc["p50"]
+    assert sliced_svc["p99"] <= table_svc["p99"]
+    # Same workload, same seed: the cost model changes time, not work.
+    assert sliced["throughput"]["completed"] \
+        == quick_report["throughput"]["completed"]
+
+
+def test_bitslice_backend_is_deterministic():
+    first = run_load(**{**QUICK, "crypto_backend": "bitslice"})
+    second = run_load(**{**QUICK, "crypto_backend": "bitslice"})
+    def strip(r):
+        return json.dumps(
+            {k: v for k, v in r.items()
+             if not k.startswith("_") and k != "throughput"},
+            sort_keys=True)
+
+    assert strip(first) == strip(second)
+    assert first["throughput"]["completed"] == second["throughput"]["completed"]
+
+
+def test_scale_mode_bitslice_backend_raises_capacity():
+    table = run_load(quick=True, shards=2, principals=2000, out_path=None)
+    sliced = run_load(quick=True, shards=2, principals=2000, out_path=None,
+                      crypto_backend="bitslice")
+    assert sliced["config"]["crypto_backend"] == "bitslice"
+    assert sliced["scaling_curve"]["unit_cpu_us"] \
+        < table["scaling_curve"]["unit_cpu_us"]
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        run_load(**{**QUICK, "crypto_backend": "quantum"})
+    with pytest.raises(ValueError):
+        run_load(quick=True, shards=2, principals=2000, out_path=None,
+                 crypto_backend="quantum")
